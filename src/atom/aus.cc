@@ -1,0 +1,3 @@
+// aus.hh is header-only state; this translation unit exists to anchor
+// the header for build-time checking.
+#include "atom/aus.hh"

@@ -1,0 +1,126 @@
+#include "atom/bucket_table.hh"
+
+#include "sim/logging.hh"
+
+namespace atomsim
+{
+
+BucketBitVector::BucketBitVector(std::uint32_t buckets)
+{
+    resize(buckets);
+}
+
+void
+BucketBitVector::resize(std::uint32_t buckets)
+{
+    _buckets = buckets;
+    _words.assign((buckets + 63) / 64, 0);
+}
+
+bool
+BucketBitVector::test(std::uint32_t bucket) const
+{
+    panic_if(bucket >= _buckets, "bucket %u out of range", bucket);
+    return (_words[bucket / 64] >> (bucket % 64)) & 1;
+}
+
+void
+BucketBitVector::set(std::uint32_t bucket)
+{
+    panic_if(bucket >= _buckets, "bucket %u out of range", bucket);
+    _words[bucket / 64] |= std::uint64_t(1) << (bucket % 64);
+}
+
+void
+BucketBitVector::clearBit(std::uint32_t bucket)
+{
+    panic_if(bucket >= _buckets, "bucket %u out of range", bucket);
+    _words[bucket / 64] &= ~(std::uint64_t(1) << (bucket % 64));
+}
+
+void
+BucketBitVector::clearAll()
+{
+    for (auto &w : _words)
+        w = 0;
+}
+
+std::uint32_t
+BucketBitVector::popcount() const
+{
+    std::uint32_t n = 0;
+    for (auto w : _words)
+        n += std::uint32_t(__builtin_popcountll(w));
+    return n;
+}
+
+std::optional<std::uint32_t>
+BucketBitVector::firstSet() const
+{
+    for (std::uint32_t w = 0; w < _words.size(); ++w) {
+        if (_words[w])
+            return w * 64 + std::uint32_t(__builtin_ctzll(_words[w]));
+    }
+    return std::nullopt;
+}
+
+BucketTable::BucketTable(std::uint32_t aus_count,
+                         std::uint32_t total_buckets,
+                         std::uint32_t initially_mapped)
+    : _total(total_buckets),
+      _mapped(initially_mapped == 0 ? total_buckets : initially_mapped)
+{
+    panic_if(_mapped > _total, "mapped buckets exceed capacity");
+    _vectors.reserve(aus_count);
+    for (std::uint32_t i = 0; i < aus_count; ++i)
+        _vectors.emplace_back(total_buckets);
+}
+
+bool
+BucketTable::isFree(std::uint32_t bucket) const
+{
+    for (const auto &v : _vectors) {
+        if (v.test(bucket))
+            return false;
+    }
+    return true;
+}
+
+std::optional<std::uint32_t>
+BucketTable::allocate(std::uint32_t aus)
+{
+    panic_if(aus >= _vectors.size(), "bad AUS index %u", aus);
+    for (std::uint32_t i = 0; i < _mapped; ++i) {
+        const std::uint32_t bucket = (_scanHint + i) % _mapped;
+        if (isFree(bucket)) {
+            _vectors[aus].set(bucket);
+            _scanHint = bucket + 1;
+            return bucket;
+        }
+    }
+    return std::nullopt;  // log overflow: caller interrupts the OS
+}
+
+void
+BucketTable::extendMapped(std::uint32_t extra)
+{
+    _mapped = std::min(_total, _mapped + extra);
+}
+
+std::uint32_t
+BucketTable::truncate(std::uint32_t aus)
+{
+    panic_if(aus >= _vectors.size(), "bad AUS index %u", aus);
+    const std::uint32_t freed = _vectors[aus].popcount();
+    _vectors[aus].clearAll();
+    return freed;
+}
+
+const BucketBitVector &
+BucketTable::vectorOf(std::uint32_t aus) const
+{
+    panic_if(aus >= _vectors.size(), "bad AUS index %u", aus);
+    return _vectors[aus];
+}
+
+} // namespace atomsim

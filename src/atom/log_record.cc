@@ -1,0 +1,42 @@
+#include "atom/log_record.hh"
+
+#include <cstring>
+
+namespace atomsim
+{
+
+Line
+LogRecordHeader::toLine() const
+{
+    Line line{};
+    line[0] = kMagic;
+    line[1] = ausId;
+    line[2] = count;
+    line[3] = 0;
+    std::memcpy(line.data() + 4, &seq, sizeof(seq));
+    for (std::uint32_t i = 0; i < kMaxEntries; ++i) {
+        std::memcpy(line.data() + 8 + i * sizeof(Addr), &addrs[i],
+                    sizeof(Addr));
+    }
+    return line;
+}
+
+std::optional<LogRecordHeader>
+LogRecordHeader::fromLine(const Line &line)
+{
+    if (line[0] != kMagic)
+        return std::nullopt;
+    LogRecordHeader hdr;
+    hdr.ausId = line[1];
+    hdr.count = line[2];
+    if (hdr.count == 0 || hdr.count > kMaxEntries)
+        return std::nullopt;
+    std::memcpy(&hdr.seq, line.data() + 4, sizeof(hdr.seq));
+    for (std::uint32_t i = 0; i < kMaxEntries; ++i) {
+        std::memcpy(&hdr.addrs[i], line.data() + 8 + i * sizeof(Addr),
+                    sizeof(Addr));
+    }
+    return hdr;
+}
+
+} // namespace atomsim

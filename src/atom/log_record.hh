@@ -1,0 +1,53 @@
+/**
+ * @file
+ * On-NVM layout of ATOM log records (Section IV-C, Figure 4(c)).
+ *
+ * A log record is 512 bytes: one 64-byte header line followed by up to
+ * seven 64-byte data lines holding the pre-transaction values of logged
+ * cache lines. The header carries the logged line addresses, the entry
+ * count, the owning AUS and a per-AUS monotonic sequence number.
+ *
+ * The sequence number both orders records for newest-first undo and
+ * disambiguates bucket reuse: a record is valid for recovery only when
+ * its sequence falls inside the AUS's [txnStartSeq, nextSeq) window,
+ * so stale headers from earlier (truncated) updates are ignored without
+ * any log-area scrubbing at truncation time.
+ */
+
+#ifndef ATOMSIM_ATOM_LOG_RECORD_HH
+#define ATOMSIM_ATOM_LOG_RECORD_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "mem/phys_mem.hh"
+#include "sim/types.hh"
+
+namespace atomsim
+{
+
+/** Deserialized log record header. */
+struct LogRecordHeader
+{
+    static constexpr std::uint8_t kMagic = 0xA7;
+    static constexpr std::uint32_t kMaxEntries = 7;
+
+    std::uint8_t ausId = 0;
+    std::uint8_t count = 0;
+    std::uint32_t seq = 0;
+    /** Line-aligned addresses of the logged cache lines. */
+    Addr addrs[kMaxEntries] = {};
+
+    /** Serialize into one 64-byte header line. */
+    Line toLine() const;
+
+    /**
+     * Parse a header line. std::nullopt when the magic byte or entry
+     * count is invalid (not a persisted header).
+     */
+    static std::optional<LogRecordHeader> fromLine(const Line &line);
+};
+
+} // namespace atomsim
+
+#endif // ATOMSIM_ATOM_LOG_RECORD_HH

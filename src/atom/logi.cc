@@ -1,0 +1,58 @@
+#include "atom/logi.hh"
+
+#include "sim/logging.hh"
+
+namespace atomsim
+{
+
+LogI::LogI(EventQueue &eq, const SystemConfig &cfg, Mesh &mesh,
+           const AddressMap &amap,
+           std::vector<std::unique_ptr<LogM>> &logms, bool posted,
+           std::function<int(CoreId)> resolve_aus, StatSet &stats)
+    : _eq(eq),
+      _cfg(cfg),
+      _mesh(mesh),
+      _amap(amap),
+      _logms(logms),
+      _posted(posted),
+      _resolveAus(std::move(resolve_aus)),
+      _statLogWrites(stats.counter("logi", "log_writes"))
+{
+}
+
+void
+LogI::onFirstWrite(CoreId core, Addr addr, const Line &old_value,
+                   std::function<void()> done)
+{
+    const int aus = _resolveAus(core);
+    panic_if(aus < 0, "onFirstWrite outside an atomic update (core %u)",
+             core);
+    _statLogWrites.inc();
+
+    // Ship the log entry to the controller that owns the data line:
+    // log/data co-location makes the posted-log optimization legal
+    // (Section III-C, "Sources of reordering").
+    const McId mc = _amap.memCtrl(addr);
+    const std::uint32_t core_node = _mesh.coreNode(core);
+    const std::uint32_t mc_node = _mesh.mcNode(mc);
+    LogM *logm = _logms[mc].get();
+
+    _mesh.send(core_node, mc_node, MsgType::LogWrite,
+               [this, logm, aus, addr, old_value, core_node, mc_node,
+                done = std::move(done)]() mutable {
+        logm->postLogEntry(std::uint32_t(aus), addr, old_value, _posted,
+                           [this, core_node, mc_node,
+                            done = std::move(done)]() mutable {
+            _mesh.send(mc_node, core_node, MsgType::LogAck,
+                       std::move(done));
+        });
+    });
+}
+
+void
+LogI::onStore(CoreId, Addr, std::function<void()>)
+{
+    panic("LogI::onStore: redo logging is handled by RedoEngine");
+}
+
+} // namespace atomsim

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * LogI: the cache-controller half of the ATOM log manager
+ * (Section IV-B).
+ *
+ * LogI implements the L1 store-path hook for the undo-logging designs:
+ * on the first write to a line inside an atomic update it ships a
+ * LogWrite message (old value + address) to the memory controller that
+ * owns the line -- guaranteeing log/data co-location -- and completes
+ * the store when the ack arrives. In BASE mode the ack means "entry
+ * durable"; in posted mode (ATOM / ATOM-OPT) it means "line locked".
+ */
+
+#ifndef ATOMSIM_ATOM_LOGI_HH
+#define ATOMSIM_ATOM_LOGI_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "atom/logm.hh"
+#include "cache/l1_cache.hh"
+#include "mem/address_map.hh"
+#include "net/mesh.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+
+namespace atomsim
+{
+
+/** Cache-side log write initiator for the undo designs. */
+class LogI : public StoreLogger
+{
+  public:
+    /**
+     * @param posted false for BASE (ack on persist), true for
+     *               ATOM / ATOM-OPT (posted log writes)
+     * @param resolve_aus maps a core to its AUS slot or -1
+     */
+    LogI(EventQueue &eq, const SystemConfig &cfg, Mesh &mesh,
+         const AddressMap &amap,
+         std::vector<std::unique_ptr<LogM>> &logms, bool posted,
+         std::function<int(CoreId)> resolve_aus, StatSet &stats);
+
+    Mode mode() const override { return Mode::Undo; }
+
+    bool
+    inAtomic(CoreId core) const override
+    {
+        return _resolveAus(core) >= 0;
+    }
+
+    void onFirstWrite(CoreId core, Addr addr, const Line &old_value,
+                      std::function<void()> done) override;
+
+    void onStore(CoreId, Addr, std::function<void()>) override;
+
+  private:
+    EventQueue &_eq;
+    const SystemConfig &_cfg;
+    Mesh &_mesh;
+    const AddressMap &_amap;
+    std::vector<std::unique_ptr<LogM>> &_logms;
+    bool _posted;
+    std::function<int(CoreId)> _resolveAus;
+
+    Counter &_statLogWrites;
+};
+
+} // namespace atomsim
+
+#endif // ATOMSIM_ATOM_LOGI_HH

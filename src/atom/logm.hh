@@ -1,0 +1,161 @@
+/**
+ * @file
+ * LogM: the memory-controller half of the ATOM log manager
+ * (Sections III-B..III-D and IV-C of the paper).
+ *
+ * LogM owns log allocation (buckets, records), writes log entries to
+ * the NVM log area, and enforces the log -> data ordering invariant by
+ * acting as the controller's WriteGate: a data write whose address sits
+ * in a not-yet-persisted record header is blocked, the header persist
+ * is expedited, and the write proceeds once it completes ("locking" /
+ * "unlocking" in the paper's terms).
+ *
+ * Three operating modes of postLogEntry cover the designs:
+ *  - BASE: the ack fires when the entry is durable (header persisted);
+ *    records hold a single entry (2 NVM writes per entry).
+ *  - ATOM (posted): the ack fires immediately after the lock is taken;
+ *    persistence happens in the background.
+ *  - ATOM-OPT adds sourceLogFill for read-exclusive fills.
+ */
+
+#ifndef ATOMSIM_ATOM_LOGM_HH
+#define ATOMSIM_ATOM_LOGM_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "atom/aus.hh"
+#include "atom/bucket_table.hh"
+#include "cache/l2_cache.hh"
+#include "mem/address_map.hh"
+#include "mem/memory_controller.hh"
+#include "os/log_space.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace atomsim
+{
+
+/** The per-memory-controller ATOM log manager. */
+class LogM : public WriteGate, public SourceLogger
+{
+  public:
+    /**
+     * @param resolve_aus maps a core to its AUS slot (or -1 when the
+     *                    core has no active atomic update)
+     */
+    LogM(McId mc, EventQueue &eq, const SystemConfig &cfg,
+         const AddressMap &amap, MemoryController &ctrl, LogSpace &os,
+         StatSet &stats, std::function<int(CoreId)> resolve_aus);
+
+    // --- Atomic update lifecycle --------------------------------------
+
+    /** Arm AUS @p aus for a new atomic update. */
+    void beginUpdate(std::uint32_t aus);
+
+    /**
+     * Truncate AUS @p aus (Atomic_End): waits for this update's
+     * outstanding log writes to quiesce, then clears the bucket bit
+     * vector (single-cycle register operation) and frees the buckets.
+     */
+    void truncate(std::uint32_t aus, std::function<void()> done);
+
+    // --- Logging --------------------------------------------------------
+
+    /**
+     * Append an undo entry (old value of @p line_addr) to @p aus's
+     * current record.
+     *
+     * @param posted ATOM posted-log mode: @p ack fires after the lock
+     *               is taken; BASE mode: @p ack fires when the entry is
+     *               durable.
+     */
+    void postLogEntry(std::uint32_t aus, Addr line_addr,
+                      const Line &old_value, bool posted,
+                      std::function<void()> ack);
+
+    /** SourceLogger: log a read-exclusive fill (Section III-D). */
+    bool sourceLogFill(CoreId core, Addr addr,
+                       const Line &old_value) override;
+
+    /** Enable sourceLogFill (ATOM-OPT only). */
+    void setSourceLogging(bool on) { _sourceLogging = on; }
+
+    // --- WriteGate (log -> data ordering, Section III-C) ---------------
+
+    bool tryAcquire(Addr line_addr,
+                    std::function<void()> on_unlock) override;
+
+    // --- Power failure ----------------------------------------------------
+
+    /**
+     * ADR flush: serialize the critical registers (bucket bit vectors,
+     * current bucket/record, sequence windows) into the controller's
+     * ADR page of @p nvm. Called at power failure; zero-latency by the
+     * ADR guarantee (Section IV-D).
+     */
+    void flushCriticalState(DataImage &nvm) const;
+
+    /** Size in bytes of the serialized critical state. */
+    std::uint32_t criticalStateBytes() const;
+
+    // --- Introspection ---------------------------------------------------
+
+    bool lineLocked(Addr line_addr) const;
+    const BucketTable &buckets() const { return _buckets; }
+    const AusState &aus(std::uint32_t idx) const { return _aus[idx]; }
+
+  private:
+    /** Ensure @p aus has an open, unsealed record; may allocate a
+     * bucket (possibly waiting on an OS overflow grant). */
+    void withOpenRecord(std::uint32_t aus,
+                        std::function<void()> ready);
+
+    /** Seal the open record: no more entries; header persists once all
+     * entry data is durable. */
+    void sealOpen(std::uint32_t aus);
+
+    /** Issue the header write if the record is sealed + data-durable. */
+    void maybeIssueHeader(std::uint32_t aus, OpenRecord *rec);
+
+    void onHeaderDurable(std::uint32_t aus, Addr record_base);
+
+    void lock(Addr line_addr);
+    void unlock(Addr line_addr);
+
+    McId _mc;
+    EventQueue &_eq;
+    const SystemConfig &_cfg;
+    const AddressMap &_amap;
+    MemoryController &_ctrl;
+    LogSpace &_os;
+    std::function<int(CoreId)> _resolveAus;
+    bool _sourceLogging = false;
+
+    BucketTable _buckets;
+    std::vector<AusState> _aus;
+
+    /** Lock table: line -> (count, waiters). Implements the record-
+     * header address match of Section IV-C. */
+    struct LockState
+    {
+        std::uint32_t count = 0;
+        std::vector<std::function<void()>> waiters;
+    };
+    std::unordered_map<Addr, LockState> _locks;
+
+    Counter &_statEntries;
+    Counter &_statRecords;
+    Counter &_statSourceLogged;
+    Counter &_statOverflows;
+    Counter &_statForcedSeals;
+    Counter &_statTruncations;
+};
+
+} // namespace atomsim
+
+#endif // ATOMSIM_ATOM_LOGM_HH

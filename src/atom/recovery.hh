@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Post-power-failure recovery (Section IV-D).
+ *
+ * The recovery routine is provided "as a system call": it reads the
+ * ADR-flushed critical registers of every memory controller from NVM,
+ * reconstructs the log-space state at the instant of the crash, and
+ * undoes every incomplete atomic update by applying its records
+ * newest-first. Only durable state is consulted -- the routine works
+ * on a DataImage, never on the (gone) volatile structures.
+ *
+ * RedoRecovery implements the equivalent for the REDO comparator
+ * design: reapply the entries of committed updates from the redo log.
+ */
+
+#ifndef ATOMSIM_ATOM_RECOVERY_HH
+#define ATOMSIM_ATOM_RECOVERY_HH
+
+#include <cstdint>
+
+#include "mem/address_map.hh"
+#include "mem/phys_mem.hh"
+#include "sim/config.hh"
+
+namespace atomsim
+{
+
+/** What a recovery pass did (reported by the routine). */
+struct RecoveryReport
+{
+    std::uint32_t incompleteUpdates = 0;  //!< AUS rolled back
+    std::uint32_t recordsApplied = 0;
+    std::uint32_t linesRestored = 0;
+    bool criticalStateFound = true;
+};
+
+/** Undo recovery for the ATOM / BASE designs. */
+class RecoveryManager
+{
+  public:
+    RecoveryManager(const SystemConfig &cfg, const AddressMap &amap);
+
+    /**
+     * Roll back every incomplete atomic update found in @p nvm.
+     * Records apply newest-first (descending sequence; entries within
+     * a record in reverse), so a line logged more than once ends at
+     * its pre-update value.
+     */
+    RecoveryReport recover(DataImage &nvm) const;
+
+  private:
+    RecoveryReport recoverMc(DataImage &nvm, McId mc) const;
+
+    const SystemConfig &_cfg;
+    const AddressMap &_amap;
+};
+
+/** Redo recovery for the REDO design. */
+class RedoRecovery
+{
+  public:
+    RedoRecovery(const SystemConfig &cfg, const AddressMap &amap);
+
+    /**
+     * Reapply, in log order, every entry belonging to a committed
+     * update; entries of uncommitted updates are discarded.
+     */
+    RecoveryReport recover(DataImage &nvm) const;
+
+  private:
+    const SystemConfig &_cfg;
+    const AddressMap &_amap;
+};
+
+} // namespace atomsim
+
+#endif // ATOMSIM_ATOM_RECOVERY_HH

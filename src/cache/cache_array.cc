@@ -1,0 +1,92 @@
+#include "cache/cache_array.hh"
+
+#include "sim/logging.hh"
+
+namespace atomsim
+{
+
+CacheArray::CacheArray(std::uint32_t size_bytes, std::uint32_t assoc,
+                       std::uint32_t index_div)
+    : _assoc(assoc), _indexDiv(index_div == 0 ? 1 : index_div)
+{
+    panic_if(assoc == 0, "associativity must be > 0");
+    const std::uint32_t lines = size_bytes / kLineBytes;
+    panic_if(lines % assoc != 0, "lines not divisible by associativity");
+    _numSets = lines / assoc;
+    panic_if((_numSets & (_numSets - 1)) != 0,
+             "set count must be a power of two (got %u)", _numSets);
+    _frames.resize(lines);
+}
+
+std::uint32_t
+CacheArray::setIndex(Addr line_addr) const
+{
+    return std::uint32_t((lineNumber(line_addr) / _indexDiv) &
+                         (_numSets - 1));
+}
+
+CacheLineState *
+CacheArray::find(Addr line_addr)
+{
+    line_addr = lineAlign(line_addr);
+    const std::uint32_t set = setIndex(line_addr);
+    for (std::uint32_t w = 0; w < _assoc; ++w) {
+        auto &frame = _frames[std::size_t(set) * _assoc + w];
+        if (frame.valid && frame.tag == line_addr)
+            return &frame;
+    }
+    return nullptr;
+}
+
+const CacheLineState *
+CacheArray::find(Addr line_addr) const
+{
+    return const_cast<CacheArray *>(this)->find(line_addr);
+}
+
+CacheLineState *
+CacheArray::touch(Addr line_addr)
+{
+    CacheLineState *frame = find(line_addr);
+    if (frame)
+        frame->lruStamp = ++_stamp;
+    return frame;
+}
+
+CacheLineState *
+CacheArray::victim(Addr line_addr)
+{
+    const std::uint32_t set = setIndex(lineAlign(line_addr));
+    CacheLineState *lru = nullptr;
+    CacheLineState *lru_any = nullptr;
+    for (std::uint32_t w = 0; w < _assoc; ++w) {
+        auto &frame = _frames[std::size_t(set) * _assoc + w];
+        if (!frame.valid)
+            return &frame;
+        if (!frame.pinned && (!lru || frame.lruStamp < lru->lruStamp))
+            lru = &frame;
+        if (!lru_any || frame.lruStamp < lru_any->lruStamp)
+            lru_any = &frame;
+    }
+    // Prefer an unpinned victim; an all-pinned set (possible only with
+    // more in-flight logged stores than ways) falls back to plain LRU.
+    return lru ? lru : lru_any;
+}
+
+void
+CacheArray::install(CacheLineState *frame, Addr line_addr)
+{
+    frame->reset();
+    frame->tag = lineAlign(line_addr);
+    frame->valid = true;
+    frame->lruStamp = ++_stamp;
+}
+
+void
+CacheArray::invalidateAll()
+{
+    for (auto &frame : _frames)
+        frame.reset();
+}
+
+} // namespace atomsim

@@ -1,0 +1,18 @@
+#include "cache/cache_line.hh"
+
+namespace atomsim
+{
+
+const char *
+coherenceName(CoherenceState s)
+{
+    switch (s) {
+      case CoherenceState::Invalid: return "I";
+      case CoherenceState::Shared: return "S";
+      case CoherenceState::Exclusive: return "E";
+      case CoherenceState::Modified: return "M";
+    }
+    return "?";
+}
+
+} // namespace atomsim

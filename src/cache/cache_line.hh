@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Per-line cache state, including the ATOM log bit.
+ */
+
+#ifndef ATOMSIM_CACHE_CACHE_LINE_HH
+#define ATOMSIM_CACHE_CACHE_LINE_HH
+
+#include <cstdint>
+
+#include "mem/phys_mem.hh"
+#include "sim/types.hh"
+
+namespace atomsim
+{
+
+/** MESI-style stable coherence states as seen by an L1. */
+enum class CoherenceState : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Exclusive,
+    Modified,
+};
+
+const char *coherenceName(CoherenceState s);
+
+/** One cache line's bookkeeping + data. */
+struct CacheLineState
+{
+    Addr tag = 0;               //!< line-aligned address
+    bool valid = false;
+    CoherenceState state = CoherenceState::Invalid;
+    bool dirty = false;
+    /**
+     * ATOM log bit (Section III-B): set when the line has been logged
+     * for the current atomic update; cleared when the modified value is
+     * durably written back or the line is evicted (volatile metadata).
+     */
+    bool logBit = false;
+    /**
+     * Pinned while a store's log request is outstanding (the line is
+     * the subject of an active MSHR transaction): replacement skips
+     * pinned frames, preventing an evict/refetch/re-log feedback loop
+     * under contention.
+     */
+    bool pinned = false;
+    std::uint64_t lruStamp = 0; //!< bigger = more recently used
+    Line data{};
+
+    void
+    reset()
+    {
+        valid = false;
+        state = CoherenceState::Invalid;
+        dirty = false;
+        logBit = false;
+        pinned = false;
+        lruStamp = 0;
+    }
+
+    bool
+    writable() const
+    {
+        return valid && (state == CoherenceState::Modified ||
+                         state == CoherenceState::Exclusive);
+    }
+};
+
+} // namespace atomsim
+
+#endif // ATOMSIM_CACHE_CACHE_LINE_HH

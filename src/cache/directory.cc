@@ -1,0 +1,63 @@
+#include "cache/directory.hh"
+
+#include "sim/logging.hh"
+
+namespace atomsim
+{
+
+DirEntry &
+Directory::entry(Addr line_addr)
+{
+    return _entries[lineAlign(line_addr)];
+}
+
+void
+Directory::erase(Addr line_addr)
+{
+    _entries.erase(lineAlign(line_addr));
+}
+
+void
+Directory::acquire(Addr line_addr, std::function<void()> txn)
+{
+    auto &ctl = _ctl[lineAlign(line_addr)];
+    if (ctl.busy) {
+        ctl.waiters.push_back(std::move(txn));
+        return;
+    }
+    ctl.busy = true;
+    txn();
+}
+
+void
+Directory::release(Addr line_addr)
+{
+    line_addr = lineAlign(line_addr);
+    auto it = _ctl.find(line_addr);
+    panic_if(it == _ctl.end() || !it->second.busy,
+             "release of a line that is not busy");
+    auto &ctl = it->second;
+    if (!ctl.waiters.empty()) {
+        auto next = std::move(ctl.waiters.front());
+        ctl.waiters.pop_front();
+        next();  // stays busy; next transaction owns the line now
+        return;
+    }
+    _ctl.erase(it);
+}
+
+bool
+Directory::busy(Addr line_addr) const
+{
+    auto it = _ctl.find(lineAlign(line_addr));
+    return it != _ctl.end() && it->second.busy;
+}
+
+void
+Directory::clear()
+{
+    _entries.clear();
+    _ctl.clear();
+}
+
+} // namespace atomsim

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Directory state for the banked shared L2.
+ *
+ * Each L2 tile is the home node for the lines that map to it and keeps,
+ * per resident line, the owning L1 (Modified/Exclusive holder) and a
+ * sharer bitmask. A per-line busy flag serializes coherence
+ * transactions; queued requests run in arrival order.
+ */
+
+#ifndef ATOMSIM_CACHE_DIRECTORY_HH
+#define ATOMSIM_CACHE_DIRECTORY_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace atomsim
+{
+
+/** Sentinel: no owning core. */
+constexpr CoreId kNoCore = ~CoreId(0);
+
+/** Directory entry for one line homed at a tile. */
+struct DirEntry
+{
+    /** L1 holding the line Exclusive/Modified, or kNoCore. */
+    CoreId owner = kNoCore;
+    /** Bitmask of L1s that may hold the line Shared (may be stale:
+     * clean lines drop silently; spurious invalidations are no-ops). */
+    std::uint64_t sharers = 0;
+
+    bool
+    anySharerBut(CoreId core) const
+    {
+        return (sharers & ~(std::uint64_t(1) << core)) != 0;
+    }
+};
+
+/** Per-line transaction serialization + directory entries. */
+class Directory
+{
+  public:
+    /** Directory entry for @p line_addr (created on demand). */
+    DirEntry &entry(Addr line_addr);
+
+    /** Drop the entry (line evicted from L2). */
+    void erase(Addr line_addr);
+
+    /**
+     * Run @p txn when the line's busy slot frees (immediately if free).
+     * The transaction must call release() exactly once when done.
+     */
+    void acquire(Addr line_addr, std::function<void()> txn);
+
+    /** Finish the current transaction; starts the next queued one. */
+    void release(Addr line_addr);
+
+    /** True if a transaction is active on the line. */
+    bool busy(Addr line_addr) const;
+
+    /** Power failure: all volatile directory state vanishes. */
+    void clear();
+
+  private:
+    struct LineCtl
+    {
+        bool busy = false;
+        std::deque<std::function<void()>> waiters;
+    };
+
+    std::unordered_map<Addr, DirEntry> _entries;
+    std::unordered_map<Addr, LineCtl> _ctl;
+};
+
+} // namespace atomsim
+
+#endif // ATOMSIM_CACHE_DIRECTORY_HH

@@ -1,0 +1,357 @@
+#include "cache/l1_cache.hh"
+
+#include <cstring>
+
+#include "cache/l2_cache.hh"
+#include "sim/logging.hh"
+
+namespace atomsim
+{
+
+L1Cache::L1Cache(CoreId core, EventQueue &eq, const SystemConfig &cfg,
+                 Mesh &mesh, const AddressMap &amap,
+                 std::vector<std::unique_ptr<L2Tile>> &tiles,
+                 StatSet &stats)
+    : _core(core),
+      _eq(eq),
+      _cfg(cfg),
+      _mesh(mesh),
+      _amap(amap),
+      _tiles(tiles),
+      _array(cfg.l1SizeBytes, cfg.l1Assoc),
+      _mshrs(cfg.mshrs),
+      _statLoads(stats.counter("l1c" + std::to_string(core), "loads")),
+      _statStores(stats.counter("l1c" + std::to_string(core), "stores")),
+      _statLoadMisses(
+          stats.counter("l1c" + std::to_string(core), "load_misses")),
+      _statStoreMisses(
+          stats.counter("l1c" + std::to_string(core), "store_misses")),
+      _statWritebacks(
+          stats.counter("l1c" + std::to_string(core), "writebacks")),
+      _statLogRequests(
+          stats.counter("l1c" + std::to_string(core), "log_requests"))
+{
+}
+
+void
+L1Cache::after(Cycles delay, std::function<void()> fn)
+{
+    _eq.scheduleIn(delay, std::move(fn));
+}
+
+std::uint32_t
+L1Cache::homeTileOf(Addr addr) const
+{
+    return _amap.homeTile(addr);
+}
+
+std::uint32_t
+L1Cache::myNode() const
+{
+    return _mesh.coreNode(_core);
+}
+
+void
+L1Cache::evictFrame(CacheLineState *frame)
+{
+    if (!frame->valid)
+        return;
+    const Addr vaddr = frame->tag;
+    if (frame->dirty) {
+        // Synchronous directory/data update; the message below only
+        // charges network bandwidth (see DESIGN.md protocol note).
+        _statWritebacks.inc();
+        const std::uint32_t home = homeTileOf(vaddr);
+        _tiles[home]->putMSync(_core, vaddr, frame->data);
+        _mesh.send(myNode(), _mesh.tileNode(home), MsgType::PutM, [] {});
+    }
+    // Clean lines drop silently; the log bit is volatile and is lost
+    // with the line (the paper re-logs on the next write; recovery
+    // applies undo records newest-first so duplicates are safe).
+    frame->reset();
+}
+
+void
+L1Cache::startMiss(Addr addr, bool exclusive, Callback retry)
+{
+    const Addr line = lineAlign(addr);
+    if (_mshrs.has(line)) {
+        _mshrs.addWaiter(line, std::move(retry));
+        return;
+    }
+    if (_mshrs.full()) {
+        // Structural stall: re-attempt the whole access when an MSHR
+        // frees up.
+        _mshrs.queueForFree(std::move(retry));
+        return;
+    }
+    _mshrs.allocate(line);
+    _mshrs.addWaiter(line, std::move(retry));
+
+    const std::uint32_t home = homeTileOf(line);
+    const bool in_atomic = _logger && _logger->inAtomic(_core);
+    auto on_fill = [this, line](const FillResult &res) {
+        fillArrived(line, res);
+    };
+
+    // Upgrade when we already hold the line Shared.
+    CacheLineState *frame = _array.find(line);
+    const bool upgrade = !exclusive ? false
+                         : (frame && frame->valid &&
+                            frame->state == CoherenceState::Shared);
+
+    MsgType req = exclusive ? (upgrade ? MsgType::Upgrade : MsgType::GetX)
+                            : MsgType::GetS;
+    L2Tile *tile = _tiles[home].get();
+    _mesh.send(myNode(), _mesh.tileNode(home), req,
+               [tile, this, line, exclusive, upgrade, in_atomic,
+                on_fill = std::move(on_fill)]() mutable {
+                   if (!exclusive) {
+                       tile->handleGetS(_core, line, std::move(on_fill));
+                   } else if (upgrade) {
+                       tile->handleUpgrade(_core, line, in_atomic,
+                                           std::move(on_fill));
+                   } else {
+                       tile->handleGetX(_core, line, in_atomic,
+                                        std::move(on_fill));
+                   }
+               });
+}
+
+void
+L1Cache::fillArrived(Addr addr, const FillResult &result)
+{
+    const Addr line = lineAlign(addr);
+    CacheLineState *frame = _array.find(line);
+    if (!frame) {
+        frame = _array.victim(line);
+        evictFrame(frame);
+        _array.install(frame, line);
+        frame->data = result.data;
+    } else {
+        // Upgrade fill: keep our copy only if we stayed Shared; an
+        // invalidation may have raced the upgrade, making the response
+        // data authoritative.
+        if (frame->state == CoherenceState::Invalid || !frame->valid)
+            frame->data = result.data;
+        _array.touch(line);
+    }
+    frame->valid = true;
+    frame->state = result.grant;
+    if (result.logged)
+        frame->logBit = true;
+
+    for (auto &w : _mshrs.complete(line))
+        w();
+}
+
+void
+L1Cache::load(Addr addr, Callback done)
+{
+    _statLoads.inc();
+    after(_cfg.l1Latency, [this, addr, done = std::move(done)]() mutable {
+        CacheLineState *frame = _array.touch(addr);
+        if (frame && frame->valid) {
+            done();
+            return;
+        }
+        _statLoadMisses.inc();
+        startMiss(addr, false,
+                  [this, addr, done = std::move(done)]() mutable {
+                      // Line present now (fills run waiters right after
+                      // install); complete the load.
+                      CacheLineState *fr = _array.touch(addr);
+                      if (fr && fr->valid) {
+                          done();
+                      } else {
+                          // Evicted before we ran: retry from scratch.
+                          load(addr, std::move(done));
+                      }
+                  });
+    });
+}
+
+void
+L1Cache::store(Addr addr, const std::uint8_t *bytes, std::uint32_t size,
+               Callback done)
+{
+    panic_if(lineAlign(addr) != lineAlign(addr + size - 1),
+             "store spans a line boundary (addr %llx size %u)",
+             (unsigned long long)addr, size);
+    _statStores.inc();
+    std::vector<std::uint8_t> payload(bytes, bytes + size);
+    after(_cfg.l1Latency,
+          [this, addr, payload = std::move(payload),
+           done = std::move(done)]() mutable {
+              finishStore(addr, payload.data(),
+                          std::uint32_t(payload.size()), std::move(done));
+          });
+}
+
+void
+L1Cache::finishStore(Addr addr, const std::uint8_t *bytes,
+                     std::uint32_t size, Callback done)
+{
+    CacheLineState *frame = _array.touch(addr);
+    if (!frame || !frame->valid || !frame->writable()) {
+        _statStoreMisses.inc();
+        std::vector<std::uint8_t> payload(bytes, bytes + size);
+        startMiss(addr, true,
+                  [this, addr, payload = std::move(payload),
+                   done = std::move(done)]() mutable {
+                      finishStore(addr, payload.data(),
+                                  std::uint32_t(payload.size()),
+                                  std::move(done));
+                  });
+        return;
+    }
+
+    auto apply = [this, addr, frame,
+                  payload = std::vector<std::uint8_t>(bytes, bytes + size),
+                  done = std::move(done)](bool set_log_bit) mutable {
+        // Re-find: the frame may have moved/evicted while logging.
+        CacheLineState *fr = _array.find(addr);
+        if (!fr || !fr->valid || !fr->writable()) {
+            // Lost permission while waiting on the logger (rare): the
+            // log entry exists, so redo the access; the fresh log
+            // request that may result is harmless (duplicate undo).
+            finishStore(addr, payload.data(),
+                        std::uint32_t(payload.size()), std::move(done));
+            return;
+        }
+        const std::size_t off = addr - fr->tag;
+        std::memcpy(fr->data.data() + off, payload.data(),
+                    payload.size());
+        fr->state = CoherenceState::Modified;
+        fr->dirty = true;
+        if (set_log_bit)
+            fr->logBit = true;
+        done();
+    };
+
+    if (_logger) {
+        const auto mode = _logger->mode();
+        if (mode == StoreLogger::Mode::Undo && _logger->inAtomic(_core) &&
+            !frame->logBit) {
+            // Invariant 1: create the undo entry before the store
+            // modifies the line. The pre-store value is the line's
+            // current content. The line stays pinned while the log
+            // request is outstanding so replacement cannot evict it
+            // and force a wasteful refetch + duplicate log entry.
+            _statLogRequests.inc();
+            frame->pinned = true;
+            const Line old_value = frame->data;
+            const Addr line = lineAlign(addr);
+            _logger->onFirstWrite(
+                _core, line, old_value,
+                [this, line, apply = std::move(apply)]() mutable {
+                    if (CacheLineState *fr = _array.find(line))
+                        fr->pinned = false;
+                    apply(true);
+                    // The store has applied: run any coherence action
+                    // (forward/invalidation) deferred by the pin.
+                    auto it = _unpinWaiters.find(line);
+                    if (it != _unpinWaiters.end()) {
+                        auto waiters = std::move(it->second);
+                        _unpinWaiters.erase(it);
+                        for (auto &w : waiters)
+                            w();
+                    }
+                });
+            return;
+        }
+        if (mode == StoreLogger::Mode::Redo && _logger->inAtomic(_core)) {
+            _statLogRequests.inc();
+            _logger->onStore(
+                _core, lineAlign(addr),
+                [apply = std::move(apply)]() mutable { apply(false); });
+            return;
+        }
+    }
+    apply(false);
+}
+
+void
+L1Cache::flush(Addr addr, Callback done)
+{
+    const Addr line = lineAlign(addr);
+    after(_cfg.l1Latency, [this, line, done = std::move(done)]() mutable {
+        CacheLineState *frame = _array.find(line);
+        bool has_data = false;
+        Line data{};
+        if (frame && frame->valid && frame->dirty) {
+            has_data = true;
+            data = frame->data;
+            frame->dirty = false;   // NVM will hold this value
+            frame->logBit = false;  // durably written: clear log bit
+        } else if (frame && frame->valid) {
+            frame->logBit = false;
+        }
+        const std::uint32_t home = homeTileOf(line);
+        L2Tile *tile = _tiles[home].get();
+        _mesh.send(myNode(), _mesh.tileNode(home),
+                   has_data ? MsgType::FlushReq : MsgType::Ctrl,
+                   [tile, this, line, has_data, data,
+                    done = std::move(done)]() mutable {
+                       tile->handleFlush(_core, line, has_data, data,
+                                         std::move(done));
+                   });
+    });
+}
+
+void
+L1Cache::whenUnpinned(Addr addr, Callback action)
+{
+    const Addr line = lineAlign(addr);
+    CacheLineState *frame = _array.find(line);
+    if (frame && frame->valid && frame->pinned) {
+        _unpinWaiters[line].push_back(std::move(action));
+        return;
+    }
+    action();
+}
+
+std::optional<std::pair<Line, bool>>
+L1Cache::surrenderLine(Addr addr)
+{
+    CacheLineState *frame = _array.find(addr);
+    if (!frame || !frame->valid)
+        return std::nullopt;
+    auto result = std::make_pair(frame->data, frame->dirty);
+    frame->reset();
+    return result;
+}
+
+std::optional<Line>
+L1Cache::downgradeLine(Addr addr)
+{
+    CacheLineState *frame = _array.find(addr);
+    if (!frame || !frame->valid)
+        return std::nullopt;
+    const bool was_dirty = frame->dirty;
+    Line data = frame->data;
+    frame->state = CoherenceState::Shared;
+    frame->dirty = false;
+    // The log bit survives a downgrade: the line is still logged for
+    // this atomic update even if another core reads it.
+    if (was_dirty)
+        return data;
+    return std::nullopt;
+}
+
+void
+L1Cache::invalidateLine(Addr addr)
+{
+    CacheLineState *frame = _array.find(addr);
+    if (frame && frame->valid)
+        frame->reset();
+}
+
+void
+L1Cache::powerFail()
+{
+    _array.invalidateAll();
+    _mshrs.clear();
+}
+
+} // namespace atomsim

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Private per-core L1 data cache with the ATOM LogI hook.
+ *
+ * The L1 services the core's loads, stores and flushes. Stores inside
+ * an atomic region consult the installed StoreLogger (the ATOM LogI
+ * module or the REDO front end) before modifying a line, implementing
+ * Invariant 1: a store does not complete until its undo entry exists.
+ */
+
+#ifndef ATOMSIM_CACHE_L1_CACHE_HH
+#define ATOMSIM_CACHE_L1_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache_array.hh"
+#include "cache/mshr.hh"
+#include "mem/address_map.hh"
+#include "net/mesh.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace atomsim
+{
+
+class L2Tile;
+struct FillResult;
+
+/**
+ * Hook consulted on the store path. Implemented by the ATOM LogI
+ * module (undo designs) and by the REDO write-combining front end.
+ */
+class StoreLogger
+{
+  public:
+    virtual ~StoreLogger() = default;
+
+    /** What kind of logging the active design performs. */
+    enum class Mode
+    {
+        None,  //!< NON-ATOMIC: no logging
+        Undo,  //!< BASE / ATOM / ATOM-OPT: log first write per line
+        Redo,  //!< REDO: log every store
+    };
+
+    virtual Mode mode() const = 0;
+
+    /** True while @p core executes inside an atomic region. */
+    virtual bool inAtomic(CoreId core) const = 0;
+
+    /**
+     * Undo designs: the first write to @p addr in this atomic update.
+     * @p old_value is the pre-store line. Call @p done once the store
+     * may modify the cache (Invariant 1); the L1 then sets the log bit.
+     */
+    virtual void onFirstWrite(CoreId core, Addr addr,
+                              const Line &old_value,
+                              std::function<void()> done) = 0;
+
+    /**
+     * REDO: every store produces a redo entry. Call @p done once the
+     * entry is accepted (possibly stalling on a full combine buffer).
+     */
+    virtual void onStore(CoreId core, Addr addr,
+                         std::function<void()> done) = 0;
+};
+
+/** One private L1 data cache. */
+class L1Cache
+{
+  public:
+    using Callback = std::function<void()>;
+
+    L1Cache(CoreId core, EventQueue &eq, const SystemConfig &cfg,
+            Mesh &mesh, const AddressMap &amap,
+            std::vector<std::unique_ptr<L2Tile>> &tiles, StatSet &stats);
+
+    CoreId coreId() const { return _core; }
+
+    /** Install the design's store logger (nullptr for NON-ATOMIC). */
+    void setStoreLogger(StoreLogger *logger) { _logger = logger; }
+
+    // --- Core-facing operations ---------------------------------------
+
+    /**
+     * Load from the line of @p addr; @p done runs when data is
+     * available to the core.
+     */
+    void load(Addr addr, Callback done);
+
+    /**
+     * Store @p size bytes (@p bytes) at @p addr (single line only).
+     * Runs the full protocol: obtain write permission, consult the
+     * store logger, apply, set dirty/log bits, then @p done.
+     */
+    void store(Addr addr, const std::uint8_t *bytes, std::uint32_t size,
+               Callback done);
+
+    /**
+     * Durable flush of the line of @p addr (clwb-like): pushes the
+     * dirty copy toward NVM and acks when durable. Clears the log bit
+     * and the dirty bit; the line stays valid.
+     */
+    void flush(Addr addr, Callback done);
+
+    // --- Home-tile-facing operations (synchronous state changes) ------
+
+    /** M/E -> I; returns the data (and dirtiness) if present. */
+    std::optional<std::pair<Line, bool>> surrenderLine(Addr addr);
+
+    /**
+     * Run @p action once the line is not pinned by an outstanding log
+     * request (immediately if unpinned). A real cache controller NACKs
+     * or defers incoming forwards/invalidations for a line with an
+     * active store-logging transaction; stealing the line mid-wait
+     * would force a refetch + duplicate log entry on every theft --
+     * on contended lines that convoy livelocks the update.
+     */
+    void whenUnpinned(Addr addr, Callback action);
+
+    /** M/E -> S; returns dirty data if it must update the L2 copy. */
+    std::optional<Line> downgradeLine(Addr addr);
+
+    /** Any -> I (invalidation; no data transfer). */
+    void invalidateLine(Addr addr);
+
+    /** Power failure: everything volatile vanishes. */
+    void powerFail();
+
+    // --- Introspection -------------------------------------------------
+    const CacheArray &array() const { return _array; }
+    CacheArray &arrayForTest() { return _array; }
+    std::size_t outstandingMisses() const { return _mshrs.active(); }
+
+  private:
+    void after(Cycles delay, std::function<void()> fn);
+
+    std::uint32_t homeTileOf(Addr addr) const;
+    std::uint32_t myNode() const;
+
+    /** Begin a miss (GetS/GetX/Upgrade); merges into an existing MSHR. */
+    void startMiss(Addr addr, bool exclusive, Callback retry);
+
+    /** Fill arrived: install (evicting as needed) and wake waiters. */
+    void fillArrived(Addr addr, const FillResult &result);
+
+    /** Evict a victim frame to make room (dirty -> PutM). */
+    void evictFrame(CacheLineState *frame);
+
+    /** Store continuation once the line is writable. */
+    void finishStore(Addr addr, const std::uint8_t *bytes,
+                     std::uint32_t size, Callback done);
+
+    CoreId _core;
+    EventQueue &_eq;
+    const SystemConfig &_cfg;
+    Mesh &_mesh;
+    const AddressMap &_amap;
+    std::vector<std::unique_ptr<L2Tile>> &_tiles;
+
+    CacheArray _array;
+    MshrTable _mshrs;
+    StoreLogger *_logger = nullptr;
+    /** Deferred coherence actions on pinned lines (see whenUnpinned). */
+    std::unordered_map<Addr, std::vector<Callback>> _unpinWaiters;
+
+    Counter &_statLoads;
+    Counter &_statStores;
+    Counter &_statLoadMisses;
+    Counter &_statStoreMisses;
+    Counter &_statWritebacks;
+    Counter &_statLogRequests;
+};
+
+} // namespace atomsim
+
+#endif // ATOMSIM_CACHE_L1_CACHE_HH

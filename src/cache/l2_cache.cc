@@ -1,0 +1,522 @@
+#include "cache/l2_cache.hh"
+
+#include "cache/l1_cache.hh"
+#include "sim/logging.hh"
+
+namespace atomsim
+{
+
+L2Tile::L2Tile(std::uint32_t tile_id, EventQueue &eq,
+               const SystemConfig &cfg, Mesh &mesh, const AddressMap &amap,
+               std::vector<std::unique_ptr<MemoryController>> &mcs,
+               StatSet &stats)
+    : _tileId(tile_id),
+      _eq(eq),
+      _cfg(cfg),
+      _mesh(mesh),
+      _amap(amap),
+      _mcs(mcs),
+      _stats(stats),
+      _array(cfg.l2TileBytes, cfg.l2Assoc, cfg.l2Tiles),
+      _statHits(stats.counter("l2t" + std::to_string(tile_id), "hits")),
+      _statMisses(stats.counter("l2t" + std::to_string(tile_id),
+                                "misses")),
+      _statRecalls(stats.counter("l2t" + std::to_string(tile_id),
+                                 "recalls")),
+      _statEvictions(stats.counter("l2t" + std::to_string(tile_id),
+                                   "evictions")),
+      _statVictimHits(stats.counter("l2t" + std::to_string(tile_id),
+                                    "victim_hits"))
+{
+}
+
+void
+L2Tile::after(Cycles delay, std::function<void()> fn)
+{
+    _eq.scheduleIn(delay, std::move(fn));
+}
+
+void
+L2Tile::respondFill(CoreId core, MsgType type, FillResult result,
+                    FillCallback respond)
+{
+    _mesh.send(_mesh.tileNode(_tileId), _mesh.coreNode(core), type,
+               [result = std::move(result),
+                respond = std::move(respond)] { respond(result); });
+}
+
+void
+L2Tile::writeThrough(Addr addr, const Line &data, WriteKind kind,
+                     AckCallback on_durable)
+{
+    const McId mc = _amap.memCtrl(addr);
+    _mesh.send(_mesh.tileNode(_tileId), _mesh.mcNode(mc), MsgType::MemWrite,
+               [this, mc, addr, data, kind,
+                on_durable = std::move(on_durable)]() mutable {
+                   _mcs[mc]->writeLine(addr, data, kind,
+                                       std::move(on_durable));
+               });
+}
+
+void
+L2Tile::recallOwner(Addr addr, DirEntry &dir, CacheLineState *frame)
+{
+    if (dir.owner == kNoCore)
+        return;
+    auto got = _l1s[dir.owner]->surrenderLine(addr);
+    if (got && got->second && frame) {
+        frame->data = got->first;
+        frame->dirty = true;
+    }
+    dir.owner = kNoCore;
+    _statRecalls.inc();
+}
+
+CacheLineState *
+L2Tile::insertLine(Addr addr, const Line &data, bool dirty)
+{
+    CacheLineState *frame = _array.victim(addr);
+    if (frame->valid) {
+        // Inclusion: recall every L1 copy of the victim before it
+        // leaves the L2. Synchronous, see file header.
+        const Addr vaddr = frame->tag;
+        DirEntry &vdir = _dir.entry(vaddr);
+        recallOwner(vaddr, vdir, frame);
+        for (CoreId c = 0; c < _l1s.size(); ++c) {
+            if (vdir.sharers & (std::uint64_t(1) << c))
+                _l1s[c]->invalidateLine(vaddr);
+        }
+        _dir.erase(vaddr);
+        _statEvictions.inc();
+
+        if (frame->dirty) {
+            if (_victims) {
+                // REDO: dirty evictions park in the victim cache so
+                // NVM in-place data stays pristine until applied.
+                _victims->put(vaddr, frame->data);
+            } else {
+                writeThrough(vaddr, frame->data, WriteKind::DataWb,
+                             AckCallback{});
+            }
+        }
+    }
+    _array.install(frame, addr);
+    frame->data = data;
+    frame->dirty = dirty;
+    return frame;
+}
+
+void
+L2Tile::missToMemory(CoreId core, Addr addr, bool exclusive,
+                     bool in_atomic,
+                     std::function<void(const Line &, bool)> k)
+{
+    // REDO keeps dirty evictions out of NVM in an (infinite) victim
+    // cache; fills must consult it before reading stale NVM data.
+    if (_victims) {
+        if (const Line *v = _victims->find(addr)) {
+            _statVictimHits.inc();
+            Line data = *v;
+            after(_cfg.l2Latency, [k = std::move(k),
+                                   data = std::move(data)] {
+                k(data, false);
+            });
+            return;
+        }
+    }
+
+    const McId mc = _amap.memCtrl(addr);
+    const std::uint32_t tile_node = _mesh.tileNode(_tileId);
+    const std::uint32_t mc_node = _mesh.mcNode(mc);
+    _mesh.send(tile_node, mc_node, exclusive ? MsgType::GetX : MsgType::GetS,
+               [this, core, addr, exclusive, in_atomic, mc, mc_node,
+                tile_node, k = std::move(k)]() mutable {
+        _mcs[mc]->readLine(addr, ReadKind::Demand,
+            [this, core, addr, exclusive, in_atomic, mc, mc_node,
+             tile_node, k = std::move(k)](const Line &data) mutable {
+            bool logged = false;
+            // Source-logging (Section III-D): the controller has just
+            // read the pre-transaction value of the line; log it here
+            // and return the data with the log bit set.
+            if (exclusive && in_atomic && mc < _sourceLoggers.size() &&
+                _sourceLoggers[mc]) {
+                logged = _sourceLoggers[mc]->sourceLogFill(core, addr,
+                                                           data);
+            }
+            const MsgType resp =
+                logged ? MsgType::DataLogged
+                       : (exclusive ? MsgType::DataExcl : MsgType::Data);
+            _mesh.send(mc_node, tile_node, resp,
+                       [data, logged, k = std::move(k)] {
+                           k(data, logged);
+                       });
+        });
+    });
+}
+
+void
+L2Tile::handleGetS(CoreId core, Addr addr, FillCallback respond)
+{
+    const Addr line = lineAlign(addr);
+    after(_cfg.l2Latency, [this, core, line,
+                           respond = std::move(respond)]() mutable {
+        _dir.acquire(line, [this, core, line,
+                            respond = std::move(respond)]() mutable {
+            CacheLineState *frame = _array.touch(line);
+            if (frame) {
+                _statHits.inc();
+                DirEntry &dir = _dir.entry(line);
+                if (dir.owner != kNoCore && dir.owner != core) {
+                    // 3-hop read: forward to the owner, who downgrades
+                    // to Shared and supplies the freshest data.
+                    const CoreId owner = dir.owner;
+                    const std::uint32_t owner_node = _mesh.coreNode(owner);
+                    _mesh.send(_mesh.tileNode(_tileId), owner_node,
+                               MsgType::FwdGetS,
+                               [this, core, line, owner, owner_node,
+                                respond = std::move(respond)]() mutable {
+                        CacheLineState *fr = _array.find(line);
+                        panic_if(!fr, "L2 lost line during busy txn");
+                        if (auto d = _l1s[owner]->downgradeLine(line)) {
+                            fr->data = *d;
+                            fr->dirty = true;
+                        }
+                        DirEntry &dir2 = _dir.entry(line);
+                        dir2.owner = kNoCore;
+                        dir2.sharers |= std::uint64_t(1) << owner;
+                        dir2.sharers |= std::uint64_t(1) << core;
+                        FillResult res{fr->data, CoherenceState::Shared,
+                                       false};
+                        _mesh.send(owner_node, _mesh.coreNode(core),
+                                   MsgType::Data,
+                                   [res = std::move(res),
+                                    respond = std::move(respond)] {
+                                       respond(res);
+                                   });
+                        _dir.release(line);
+                    });
+                    return;
+                }
+                // Plain hit: grant E if nobody shares, else S (MESI).
+                const bool exclusive_grant =
+                    dir.sharers == 0 && dir.owner == kNoCore;
+                CoherenceState grant = exclusive_grant
+                                           ? CoherenceState::Exclusive
+                                           : CoherenceState::Shared;
+                if (exclusive_grant)
+                    dir.owner = core;
+                else
+                    dir.sharers |= std::uint64_t(1) << core;
+                respondFill(core, MsgType::Data,
+                            FillResult{frame->data, grant, false},
+                            std::move(respond));
+                _dir.release(line);
+                return;
+            }
+
+            // L2 miss: fetch from memory, install, grant Exclusive.
+            _statMisses.inc();
+            missToMemory(core, line, false, false,
+                         [this, core, line, respond = std::move(respond)](
+                             const Line &data, bool) mutable {
+                insertLine(line, data, false);
+                DirEntry &dir = _dir.entry(line);
+                dir.owner = core;
+                respondFill(core, MsgType::Data,
+                            FillResult{data, CoherenceState::Exclusive,
+                                       false},
+                            std::move(respond));
+                _dir.release(line);
+            });
+        });
+    });
+}
+
+void
+L2Tile::handleGetX(CoreId core, Addr addr, bool in_atomic,
+                   FillCallback respond)
+{
+    const Addr line = lineAlign(addr);
+    after(_cfg.l2Latency, [this, core, line, in_atomic,
+                           respond = std::move(respond)]() mutable {
+        _dir.acquire(line, [this, core, line, in_atomic,
+                            respond = std::move(respond)]() mutable {
+            CacheLineState *frame = _array.touch(line);
+            if (frame) {
+                _statHits.inc();
+                DirEntry &dir = _dir.entry(line);
+                if (dir.owner == core) {
+                    // The "owner" silently dropped a clean Exclusive
+                    // copy and re-missed: re-grant from the L2 copy.
+                    respondFill(core, MsgType::DataExcl,
+                                FillResult{frame->data,
+                                           CoherenceState::Modified,
+                                           false},
+                                std::move(respond));
+                    _dir.release(line);
+                    return;
+                }
+
+                if (dir.owner != kNoCore) {
+                    // Forward to the owner; ownership moves to the
+                    // requester with the freshest data.
+                    const CoreId owner = dir.owner;
+                    const std::uint32_t owner_node = _mesh.coreNode(owner);
+                    _mesh.send(_mesh.tileNode(_tileId), owner_node,
+                               MsgType::FwdGetX,
+                               [this, core, line, owner, owner_node,
+                                respond = std::move(respond)]() mutable {
+                        // Defer while the owner has an outstanding log
+                        // request for the line (a real controller NACKs
+                        // the forward; stealing mid-log forces re-logs
+                        // that convoy on contended lines).
+                        _l1s[owner]->whenUnpinned(line, [this, core,
+                                                         line, owner,
+                                                         owner_node,
+                                                         respond =
+                                                             std::move(
+                                                                 respond)]() mutable {
+                            CacheLineState *fr = _array.find(line);
+                            panic_if(!fr, "L2 lost line during busy txn");
+                            if (auto got =
+                                    _l1s[owner]->surrenderLine(line)) {
+                                if (got->second) {
+                                    fr->data = got->first;
+                                    fr->dirty = true;
+                                }
+                            }
+                            DirEntry &dir2 = _dir.entry(line);
+                            dir2.owner = core;
+                            dir2.sharers = 0;
+                            FillResult res{fr->data,
+                                           CoherenceState::Modified,
+                                           false};
+                            _mesh.send(owner_node, _mesh.coreNode(core),
+                                       MsgType::DataExcl,
+                                       [res = std::move(res),
+                                        respond = std::move(respond)] {
+                                           respond(res);
+                                       });
+                            _dir.release(line);
+                        });
+                    });
+                    return;
+                }
+
+                // Invalidate every sharer except the requester, then
+                // grant Modified.
+                std::vector<CoreId> to_inv;
+                for (CoreId c = 0; c < _l1s.size(); ++c) {
+                    if (c != core &&
+                        (dir.sharers & (std::uint64_t(1) << c))) {
+                        to_inv.push_back(c);
+                    }
+                }
+                dir.owner = core;
+                dir.sharers = 0;
+
+                auto grant = [this, core, line,
+                              respond = std::move(respond)]() mutable {
+                    CacheLineState *fr = _array.find(line);
+                    panic_if(!fr, "L2 lost line during busy txn");
+                    respondFill(core, MsgType::DataExcl,
+                                FillResult{fr->data,
+                                           CoherenceState::Modified,
+                                           false},
+                                std::move(respond));
+                    _dir.release(line);
+                };
+
+                if (to_inv.empty()) {
+                    grant();
+                    return;
+                }
+                auto pending = std::make_shared<std::size_t>(to_inv.size());
+                auto grant_shared =
+                    std::make_shared<decltype(grant)>(std::move(grant));
+                for (CoreId c : to_inv) {
+                    const std::uint32_t c_node = _mesh.coreNode(c);
+                    _mesh.send(_mesh.tileNode(_tileId), c_node,
+                               MsgType::Inv,
+                               [this, c, c_node, line, pending,
+                                grant_shared] {
+                        _l1s[c]->invalidateLine(line);
+                        _mesh.send(c_node, _mesh.tileNode(_tileId),
+                                   MsgType::InvAck,
+                                   [pending, grant_shared] {
+                                       if (--*pending == 0)
+                                           (*grant_shared)();
+                                   });
+                    });
+                }
+                return;
+            }
+
+            // L2 miss: fetch (source-logging eligible), install, grant.
+            _statMisses.inc();
+            missToMemory(core, line, true, in_atomic,
+                         [this, core, line, respond = std::move(respond)](
+                             const Line &data, bool logged) mutable {
+                insertLine(line, data, false);
+                DirEntry &dir = _dir.entry(line);
+                dir.owner = core;
+                dir.sharers = 0;
+                respondFill(core,
+                            logged ? MsgType::DataLogged
+                                   : MsgType::DataExcl,
+                            FillResult{data, CoherenceState::Modified,
+                                       logged},
+                            std::move(respond));
+                _dir.release(line);
+            });
+        });
+    });
+}
+
+void
+L2Tile::handleUpgrade(CoreId core, Addr addr, bool in_atomic,
+                      FillCallback respond)
+{
+    const Addr line = lineAlign(addr);
+    after(_cfg.l2Latency, [this, core, line, in_atomic,
+                           respond = std::move(respond)]() mutable {
+        _dir.acquire(line, [this, core, line, in_atomic,
+                            respond = std::move(respond)]() mutable {
+            CacheLineState *frame = _array.touch(line);
+            DirEntry &dir = frame ? _dir.entry(line) : _dir.entry(line);
+            const bool still_sharer =
+                frame && (dir.sharers & (std::uint64_t(1) << core));
+            if (!still_sharer) {
+                // The requester lost the line (invalidated or L2
+                // evicted it): morph into a full GetX. Release first;
+                // handleGetX re-acquires.
+                _dir.release(line);
+                handleGetX(core, line, in_atomic, std::move(respond));
+                return;
+            }
+
+            std::vector<CoreId> to_inv;
+            for (CoreId c = 0; c < _l1s.size(); ++c) {
+                if (c != core && (dir.sharers & (std::uint64_t(1) << c)))
+                    to_inv.push_back(c);
+            }
+            dir.owner = core;
+            dir.sharers = 0;
+
+            auto grant = [this, core, line,
+                          respond = std::move(respond)]() mutable {
+                CacheLineState *fr = _array.find(line);
+                panic_if(!fr, "L2 lost line during busy txn");
+                respondFill(core, MsgType::DataExcl,
+                            FillResult{fr->data, CoherenceState::Modified,
+                                       false},
+                            std::move(respond));
+                _dir.release(line);
+            };
+            if (to_inv.empty()) {
+                grant();
+                return;
+            }
+            auto pending = std::make_shared<std::size_t>(to_inv.size());
+            auto grant_shared =
+                std::make_shared<decltype(grant)>(std::move(grant));
+            for (CoreId c : to_inv) {
+                const std::uint32_t c_node = _mesh.coreNode(c);
+                _mesh.send(_mesh.tileNode(_tileId), c_node, MsgType::Inv,
+                           [this, c, c_node, line, pending,
+                            grant_shared] {
+                    _l1s[c]->invalidateLine(line);
+                    _mesh.send(c_node, _mesh.tileNode(_tileId),
+                               MsgType::InvAck,
+                               [pending, grant_shared] {
+                                   if (--*pending == 0)
+                                       (*grant_shared)();
+                               });
+                });
+            }
+        });
+    });
+}
+
+void
+L2Tile::putMSync(CoreId core, Addr addr, const Line &data)
+{
+    const Addr line = lineAlign(addr);
+    CacheLineState *frame = _array.find(line);
+    DirEntry &dir = _dir.entry(line);
+    if (dir.owner == core)
+        dir.owner = kNoCore;
+    dir.sharers &= ~(std::uint64_t(1) << core);
+    if (frame) {
+        frame->data = data;
+        frame->dirty = true;
+    } else {
+        // Inclusion says this cannot happen for a tracked line; it can
+        // only occur if the L2 victimized the line in the same tick.
+        insertLine(line, data, true);
+    }
+}
+
+void
+L2Tile::handleFlush(CoreId core, Addr addr, bool has_data,
+                    const Line &data, AckCallback respond)
+{
+    const Addr line = lineAlign(addr);
+    after(_cfg.l2Latency, [this, core, line, has_data, data,
+                           respond = std::move(respond)]() mutable {
+        _dir.acquire(line, [this, core, line, has_data, data,
+                            respond = std::move(respond)]() mutable {
+            CacheLineState *frame = _array.find(line);
+            DirEntry &dir = _dir.entry(line);
+
+            // Freshest data wins: current owner > flusher > L2 copy.
+            const Line *to_write = nullptr;
+            if (dir.owner != kNoCore && dir.owner != core) {
+                recallOwner(line, dir, frame);
+                if (frame && frame->dirty)
+                    to_write = &frame->data;
+            }
+            if (!to_write && has_data)
+                to_write = &data;
+            if (!to_write && frame && frame->dirty)
+                to_write = &frame->data;
+
+            const McId mc = _amap.memCtrl(line);
+            const std::uint32_t tile_node = _mesh.tileNode(_tileId);
+            const std::uint32_t core_node = _mesh.coreNode(core);
+            auto ack_back = [this, tile_node, core_node,
+                             respond = std::move(respond)]() mutable {
+                _mesh.send(tile_node, core_node, MsgType::FlushAck,
+                           std::move(respond));
+            };
+
+            if (to_write) {
+                if (frame) {
+                    frame->data = *to_write;
+                    frame->dirty = false;  // NVM copy now matches
+                }
+                writeThrough(line, *to_write, WriteKind::Flush,
+                             std::move(ack_back));
+            } else {
+                // Nothing dirty anywhere: only wait out any write to
+                // this line still queued in the controller.
+                _mesh.send(tile_node, _mesh.mcNode(mc), MsgType::FlushReq,
+                           [this, mc, line,
+                            ack_back = std::move(ack_back)]() mutable {
+                               _mcs[mc]->whenLineDurable(
+                                   line, std::move(ack_back));
+                           });
+            }
+            _dir.release(line);
+        });
+    });
+}
+
+void
+L2Tile::powerFail()
+{
+    _array.invalidateAll();
+    _dir.clear();
+}
+
+} // namespace atomsim

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * One tile of the banked, shared, inclusive L2 cache.
+ *
+ * Each tile is the home node of the lines that hash to it and runs the
+ * directory protocol for them: GetS / GetX / Upgrade requests from L1s,
+ * synchronous PutM writebacks, durable flushes to the memory
+ * controller, and recalls on inclusion-victim eviction.
+ *
+ * Protocol note (see DESIGN.md): coherence *state* transitions are
+ * applied synchronously inside delivered events while message latencies
+ * shape request completion times; combined with per-line busy
+ * serialization this makes the protocol race-free by construction.
+ */
+
+#ifndef ATOMSIM_CACHE_L2_CACHE_HH
+#define ATOMSIM_CACHE_L2_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache_array.hh"
+#include "cache/directory.hh"
+#include "mem/address_map.hh"
+#include "mem/memory_controller.hh"
+#include "mem/phys_mem.hh"
+#include "net/mesh.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace atomsim
+{
+
+class L1Cache;
+
+/**
+ * Interface the ATOM LogM implements for the source-logging
+ * optimization (Section III-D): log a read-exclusive fill at the
+ * memory controller, using the just-read line as the undo value.
+ */
+class SourceLogger
+{
+  public:
+    virtual ~SourceLogger() = default;
+
+    /**
+     * Attempt to source-log the fill of @p addr for @p core.
+     * @retval true the entry was logged; return the data with the log
+     *              bit set (DataLogged).
+     */
+    virtual bool sourceLogFill(CoreId core, Addr addr,
+                               const Line &old_value) = 0;
+};
+
+/**
+ * Infinite victim cache used by the REDO design (Doshi et al.): dirty
+ * L2 evictions park here instead of spilling to NVM, because in-place
+ * NVM data must not be overwritten before the backend applies the log.
+ */
+class VictimCache
+{
+  public:
+    void
+    put(Addr line_addr, const Line &data)
+    {
+        _lines[lineAlign(line_addr)] = data;
+    }
+
+    const Line *
+    find(Addr line_addr) const
+    {
+        auto it = _lines.find(lineAlign(line_addr));
+        return it == _lines.end() ? nullptr : &it->second;
+    }
+
+    std::size_t size() const { return _lines.size(); }
+    void clear() { _lines.clear(); }
+
+  private:
+    std::unordered_map<Addr, Line> _lines;
+};
+
+/** Result of a fill request, delivered back to the requesting L1. */
+struct FillResult
+{
+    Line data;
+    CoherenceState grant;
+    bool logged;  //!< log bit pre-set by source logging
+};
+
+/** One L2 tile (home node + directory + data bank). */
+class L2Tile
+{
+  public:
+    using FillCallback = std::function<void(const FillResult &)>;
+    using AckCallback = std::function<void()>;
+
+    L2Tile(std::uint32_t tile_id, EventQueue &eq, const SystemConfig &cfg,
+           Mesh &mesh, const AddressMap &amap,
+           std::vector<std::unique_ptr<MemoryController>> &mcs,
+           StatSet &stats);
+
+    /** Wire the L1s (for recalls / forwards / invalidations). */
+    void setL1s(std::vector<L1Cache *> l1s) { _l1s = std::move(l1s); }
+
+    /** Wire per-MC source loggers (ATOM-OPT only; else nullptrs). */
+    void
+    setSourceLoggers(std::vector<SourceLogger *> loggers)
+    {
+        _sourceLoggers = std::move(loggers);
+    }
+
+    /** Wire the shared victim cache (REDO only; else nullptr). */
+    void setVictimCache(VictimCache *vc) { _victims = vc; }
+
+    std::uint32_t tileId() const { return _tileId; }
+
+    // --- Handlers invoked at this tile (already mesh-delivered) -------
+
+    /** Load miss from @p core. */
+    void handleGetS(CoreId core, Addr addr, FillCallback respond);
+
+    /**
+     * Store miss from @p core. @p in_atomic enables source logging at
+     * the memory controller when the fill reaches it.
+     */
+    void handleGetX(CoreId core, Addr addr, bool in_atomic,
+                    FillCallback respond);
+
+    /** S->M upgrade; may morph into a data grant if state moved on. */
+    void handleUpgrade(CoreId core, Addr addr, bool in_atomic,
+                       FillCallback respond);
+
+    /**
+     * Dirty writeback from an L1. State applies synchronously (see file
+     * header); the caller separately charges network bandwidth.
+     */
+    void putMSync(CoreId core, Addr addr, const Line &data);
+
+    /**
+     * Durable flush (clwb-like). @p has_data carries the L1's dirty
+     * copy if it had one. Acks once the line is durable in NVM.
+     */
+    void handleFlush(CoreId core, Addr addr, bool has_data,
+                     const Line &data, AckCallback respond);
+
+    /** Power failure: all cached state vanishes. */
+    void powerFail();
+
+    /** Tests: direct visibility into the tile. */
+    const CacheArray &array() const { return _array; }
+    Directory &directory() { return _dir; }
+
+  private:
+    void after(Cycles delay, std::function<void()> fn);
+
+    /** Respond to a requester core through the mesh. */
+    void respondFill(CoreId core, MsgType type, FillResult result,
+                     FillCallback respond);
+
+    /** Read the line from NVM (or victim cache), then continue. */
+    void missToMemory(CoreId core, Addr addr, bool exclusive,
+                      bool in_atomic,
+                      std::function<void(const Line &, bool logged)> k);
+
+    /**
+     * Install @p addr with @p data into the array, evicting (and
+     * recalling) a victim if necessary.
+     */
+    CacheLineState *insertLine(Addr addr, const Line &data, bool dirty);
+
+    /** Pull the freshest copy back from the owner, if any (sync). */
+    void recallOwner(Addr addr, DirEntry &dir, CacheLineState *frame);
+
+    /** Issue a durable data write for @p addr to its MC. */
+    void writeThrough(Addr addr, const Line &data, WriteKind kind,
+                      AckCallback on_durable);
+
+    std::uint32_t _tileId;
+    EventQueue &_eq;
+    const SystemConfig &_cfg;
+    Mesh &_mesh;
+    const AddressMap &_amap;
+    std::vector<std::unique_ptr<MemoryController>> &_mcs;
+    StatSet &_stats;
+
+    CacheArray _array;
+    Directory _dir;
+    std::vector<L1Cache *> _l1s;
+    std::vector<SourceLogger *> _sourceLoggers;
+    VictimCache *_victims = nullptr;
+
+    Counter &_statHits;
+    Counter &_statMisses;
+    Counter &_statRecalls;
+    Counter &_statEvictions;
+    Counter &_statVictimHits;
+};
+
+} // namespace atomsim
+
+#endif // ATOMSIM_CACHE_L2_CACHE_HH

@@ -1,0 +1,51 @@
+#include "cache/mshr.hh"
+
+#include "sim/logging.hh"
+
+namespace atomsim
+{
+
+void
+MshrTable::allocate(Addr line_addr)
+{
+    line_addr = lineAlign(line_addr);
+    panic_if(_active.count(line_addr), "MSHR already allocated for line");
+    panic_if(full(), "MSHR table full");
+    _active.emplace(line_addr, std::vector<Waiter>{});
+}
+
+void
+MshrTable::addWaiter(Addr line_addr, Waiter w)
+{
+    line_addr = lineAlign(line_addr);
+    auto it = _active.find(line_addr);
+    panic_if(it == _active.end(), "no MSHR for line");
+    it->second.push_back(std::move(w));
+}
+
+std::vector<MshrTable::Waiter>
+MshrTable::complete(Addr line_addr)
+{
+    line_addr = lineAlign(line_addr);
+    auto it = _active.find(line_addr);
+    panic_if(it == _active.end(), "completing a miss with no MSHR");
+    std::vector<Waiter> waiters = std::move(it->second);
+    _active.erase(it);
+
+    // An entry freed: admit one queued overflow request.
+    if (!_overflow.empty()) {
+        Waiter next = std::move(_overflow.front());
+        _overflow.pop_front();
+        waiters.push_back(std::move(next));
+    }
+    return waiters;
+}
+
+void
+MshrTable::clear()
+{
+    _active.clear();
+    _overflow.clear();
+}
+
+} // namespace atomsim

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Miss status handling registers.
+ *
+ * An MSHR tracks one outstanding line miss and the accesses waiting on
+ * it. The table bounds outstanding misses (32 in Table I); requests
+ * that find the table full wait in an overflow queue, modeling the
+ * structural stall.
+ */
+
+#ifndef ATOMSIM_CACHE_MSHR_HH
+#define ATOMSIM_CACHE_MSHR_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace atomsim
+{
+
+/** Table of outstanding misses with per-line waiter lists. */
+class MshrTable
+{
+  public:
+    using Waiter = std::function<void()>;
+
+    explicit MshrTable(std::uint32_t entries) : _entries(entries) {}
+
+    /** True if a miss to this line is already outstanding. */
+    bool
+    has(Addr line_addr) const
+    {
+        return _active.count(lineAlign(line_addr)) != 0;
+    }
+
+    /** True if no entry is free (and the line is not already tracked). */
+    bool
+    full() const
+    {
+        return _active.size() >= _entries;
+    }
+
+    /**
+     * Allocate an entry for @p line_addr.
+     * @pre !has(line_addr) && !full()
+     */
+    void allocate(Addr line_addr);
+
+    /** Add a callback to run when the line's fill completes. */
+    void addWaiter(Addr line_addr, Waiter w);
+
+    /**
+     * Complete the miss: deallocates the entry and returns the waiter
+     * list (the cache runs them after installing the line).
+     */
+    std::vector<Waiter> complete(Addr line_addr);
+
+    /** Queue a thunk to run when any entry frees up. */
+    void
+    queueForFree(Waiter w)
+    {
+        _overflow.push_back(std::move(w));
+    }
+
+    std::size_t active() const { return _active.size(); }
+    std::size_t overflowDepth() const { return _overflow.size(); }
+
+    /** Drop all state (power failure). */
+    void clear();
+
+  private:
+    std::uint32_t _entries;
+    std::unordered_map<Addr, std::vector<Waiter>> _active;
+    std::deque<Waiter> _overflow;
+};
+
+} // namespace atomsim
+
+#endif // ATOMSIM_CACHE_MSHR_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Core model: an in-order issue window over a memory-op stream with a
+ * 32-entry store queue.
+ *
+ * The core pulls transactions from a TransactionSource (timing-directed
+ * dispatch) and executes their ops: loads block; stores issue into the
+ * StoreQueue and retire asynchronously; Atomic_Begin / Atomic_End call
+ * into the active design's hooks (AUS acquisition, commit protocol).
+ * See DESIGN.md for how this substitutes for the paper's OoO core.
+ */
+
+#ifndef ATOMSIM_CPU_CORE_HH
+#define ATOMSIM_CPU_CORE_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "cpu/mem_op.hh"
+#include "cpu/store_queue.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace atomsim
+{
+
+class L1Cache;
+
+/** Supplies transactions to a core at dispatch time. */
+class TransactionSource
+{
+  public:
+    virtual ~TransactionSource() = default;
+
+    /** Next transaction for @p core; std::nullopt when done. */
+    virtual std::optional<Transaction> next(CoreId core) = 0;
+};
+
+/**
+ * Design-specific actions at atomic-region boundaries. Implemented by
+ * designs::DesignContext.
+ */
+class DesignHooks
+{
+  public:
+    virtual ~DesignHooks() = default;
+
+    /**
+     * Atomic_Begin: acquire an AUS (stalling on structural overflow)
+     * and arm logging for @p core.
+     */
+    virtual void atomicBegin(CoreId core, std::function<void()> done) = 0;
+
+    /**
+     * Atomic_End commit protocol: for undo designs, durably flush
+     * @p modified_lines then truncate the log; for REDO, drain the
+     * combine buffer and persist the commit record. @p done marks the
+     * transaction durable.
+     */
+    virtual void atomicEnd(CoreId core,
+                           const std::vector<Addr> &modified_lines,
+                           std::function<void()> done) = 0;
+};
+
+/** One simulated core. */
+class Core
+{
+  public:
+    Core(CoreId id, EventQueue &eq, const SystemConfig &cfg, L1Cache &l1,
+         StatSet &stats);
+
+    void setSource(TransactionSource *src) { _source = src; }
+    void setHooks(DesignHooks *hooks) { _hooks = hooks; }
+
+    /** Begin pulling and executing transactions. */
+    void start();
+
+    /** True once the source is exhausted and all work retired. */
+    bool done() const { return _done; }
+
+    CoreId id() const { return _id; }
+    StoreQueue &storeQueue() { return _sq; }
+
+    std::uint64_t committed() const { return _statCommitted.value(); }
+
+  private:
+    void nextTransaction();
+    void execOp(std::size_t idx);
+    void opDone(std::size_t idx);
+
+    CoreId _id;
+    EventQueue &_eq;
+    const SystemConfig &_cfg;
+    L1Cache &_l1;
+    StoreQueue _sq;
+
+    TransactionSource *_source = nullptr;
+    DesignHooks *_hooks = nullptr;
+
+    std::optional<Transaction> _txn;
+    bool _done = false;
+
+    Counter &_statCommitted;
+    Counter &_statOps;
+    Counter &_statLoadStallCycles;
+};
+
+} // namespace atomsim
+
+#endif // ATOMSIM_CPU_CORE_HH

@@ -1,0 +1,19 @@
+#include "cpu/mem_op.hh"
+
+namespace atomsim
+{
+
+const char *
+opName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Load: return "Load";
+      case OpKind::Store: return "Store";
+      case OpKind::Compute: return "Compute";
+      case OpKind::AtomicBegin: return "AtomicBegin";
+      case OpKind::AtomicEnd: return "AtomicEnd";
+    }
+    return "?";
+}
+
+} // namespace atomsim

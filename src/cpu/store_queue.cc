@@ -1,0 +1,123 @@
+#include "cpu/store_queue.hh"
+
+#include "cache/l1_cache.hh"
+#include "sim/logging.hh"
+
+namespace atomsim
+{
+
+StoreQueue::StoreQueue(CoreId core, EventQueue &eq, std::uint32_t entries,
+                       std::uint32_t drain_width, L1Cache &l1,
+                       StatSet &stats)
+    : _core(core),
+      _eq(eq),
+      _entries(entries),
+      _drainWidth(std::max<std::uint32_t>(1, drain_width)),
+      _l1(l1),
+      _statFullCycles(
+          stats.counter("core" + std::to_string(core), "sq_full_cycles")),
+      _statRetired(
+          stats.counter("core" + std::to_string(core), "stores_retired"))
+{
+}
+
+void
+StoreQueue::push(Addr addr, std::vector<std::uint8_t> payload,
+                 Callback accepted)
+{
+    if (occupancy() >= _entries) {
+        // SQ full: the pipeline stalls until retirement frees an entry.
+        _waiters.emplace_back(
+            _eq.now(),
+            [this, addr, payload = std::move(payload),
+             accepted = std::move(accepted)]() mutable {
+                push(addr, std::move(payload), std::move(accepted));
+            });
+        return;
+    }
+    auto entry = std::make_shared<Entry>();
+    entry->addr = addr;
+    entry->payload = std::move(payload);
+    _queue.push_back(entry);
+    accepted();
+    pump();
+}
+
+void
+StoreQueue::pump()
+{
+    // Issue stores (in order) up to the drain width; entries dequeue
+    // strictly in order as the oldest ones complete. A store may not
+    // issue while an older in-flight store targets the same line:
+    // completions are out of order, and same-line stores must apply
+    // in program order.
+    for (std::size_t i = 0; i < _queue.size(); ++i) {
+        auto &entry = _queue[i];
+        if (_issued >= _drainWidth)
+            break;
+        if (entry->issued)
+            continue;
+        bool conflict = false;
+        for (std::size_t j = 0; j < i && !conflict; ++j) {
+            conflict = _queue[j]->issued && !_queue[j]->done &&
+                       lineAlign(_queue[j]->addr) ==
+                           lineAlign(entry->addr);
+        }
+        if (conflict)
+            continue;
+        entry->issued = true;
+        ++_issued;
+        _l1.store(entry->addr, entry->payload.data(),
+                  std::uint32_t(entry->payload.size()),
+                  [this, entry] {
+                      entry->done = true;
+                      --_issued;
+                      retireCompleted();
+                  });
+    }
+}
+
+void
+StoreQueue::retireCompleted()
+{
+    while (!_queue.empty() && _queue.front()->done) {
+        _queue.pop_front();
+        _statRetired.inc();
+        if (!_waiters.empty()) {
+            auto [since, retry] = std::move(_waiters.front());
+            _waiters.pop_front();
+            _statFullCycles.inc(_eq.now() - since);
+            retry();
+        }
+    }
+    pump();
+    if (empty()) {
+        auto drained = std::move(_drainWaiters);
+        _drainWaiters.clear();
+        for (auto &cb : drained)
+            cb();
+    }
+}
+
+void
+StoreQueue::whenEmpty(Callback cb)
+{
+    if (empty()) {
+        cb();
+        return;
+    }
+    _drainWaiters.push_back(std::move(cb));
+}
+
+bool
+StoreQueue::holdsLine(Addr addr) const
+{
+    const Addr line = lineAlign(addr);
+    for (const auto &e : _queue) {
+        if (lineAlign(e->addr) == line)
+            return true;
+    }
+    return false;
+}
+
+} // namespace atomsim

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The store queue (SQ).
+ *
+ * Stores issue into the SQ and retire, in order, from its head into the
+ * L1 -- possibly waiting on the active design's logging protocol. When
+ * retirement is slow the SQ fills and back-pressures the pipeline; the
+ * cycles a store spends waiting for a free SQ entry are the paper's
+ * "SQ full cycles" metric (Figure 6).
+ */
+
+#ifndef ATOMSIM_CPU_STORE_QUEUE_HH
+#define ATOMSIM_CPU_STORE_QUEUE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace atomsim
+{
+
+class L1Cache;
+
+/** One core's store queue. */
+class StoreQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    StoreQueue(CoreId core, EventQueue &eq, std::uint32_t entries,
+               std::uint32_t drain_width, L1Cache &l1, StatSet &stats);
+
+    /**
+     * Issue a store. @p accepted runs as soon as the store owns an SQ
+     * entry (immediately when not full); the producing core stalls
+     * until then. Retirement proceeds asynchronously.
+     */
+    void push(Addr addr, std::vector<std::uint8_t> payload,
+              Callback accepted);
+
+    /** True when no stores are buffered or in flight. */
+    bool empty() const { return _queue.empty(); }
+
+    /** Run @p cb once the queue fully drains (immediately if empty). */
+    void whenEmpty(Callback cb);
+
+    /** True if a pending store targets the line of @p addr
+     * (store-to-load forwarding). */
+    bool holdsLine(Addr addr) const;
+
+    std::size_t occupancy() const { return _queue.size(); }
+
+    /** Cycles stores spent waiting for a free entry (Figure 6). */
+    std::uint64_t fullCycles() const { return _statFullCycles.value(); }
+
+  private:
+    struct Entry
+    {
+        Addr addr;
+        std::vector<std::uint8_t> payload;
+        bool issued = false;
+        bool done = false;
+    };
+
+    void pump();
+    void retireCompleted();
+
+    CoreId _core;
+    EventQueue &_eq;
+    std::uint32_t _entries;
+    std::uint32_t _drainWidth;
+    L1Cache &_l1;
+
+    std::deque<std::shared_ptr<Entry>> _queue;
+    std::uint32_t _issued = 0;
+    std::deque<std::pair<Tick, Callback>> _waiters;  //!< full-queue stalls
+    std::vector<Callback> _drainWaiters;
+
+    Counter &_statFullCycles;
+    Counter &_statRetired;
+};
+
+} // namespace atomsim
+
+#endif // ATOMSIM_CPU_STORE_QUEUE_HH

@@ -1,0 +1,201 @@
+#include "designs/design.hh"
+
+#include "atom/logm.hh"
+#include "cache/l1_cache.hh"
+#include "designs/redo_engine.hh"
+#include "sim/logging.hh"
+
+namespace atomsim
+{
+
+AusPool::AusPool(EventQueue &eq, std::uint32_t slots, std::uint32_t cores,
+                 StatSet &stats)
+    : _eq(eq),
+      _slotOf(cores, -1),
+      _slotBusy(slots, false),
+      _statStallCycles(stats.counter("aus", "structural_stall_cycles")),
+      _statAcquires(stats.counter("aus", "acquires"))
+{
+}
+
+void
+AusPool::acquire(CoreId core, std::function<void(std::uint32_t)> granted)
+{
+    panic_if(_slotOf[core] >= 0, "core %u already holds an AUS", core);
+    for (std::uint32_t s = 0; s < _slotBusy.size(); ++s) {
+        if (!_slotBusy[s]) {
+            _slotBusy[s] = true;
+            _slotOf[core] = int(s);
+            _statAcquires.inc();
+            granted(s);
+            return;
+        }
+    }
+    // Structural overflow: wait for a slot (Section IV-E).
+    _waiters.emplace_back(_eq.now(),
+                          std::make_pair(core, std::move(granted)));
+}
+
+void
+AusPool::release(CoreId core)
+{
+    const int slot = _slotOf[core];
+    panic_if(slot < 0, "core %u releases no AUS", core);
+    _slotOf[core] = -1;
+
+    if (!_waiters.empty()) {
+        auto [since, waiter] = std::move(_waiters.front());
+        _waiters.pop_front();
+        _statStallCycles.inc(_eq.now() - since);
+        auto [wcore, granted] = std::move(waiter);
+        _slotOf[wcore] = slot;
+        _statAcquires.inc();
+        granted(std::uint32_t(slot));
+        return;
+    }
+    _slotBusy[std::size_t(slot)] = false;
+}
+
+int
+AusPool::slotOf(CoreId core) const
+{
+    return _slotOf[core];
+}
+
+DesignContext::DesignContext(EventQueue &eq, const SystemConfig &cfg,
+                             std::vector<std::unique_ptr<LogM>> &logms,
+                             std::vector<L1Cache *> l1s, AusPool &pool,
+                             RedoEngine *redo, StatSet &stats)
+    : _eq(eq),
+      _cfg(cfg),
+      _logms(logms),
+      _l1s(std::move(l1s)),
+      _pool(pool),
+      _redo(redo),
+      _statFlushes(stats.counter("design", "commit_flushes")),
+      _statCommits(stats.counter("design", "commits"))
+{
+}
+
+void
+DesignContext::atomicBegin(CoreId core, std::function<void()> done)
+{
+    switch (_cfg.design) {
+      case DesignKind::NonAtomic:
+        _eq.scheduleIn(1, std::move(done));
+        return;
+
+      case DesignKind::Redo:
+        _redo->beginTxn(core);
+        _eq.scheduleIn(1, std::move(done));
+        return;
+
+      case DesignKind::Base:
+      case DesignKind::Atom:
+      case DesignKind::AtomOpt:
+        _pool.acquire(core, [this, done = std::move(done)](
+                                std::uint32_t slot) mutable {
+            // Arm the AUS at every controller: entries of one update
+            // may land behind any of them (data placement decides).
+            for (auto &logm : _logms)
+                logm->beginUpdate(slot);
+            _eq.scheduleIn(1, std::move(done));
+        });
+        return;
+    }
+    panic("unknown design");
+}
+
+void
+DesignContext::flushLines(CoreId core, std::vector<Addr> lines,
+                          std::function<void()> done)
+{
+    if (lines.empty()) {
+        done();
+        return;
+    }
+    // Flush with a bounded issue window (the L1 MSHR count), like a
+    // clwb loop with limited outstanding misses.
+    struct FlushState
+    {
+        std::vector<Addr> lines;
+        std::size_t next = 0;
+        std::size_t pending = 0;
+        std::function<void()> done;
+    };
+    auto st = std::make_shared<FlushState>();
+    st->lines = std::move(lines);
+    st->done = std::move(done);
+
+    auto pump = std::make_shared<std::function<void()>>();
+    *pump = [this, core, st, pump] {
+        while (st->next < st->lines.size() &&
+               st->pending < _cfg.mshrs) {
+            const Addr line = st->lines[st->next++];
+            ++st->pending;
+            _statFlushes.inc();
+            _l1s[core]->flush(line, [st, pump] {
+                --st->pending;
+                if (st->next < st->lines.size()) {
+                    (*pump)();
+                } else if (st->pending == 0) {
+                    st->done();
+                }
+            });
+        }
+    };
+    (*pump)();
+}
+
+void
+DesignContext::truncateAll(CoreId core, std::function<void()> done)
+{
+    const int slot = _pool.slotOf(core);
+    panic_if(slot < 0, "truncate without an AUS (core %u)", core);
+
+    auto pending = std::make_shared<std::size_t>(_logms.size());
+    auto finish = std::make_shared<std::function<void()>>(
+        [this, core, done = std::move(done)]() mutable {
+            _pool.release(core);
+            _statCommits.inc();
+            done();
+        });
+    for (auto &logm : _logms) {
+        logm->truncate(std::uint32_t(slot), [pending, finish] {
+            if (--*pending == 0)
+                (*finish)();
+        });
+    }
+}
+
+void
+DesignContext::atomicEnd(CoreId core,
+                         const std::vector<Addr> &modified_lines,
+                         std::function<void()> done)
+{
+    switch (_cfg.design) {
+      case DesignKind::NonAtomic:
+        // Upper bound: still writes all modified data back to NVM on
+        // completion of the update (Section V), just without logging.
+        flushLines(core, modified_lines, std::move(done));
+        return;
+
+      case DesignKind::Redo:
+        // No data flushes: the commit record makes the update durable;
+        // the backend applies the log in place in the background.
+        _redo->commitTxn(core, std::move(done));
+        return;
+
+      case DesignKind::Base:
+      case DesignKind::Atom:
+      case DesignKind::AtomOpt:
+        flushLines(core, modified_lines,
+                   [this, core, done = std::move(done)]() mutable {
+                       truncateAll(core, std::move(done));
+                   });
+        return;
+    }
+    panic("unknown design");
+}
+
+} // namespace atomsim

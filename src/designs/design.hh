@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Design layer: AUS slot pool and per-design atomic-region hooks.
+ *
+ * The five evaluated designs (Section V) share the same substrate and
+ * differ only in the hooks installed here:
+ *
+ *  - BASE      undo log, ack-on-persist (logging in the critical path)
+ *  - ATOM      undo log with posted log writes
+ *  - ATOM-OPT  posted + source logging
+ *  - NON-ATOMIC no logging (upper bound); still flushes at commit
+ *  - REDO      hardware-assisted redo logging (Doshi et al.)
+ */
+
+#ifndef ATOMSIM_DESIGNS_DESIGN_HH
+#define ATOMSIM_DESIGNS_DESIGN_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace atomsim
+{
+
+class L1Cache;
+class LogM;
+class RedoEngine;
+
+/**
+ * Pool of AUS slots shared by the cores.
+ *
+ * The paper supports one atomic update per core (32 AUS); when fewer
+ * slots than cores are configured, Atomic_Begin stalls until a slot
+ * frees -- a structural overflow, which cannot deadlock because the
+ * waiting update holds no resources (Section IV-E).
+ */
+class AusPool
+{
+  public:
+    AusPool(EventQueue &eq, std::uint32_t slots, std::uint32_t cores,
+            StatSet &stats);
+
+    /** Acquire a slot for @p core; @p granted runs with the slot id. */
+    void acquire(CoreId core, std::function<void(std::uint32_t)> granted);
+
+    /** Release @p core's slot (after truncation completes). */
+    void release(CoreId core);
+
+    /** Slot of @p core, or -1 when it has no active atomic update. */
+    int slotOf(CoreId core) const;
+
+    std::uint64_t
+    structuralStallCycles() const
+    {
+        return _statStallCycles.value();
+    }
+
+  private:
+    EventQueue &_eq;
+    std::vector<int> _slotOf;        //!< per core; -1 = none
+    std::vector<bool> _slotBusy;
+    std::deque<std::pair<Tick, std::pair<CoreId,
+        std::function<void(std::uint32_t)>>>> _waiters;
+
+    Counter &_statStallCycles;
+    Counter &_statAcquires;
+};
+
+/**
+ * DesignHooks implementation shared by all designs; behavior branches
+ * on the configured DesignKind.
+ */
+class DesignContext : public DesignHooks
+{
+  public:
+    DesignContext(EventQueue &eq, const SystemConfig &cfg,
+                  std::vector<std::unique_ptr<LogM>> &logms,
+                  std::vector<L1Cache *> l1s, AusPool &pool,
+                  RedoEngine *redo, StatSet &stats);
+
+    void atomicBegin(CoreId core, std::function<void()> done) override;
+    void atomicEnd(CoreId core, const std::vector<Addr> &modified_lines,
+                   std::function<void()> done) override;
+
+  private:
+    /** Flush @p lines durably with a bounded issue window. */
+    void flushLines(CoreId core, std::vector<Addr> lines,
+                    std::function<void()> done);
+
+    /** Truncate @p core's AUS at every controller, then release it. */
+    void truncateAll(CoreId core, std::function<void()> done);
+
+    EventQueue &_eq;
+    const SystemConfig &_cfg;
+    std::vector<std::unique_ptr<LogM>> &_logms;
+    std::vector<L1Cache *> _l1s;
+    AusPool &_pool;
+    RedoEngine *_redo;
+
+    Counter &_statFlushes;
+    Counter &_statCommits;
+};
+
+} // namespace atomsim
+
+#endif // ATOMSIM_DESIGNS_DESIGN_HH

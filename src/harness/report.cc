@@ -1,0 +1,80 @@
+#include "harness/report.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace atomsim
+{
+
+ReportTable::ReportTable(std::vector<std::string> headers)
+    : _headers(std::move(headers))
+{
+}
+
+void
+ReportTable::addRow(std::vector<std::string> cells)
+{
+    _rows.push_back(std::move(cells));
+}
+
+std::string
+ReportTable::num(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+ReportTable::str() const
+{
+    std::vector<std::size_t> widths(_headers.size(), 0);
+    for (std::size_t i = 0; i < _headers.size(); ++i)
+        widths[i] = _headers[i].size();
+    for (const auto &row : _rows) {
+        for (std::size_t i = 0; i < row.size() && i < widths.size();
+             ++i) {
+            widths[i] = std::max(widths[i], row[i].size());
+        }
+    }
+
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string &cell = i < cells.size() ? cells[i] : "";
+            out << cell;
+            for (std::size_t p = cell.size(); p < widths[i] + 2; ++p)
+                out << ' ';
+        }
+        out << '\n';
+    };
+    emit(_headers);
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    out << std::string(total, '-') << '\n';
+    for (const auto &row : _rows)
+        emit(row);
+    return out.str();
+}
+
+void
+ReportTable::print() const
+{
+    std::fputs(str().c_str(), stdout);
+    std::fflush(stdout);
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / double(values.size()));
+}
+
+} // namespace atomsim

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Paper-style table/figure printing for the bench harnesses.
+ */
+
+#ifndef ATOMSIM_HARNESS_REPORT_HH
+#define ATOMSIM_HARNESS_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace atomsim
+{
+
+/** A simple fixed-width text table writer. */
+class ReportTable
+{
+  public:
+    explicit ReportTable(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns. */
+    std::string str() const;
+
+    /** Print to stdout. */
+    void print() const;
+
+    /** Format a double with @p decimals digits. */
+    static std::string num(double v, int decimals = 2);
+
+  private:
+    std::vector<std::string> _headers;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+/** Geometric mean of a series (paper figures report gmean bars). */
+double geomean(const std::vector<double> &values);
+
+} // namespace atomsim
+
+#endif // ATOMSIM_HARNESS_REPORT_HH

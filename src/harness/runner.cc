@@ -1,0 +1,121 @@
+#include "harness/runner.hh"
+
+#include "sim/logging.hh"
+
+namespace atomsim
+{
+
+Runner::Runner(const SystemConfig &cfg, Workload &workload,
+               std::uint32_t txns_per_core, Addr data_bytes)
+    : _system(std::make_unique<System>(cfg, data_bytes)),
+      _workload(workload),
+      _txnsPerCore(txns_per_core),
+      _issued(cfg.numCores, 0)
+{
+    _heap = std::make_unique<PersistentHeap>(
+        kPageBytes,  // keep page 0 unmapped (null detection)
+        _system->addressMap().logBase(), cfg.numCores);
+    for (CoreId c = 0; c < cfg.numCores; ++c)
+        _rngs.emplace_back(cfg.seed * 7919 + c);
+}
+
+void
+Runner::setUp()
+{
+    DirectAccessor direct(_system->archMem());
+    _workload.init(direct, *_heap, _system->numCores());
+    _system->makeDurableSnapshot();
+    for (CoreId c = 0; c < _system->numCores(); ++c) {
+        _system->core(c).setSource(this);
+        _system->core(c).start();
+    }
+}
+
+std::optional<Transaction>
+Runner::next(CoreId core)
+{
+    if (_issued[core] >= _txnsPerCore)
+        return std::nullopt;
+    ++_issued[core];
+
+    Transaction txn;
+    txn.id = _nextTxnId++;
+    RecordingAccessor rec(_system->archMem(), txn);
+    _workload.runTransaction(core, rec, _rngs[core]);
+    panic_if(rec.inAtomic(), "workload left the atomic region open");
+    return txn;
+}
+
+bool
+Runner::allDone() const
+{
+    for (CoreId c = 0; c < _system->numCores(); ++c) {
+        if (!const_cast<System &>(*_system).core(c).done())
+            return false;
+    }
+    return true;
+}
+
+std::uint64_t
+Runner::committed() const
+{
+    std::uint64_t total = 0;
+    for (CoreId c = 0; c < _system->numCores(); ++c)
+        total += const_cast<System &>(*_system).core(c).committed();
+    return total;
+}
+
+RunResult
+Runner::collect(Tick start_tick, Tick end_tick) const
+{
+    const auto &stats = const_cast<System &>(*_system).stats();
+    RunResult r;
+    r.txns = committed();
+    r.cycles = end_tick - start_tick;
+    const double secs =
+        double(r.cycles) / _system->config().clockHz;
+    r.txnPerSec = secs > 0 ? double(r.txns) / secs : 0.0;
+    r.sqFullCycles = stats.sum("core", "sq_full_cycles");
+    r.logWrites = stats.sum("logi", "log_writes");
+    r.logEntries = stats.sum("logm", "entries") +
+                   stats.sum("redo", "log_entries");
+    r.sourceLogged = stats.sum("logm", "source_logged");
+    r.memLogWrites = stats.sum("mc", "log_writes");
+    r.memDataWrites = stats.sum("mc", "data_writes");
+    r.memDemandReads = stats.sum("mc", "demand_reads");
+    r.memLogReads = stats.sum("mc", "log_reads");
+    return r;
+}
+
+RunResult
+Runner::run(Tick limit)
+{
+    EventQueue &eq = _system->eventQueue();
+    const Tick start = eq.now();
+    eq.runUntil([this] { return allDone(); }, limit);
+    fatal_if(!allDone(), "simulation hit the tick limit before "
+                         "completing (deadlock or limit too small)");
+    return collect(start, eq.now());
+}
+
+Tick
+Runner::runUntilCrash(double fraction, std::uint64_t crash_seed)
+{
+    EventQueue &eq = _system->eventQueue();
+    const std::uint64_t target = std::uint64_t(
+        fraction * double(_txnsPerCore) * _system->numCores());
+
+    eq.runUntil([this, target] { return committed() >= target; });
+
+    // Jitter the exact crash point so sweeps hit different machine
+    // states (mid-log-write, mid-flush, mid-truncate, ...).
+    Random rng(crash_seed);
+    const Cycles extra = rng.below(2000);
+    const Tick deadline = eq.now() + extra;
+    eq.run(deadline);
+
+    _system->powerFail();
+    return eq.now();
+}
+
+} // namespace atomsim

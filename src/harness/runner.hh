@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Experiment runner: bridges workloads to cores, runs the simulation,
+ * measures throughput, and injects crashes for recovery experiments.
+ */
+
+#ifndef ATOMSIM_HARNESS_RUNNER_HH
+#define ATOMSIM_HARNESS_RUNNER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/system.hh"
+#include "sim/random.hh"
+#include "workloads/heap.hh"
+#include "workloads/workload.hh"
+
+namespace atomsim
+{
+
+/** Result of one measured simulation. */
+struct RunResult
+{
+    std::uint64_t txns = 0;
+    Tick cycles = 0;
+    double txnPerSec = 0.0;       //!< at the configured clock
+    std::uint64_t sqFullCycles = 0;
+    std::uint64_t logWrites = 0;      //!< LogI-initiated log requests
+    std::uint64_t logEntries = 0;     //!< LogM entries (incl. source)
+    std::uint64_t sourceLogged = 0;
+    std::uint64_t memLogWrites = 0;   //!< NVM writes for log traffic
+    std::uint64_t memDataWrites = 0;
+    std::uint64_t memDemandReads = 0;
+    std::uint64_t memLogReads = 0;
+};
+
+/**
+ * Owns a System + Workload pair and drives transactions into the
+ * cores at dispatch time (timing-directed trace generation).
+ */
+class Runner : public TransactionSource
+{
+  public:
+    /**
+     * @param cfg           machine + design configuration
+     * @param workload      the workload (owned by the caller)
+     * @param txns_per_core transactions each core executes
+     * @param data_bytes    heap region size
+     */
+    Runner(const SystemConfig &cfg, Workload &workload,
+           std::uint32_t txns_per_core,
+           Addr data_bytes = Addr(512) * 1024 * 1024);
+
+    /** Functional initialization + durable snapshot. */
+    void setUp();
+
+    /** Run to completion and gather the result. */
+    RunResult run(Tick limit = kTickNever);
+
+    /**
+     * Run until roughly @p fraction of the work is done, then cut
+     * power mid-flight. Returns the tick of the crash.
+     */
+    Tick runUntilCrash(double fraction, std::uint64_t crash_seed = 1);
+
+    System &system() { return *_system; }
+    Workload &workload() { return _workload; }
+    PersistentHeap &heap() { return *_heap; }
+
+    /** TransactionSource: next transaction for @p core. */
+    std::optional<Transaction> next(CoreId core) override;
+
+    /** Total transactions committed so far (across cores). */
+    std::uint64_t committed() const;
+
+    /** Collect the result counters from the stat set. */
+    RunResult collect(Tick start_tick, Tick end_tick) const;
+
+  private:
+    bool allDone() const;
+
+    std::unique_ptr<System> _system;
+    Workload &_workload;
+    std::uint32_t _txnsPerCore;
+    std::unique_ptr<PersistentHeap> _heap;
+    std::vector<std::uint32_t> _issued;
+    std::vector<Random> _rngs;
+    std::uint64_t _nextTxnId = 1;
+};
+
+} // namespace atomsim
+
+#endif // ATOMSIM_HARNESS_RUNNER_HH

@@ -1,0 +1,143 @@
+#include "harness/system.hh"
+
+#include "sim/logging.hh"
+
+namespace atomsim
+{
+
+System::System(const SystemConfig &cfg, Addr data_bytes)
+    : _cfg(cfg), _amap(cfg, data_bytes)
+{
+    _cfg.validate();
+
+    _mesh = std::make_unique<Mesh>(_eq, _cfg, _stats);
+
+    for (McId m = 0; m < _cfg.numMemCtrls; ++m) {
+        _mcs.push_back(std::make_unique<MemoryController>(
+            m, _eq, _cfg, _nvm, _stats));
+    }
+    _logSpace = std::make_unique<LogSpace>(_eq, _cfg, _stats);
+
+    for (std::uint32_t t = 0; t < _cfg.l2Tiles; ++t) {
+        _tiles.push_back(std::make_unique<L2Tile>(
+            t, _eq, _cfg, *_mesh, _amap, _mcs, _stats));
+    }
+    for (CoreId c = 0; c < _cfg.numCores; ++c) {
+        _l1s.push_back(std::make_unique<L1Cache>(
+            c, _eq, _cfg, *_mesh, _amap, _tiles, _stats));
+    }
+
+    std::vector<L1Cache *> l1_ptrs;
+    for (auto &l1 : _l1s)
+        l1_ptrs.push_back(l1.get());
+    for (auto &tile : _tiles)
+        tile->setL1s(l1_ptrs);
+
+    // --- Design-specific wiring ----------------------------------------
+    const bool undo_design = _cfg.design == DesignKind::Base ||
+                             _cfg.design == DesignKind::Atom ||
+                             _cfg.design == DesignKind::AtomOpt;
+
+    if (undo_design) {
+        _ausPool = std::make_unique<AusPool>(
+            _eq, _cfg.ausPerMc, _cfg.numCores, _stats);
+        auto resolve = [this](CoreId core) {
+            return _ausPool->slotOf(core);
+        };
+        for (McId m = 0; m < _cfg.numMemCtrls; ++m) {
+            _logms.push_back(std::make_unique<LogM>(
+                m, _eq, _cfg, _amap, *_mcs[m], *_logSpace, _stats,
+                resolve));
+        }
+        const bool posted = _cfg.design != DesignKind::Base;
+        _logi = std::make_unique<LogI>(_eq, _cfg, *_mesh, _amap, _logms,
+                                       posted, resolve, _stats);
+        for (auto &l1 : _l1s)
+            l1->setStoreLogger(_logi.get());
+
+        if (_cfg.design == DesignKind::AtomOpt) {
+            std::vector<SourceLogger *> loggers;
+            for (auto &logm : _logms) {
+                logm->setSourceLogging(true);
+                loggers.push_back(logm.get());
+            }
+            for (auto &tile : _tiles)
+                tile->setSourceLoggers(loggers);
+        }
+    } else if (_cfg.design == DesignKind::Redo) {
+        _ausPool = std::make_unique<AusPool>(
+            _eq, _cfg.numCores, _cfg.numCores, _stats);
+        _redo = std::make_unique<RedoEngine>(_eq, _cfg, _amap, _mcs,
+                                             _stats);
+        _redo->setSnapshot([this](CoreId core, Addr line) -> Line {
+            // Coherent snapshot: L1 -> home L2 -> victim cache -> NVM.
+            if (const CacheLineState *fr = _l1s[core]->array().find(line))
+                return fr->data;
+            const std::uint32_t home = _amap.homeTile(line);
+            if (const CacheLineState *fr = _tiles[home]->array().find(
+                    line)) {
+                return fr->data;
+            }
+            if (const Line *v = _redo->victimCache().find(line))
+                return *v;
+            return _nvm.readLine(line);
+        });
+        for (auto &l1 : _l1s)
+            l1->setStoreLogger(_redo.get());
+        for (auto &tile : _tiles)
+            tile->setVictimCache(&_redo->victimCache());
+    } else {
+        // NON-ATOMIC: no logger, no AUS.
+        _ausPool = std::make_unique<AusPool>(
+            _eq, _cfg.numCores, _cfg.numCores, _stats);
+    }
+
+    _design = std::make_unique<DesignContext>(
+        _eq, _cfg, _logms, l1_ptrs, *_ausPool, _redo.get(), _stats);
+
+    for (CoreId c = 0; c < _cfg.numCores; ++c) {
+        _cores.push_back(
+            std::make_unique<Core>(c, _eq, _cfg, *_l1s[c], _stats));
+        _cores.back()->setHooks(_design.get());
+    }
+}
+
+System::~System()
+{
+    // The controllers hold a raw pointer to the (soon gone) LogM gate.
+    for (auto &mc : _mcs)
+        mc->setWriteGate(nullptr);
+}
+
+void
+System::powerFail()
+{
+    // ADR: the critical LogM registers reach NVM even as power drops.
+    for (auto &logm : _logms)
+        logm->flushCriticalState(_nvm);
+
+    for (auto &mc : _mcs)
+        mc->powerFail();
+    for (auto &tile : _tiles)
+        tile->powerFail();
+    for (auto &l1 : _l1s)
+        l1->powerFail();
+    if (_redo)
+        _redo->powerFail();
+}
+
+RecoveryReport
+System::recover()
+{
+    RecoveryManager mgr(_cfg, _amap);
+    return mgr.recover(_nvm);
+}
+
+RecoveryReport
+System::recoverRedo()
+{
+    RedoRecovery mgr(_cfg, _amap);
+    return mgr.recover(_nvm);
+}
+
+} // namespace atomsim

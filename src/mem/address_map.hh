@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Physical address space layout and interleaving.
+ *
+ * The simulated physical address space is split into a data region and
+ * an OS-reserved log region (Section IV-E of the paper). Pages are
+ * interleaved across memory controllers at 4 KB granularity, so a log
+ * *bucket* -- 8 records x 512 B = 4 KB -- is exactly one page that maps
+ * wholly to one controller. L2 home tiles are line-interleaved.
+ *
+ * Page-granularity MC interleaving (vs gem5's line interleaving) keeps
+ * log/data co-location well defined: ATOM sends a log entry to the MC
+ * owning the *data* page, and allocates the entry in a log bucket that
+ * lives behind that same MC.
+ */
+
+#ifndef ATOMSIM_MEM_ADDRESS_MAP_HH
+#define ATOMSIM_MEM_ADDRESS_MAP_HH
+
+#include <cstdint>
+
+#include "mem/phys_mem.hh"
+#include "sim/config.hh"
+#include "sim/types.hh"
+
+namespace atomsim
+{
+
+/** Address-space layout + interleave functions. All methods are pure. */
+class AddressMap
+{
+  public:
+    /**
+     * @param cfg      system configuration (MC count, bucket counts)
+     * @param data_bytes size of the data region (log region follows it)
+     */
+    AddressMap(const SystemConfig &cfg, Addr data_bytes);
+
+    /** Memory controller owning the page of @p addr. */
+    McId memCtrl(Addr addr) const;
+
+    /** L2 home tile of the line of @p addr. */
+    std::uint32_t homeTile(Addr addr) const;
+
+    /** First byte of the log region. */
+    Addr logBase() const { return _logBase; }
+
+    /** One past the last byte of the (initially reserved) log region. */
+    Addr logEnd() const { return _logEnd; }
+
+    /** True if @p addr falls in the reserved log region. */
+    bool
+    isLogAddr(Addr addr) const
+    {
+        return addr >= _logBase && addr < _logEnd;
+    }
+
+    /**
+     * Base address of a log bucket.
+     *
+     * Bucket @p bucket of controller @p mc is the (bucket*numMc+mc)-th
+     * page of the log region, which interleaving maps to @p mc.
+     */
+    Addr bucketBase(McId mc, std::uint32_t bucket) const;
+
+    /** Base address of a 512-byte record inside a bucket. */
+    Addr recordBase(McId mc, std::uint32_t bucket,
+                    std::uint32_t record) const;
+
+    /**
+     * Base of the one-page ADR region of controller @p mc, right after
+     * the log region: the critical LogM registers are flushed here on
+     * power failure (Section IV-D).
+     */
+    Addr adrBase(McId mc) const { return _logEnd + Addr(mc) * kPageBytes; }
+
+    /** One past the last reserved byte (data + log + ADR regions). */
+    Addr
+    reservedEnd() const
+    {
+        return _logEnd + Addr(_numMc) * kPageBytes;
+    }
+
+    /** Bytes in one log record (8 lines). */
+    static constexpr Addr kRecordBytes = 8 * kLineBytes;
+
+    std::uint32_t numMemCtrls() const { return _numMc; }
+    std::uint32_t bucketsPerMc() const { return _bucketsPerMc; }
+    std::uint32_t recordsPerBucket() const { return _recordsPerBucket; }
+
+  private:
+    std::uint32_t _numMc;
+    std::uint32_t _l2Tiles;
+    std::uint32_t _bucketsPerMc;
+    std::uint32_t _recordsPerBucket;
+    Addr _logBase;
+    Addr _logEnd;
+};
+
+} // namespace atomsim
+
+#endif // ATOMSIM_MEM_ADDRESS_MAP_HH

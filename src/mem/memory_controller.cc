@@ -1,0 +1,288 @@
+#include "mem/memory_controller.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace atomsim
+{
+
+MemoryController::MemoryController(McId id, EventQueue &eq,
+                                   const SystemConfig &cfg, DataImage &nvm,
+                                   StatSet &stats)
+    : _id(id),
+      _eq(eq),
+      _cfg(cfg),
+      _nvm(nvm),
+      _stats(stats),
+      _statName("mc" + std::to_string(id)),
+      _statReads(stats.counter(_statName, "demand_reads")),
+      _statLogReads(stats.counter(_statName, "log_reads")),
+      _statWrites(stats.counter(_statName, "data_writes")),
+      _statLogWrites(stats.counter(_statName, "log_writes")),
+      _statGateBlocks(stats.counter(_statName, "gate_blocks"))
+{
+    for (std::uint32_t c = 0; c < cfg.channelsPerMc; ++c)
+        _channels.emplace_back(eq, cfg);
+    _chState.resize(cfg.channelsPerMc);
+}
+
+bool
+MemoryController::isLogTraffic(WriteKind kind)
+{
+    switch (kind) {
+      case WriteKind::LogData:
+      case WriteKind::LogHeader:
+      case WriteKind::CriticalRegs:
+      case WriteKind::RedoLog:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+MemoryController::isGated(WriteKind kind)
+{
+    switch (kind) {
+      case WriteKind::DataWb:
+      case WriteKind::Flush:
+      case WriteKind::RedoApply:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::uint32_t
+MemoryController::channelFor(bool is_log_traffic) const
+{
+    // In the two-channel configuration (the paper's *-2C runs) channel 1
+    // is dedicated to log traffic; channel 0 carries data.
+    if (_channels.size() >= 2 && is_log_traffic)
+        return 1;
+    return 0;
+}
+
+void
+MemoryController::readLine(Addr addr, ReadKind kind, ReadCallback cb)
+{
+    addr = lineAlign(addr);
+    if (kind == ReadKind::Demand)
+        _statReads.inc();
+    else
+        _statLogReads.inc();
+
+    const std::uint32_t ch = channelFor(kind == ReadKind::LogRead);
+    Request req;
+    req.isWrite = false;
+    req.addr = addr;
+    req.rkind = kind;
+    req.rcb = std::move(cb);
+    req.enqueueTick = _eq.now();
+    _chState[ch].readQ.push_back(std::move(req));
+    ++_pendingReads;
+    scheduleKick(ch, _eq.now() + _cfg.mcFrontendLatency);
+}
+
+void
+MemoryController::writeLine(Addr addr, const Line &data, WriteKind kind,
+                            WriteCallback cb)
+{
+    addr = lineAlign(addr);
+    if (isLogTraffic(kind))
+        _statLogWrites.inc();
+    else
+        _statWrites.inc();
+
+    const std::uint32_t ch = channelFor(isLogTraffic(kind));
+    auto &wq = _chState[ch].writeQ;
+
+    // Write combining in the controller queue: a newer write to the same
+    // line replaces the queued data; durability callbacks accumulate.
+    for (auto &queued : wq) {
+        if (queued.addr == addr && queued.wkind == kind) {
+            queued.data = data;
+            if (cb)
+                queued.wcbs.push_back(std::move(cb));
+            return;
+        }
+    }
+
+    Request req;
+    req.isWrite = true;
+    req.addr = addr;
+    req.data = data;
+    req.wkind = kind;
+    if (cb)
+        req.wcbs.push_back(std::move(cb));
+    req.enqueueTick = _eq.now();
+    wq.push_back(std::move(req));
+    ++_pendingWrites;
+    ++_inflightWrites[addr];
+    scheduleKick(ch, _eq.now() + _cfg.mcFrontendLatency);
+}
+
+void
+MemoryController::whenLineDurable(Addr addr, WriteCallback cb)
+{
+    addr = lineAlign(addr);
+    auto it = _inflightWrites.find(addr);
+    if (it == _inflightWrites.end() || it->second == 0) {
+        cb();
+        return;
+    }
+    _durWaiters[addr].push_back(std::move(cb));
+}
+
+void
+MemoryController::scheduleKick(std::uint32_t ch, Tick when)
+{
+    auto &st = _chState[ch];
+    if (st.kickScheduled)
+        return;
+    st.kickScheduled = true;
+    const std::uint64_t epoch = _epoch;
+    _eq.schedule(std::max(when, _eq.now()), [this, ch, epoch] {
+        if (epoch != _epoch)
+            return;
+        _chState[ch].kickScheduled = false;
+        kick(ch);
+    });
+}
+
+void
+MemoryController::kick(std::uint32_t ch)
+{
+    auto &st = _chState[ch];
+    auto &chan = _channels[ch];
+
+    while (!st.readQ.empty() || !st.writeQ.empty()) {
+        if (chan.freeAt() > _eq.now()) {
+            scheduleKick(ch, chan.freeAt());
+            return;
+        }
+
+        // Read-priority arbitration with a write-drain high-water mark.
+        const bool drain_writes =
+            st.writeQ.size() >= (3 * std::size_t(_cfg.mcWriteQueue)) / 4;
+        const bool pick_read =
+            !st.readQ.empty() && (!drain_writes || st.writeQ.empty());
+
+        if (pick_read) {
+            Request req = std::move(st.readQ.front());
+            st.readQ.pop_front();
+            issueRead(ch, std::move(req));
+        } else {
+            Request req = std::move(st.writeQ.front());
+            st.writeQ.pop_front();
+
+            if (_gate && isGated(req.wkind)) {
+                // Section III-C: consult the log manager when a data
+                // write is scheduled out of the controller. A locked
+                // line waits for its record header to persist.
+                const Addr addr = req.addr;
+                auto blocked = std::make_shared<Request>(std::move(req));
+                const std::uint64_t epoch = _epoch;
+                const bool free = _gate->tryAcquire(
+                    addr, [this, ch, blocked, epoch] {
+                        if (epoch != _epoch)
+                            return;
+                        _chState[ch].writeQ.push_front(
+                            std::move(*blocked));
+                        scheduleKick(ch, _eq.now());
+                    });
+                if (!free) {
+                    _statGateBlocks.inc();
+                    continue;
+                }
+                req = std::move(*blocked);
+            }
+            issueWrite(ch, std::move(req));
+        }
+    }
+}
+
+void
+MemoryController::issueRead(std::uint32_t ch, Request req)
+{
+    // Observe the write queues: forward the newest pending data for the
+    // line if a write is still queued (read-after-write correctness).
+    const Line *fwd = nullptr;
+    for (const auto &chst : _chState) {
+        for (const auto &queued : chst.writeQ) {
+            if (queued.addr == req.addr)
+                fwd = &queued.data;
+        }
+    }
+    Line data = fwd ? *fwd : _nvm.readLine(req.addr);
+
+    const Tick done = _channels[ch].scheduleRead();
+    const std::uint64_t epoch = _epoch;
+    auto cb = std::move(req.rcb);
+    _eq.schedule(done, [this, epoch, cb = std::move(cb),
+                        data = std::move(data)] {
+        if (epoch != _epoch)
+            return;
+        --_pendingReads;
+        cb(data);
+    });
+}
+
+void
+MemoryController::issueWrite(std::uint32_t ch, Request req)
+{
+    // The record-header address match costs one cycle on the data-write
+    // path (Section V); it is folded into the device write here.
+    const Tick done = _channels[ch].scheduleWrite() +
+                      (isGated(req.wkind) ? _cfg.mcAddrMatchLatency : 0);
+    const std::uint64_t epoch = _epoch;
+    auto shared = std::make_shared<Request>(std::move(req));
+    _eq.schedule(done, [this, epoch, shared] {
+        if (epoch != _epoch)
+            return;
+        _nvm.writeLine(shared->addr, shared->data);
+        --_pendingWrites;
+        auto it = _inflightWrites.find(shared->addr);
+        if (it != _inflightWrites.end() && --it->second == 0) {
+            _inflightWrites.erase(it);
+            auto wit = _durWaiters.find(shared->addr);
+            if (wit != _durWaiters.end()) {
+                auto waiters = std::move(wit->second);
+                _durWaiters.erase(wit);
+                for (auto &w : waiters)
+                    w();
+            }
+        }
+        for (auto &cb : shared->wcbs)
+            cb();
+    });
+}
+
+void
+MemoryController::powerFail()
+{
+    // Queued and in-flight (not yet completed at the device) work is
+    // lost; epoch bump cancels all scheduled completions.
+    ++_epoch;
+    for (auto &st : _chState) {
+        st.readQ.clear();
+        st.writeQ.clear();
+        st.kickScheduled = false;
+    }
+    _inflightWrites.clear();
+    _durWaiters.clear();
+    _pendingWrites = 0;
+    _pendingReads = 0;
+}
+
+std::uint64_t
+MemoryController::channelBusyCycles() const
+{
+    std::uint64_t total = 0;
+    for (const auto &c : _channels)
+        total += c.busyCycles();
+    return total;
+}
+
+} // namespace atomsim

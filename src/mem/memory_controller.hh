@@ -1,0 +1,192 @@
+/**
+ * @file
+ * NVM memory controller with kind-tagged requests and an ATOM write gate.
+ *
+ * Each controller owns one or two NvmChannels and per-channel read/write
+ * queues with a read-priority arbiter (writes drain when the write queue
+ * crosses a high-water mark or no reads are pending). The durable image
+ * of memory is updated when a write completes at the device.
+ *
+ * Two hooks let the ATOM log manager (atom/logm.hh) attach:
+ *
+ *  - a WriteGate consulted when a *data* write is scheduled out of the
+ *    controller; a locked line (its address sits in a not-yet-persisted
+ *    record header) blocks until LogM persists the header (Section
+ *    III-C / IV-C of the paper);
+ *  - a fill observer used by the source-logging optimization to log
+ *    read-exclusive fills at the controller (Section III-D).
+ */
+
+#ifndef ATOMSIM_MEM_MEMORY_CONTROLLER_HH
+#define ATOMSIM_MEM_MEMORY_CONTROLLER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/nvm_channel.hh"
+#include "mem/phys_mem.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace atomsim
+{
+
+/** Why a read was issued (stats + channel steering). */
+enum class ReadKind : std::uint8_t
+{
+    Demand,   //!< cache fill
+    LogRead,  //!< REDO backend reading log entries
+};
+
+/** Why a write was issued (stats, gating and channel steering). */
+enum class WriteKind : std::uint8_t
+{
+    DataWb,       //!< L2 eviction writeback
+    Flush,        //!< commit-time durable flush (clwb-like)
+    LogData,      //!< ATOM undo-log entry data line
+    LogHeader,    //!< ATOM record header line
+    CriticalRegs, //!< ADR flush of LogM critical structures
+    RedoLog,      //!< REDO log-area write
+    RedoApply,    //!< REDO backend in-place update
+};
+
+/**
+ * Interface the ATOM LogM implements to enforce log -> data ordering.
+ */
+class WriteGate
+{
+  public:
+    virtual ~WriteGate() = default;
+
+    /**
+     * Ask permission to write @p line_addr durably.
+     *
+     * @retval true  the line is not locked; write may proceed now.
+     * @retval false the line is locked; @p on_unlock will be invoked
+     *               once the covering record header has persisted.
+     */
+    virtual bool tryAcquire(Addr line_addr,
+                            std::function<void()> on_unlock) = 0;
+};
+
+/** One NVM memory controller. */
+class MemoryController
+{
+  public:
+    using ReadCallback = std::function<void(const Line &)>;
+    using WriteCallback = std::function<void()>;
+
+    MemoryController(McId id, EventQueue &eq, const SystemConfig &cfg,
+                     DataImage &nvm, StatSet &stats);
+
+    McId id() const { return _id; }
+
+    /**
+     * Read one line from NVM.
+     *
+     * Forwards from a pending queued write to the same line if present
+     * (the controller observes its own write queue).
+     */
+    void readLine(Addr addr, ReadKind kind, ReadCallback cb);
+
+    /**
+     * Write one line durably. @p cb fires when the device write
+     * completes (the line is then recoverable after power failure).
+     *
+     * Data writes (DataWb / Flush / RedoApply) pass through the
+     * installed WriteGate; log writes never do.
+     */
+    void writeLine(Addr addr, const Line &data, WriteKind kind,
+                   WriteCallback cb);
+
+    /**
+     * Flush-ordering helper: invoke @p cb once any pending write to
+     * @p addr has persisted (immediately if none is pending).
+     */
+    void whenLineDurable(Addr addr, WriteCallback cb);
+
+    /** Install the ATOM write gate (nullptr to remove). */
+    void setWriteGate(WriteGate *gate) { _gate = gate; }
+
+    /** Drop all queued work (power failure). In-flight writes that have
+     * not completed at the device are lost, matching Section IV-D. */
+    void powerFail();
+
+    /** Pending write count (tests + REDO backend pacing). */
+    std::size_t pendingWrites() const { return _pendingWrites; }
+    std::size_t pendingReads() const { return _pendingReads; }
+
+    /** Aggregate channel-busy cycles (bandwidth utilization). */
+    std::uint64_t channelBusyCycles() const;
+
+    const SystemConfig &config() const { return _cfg; }
+
+  private:
+    struct Request
+    {
+        bool isWrite;
+        Addr addr;
+        Line data;
+        ReadKind rkind;
+        WriteKind wkind;
+        ReadCallback rcb;
+        std::vector<WriteCallback> wcbs;
+        std::uint64_t enqueueTick;
+    };
+
+    struct ChannelState
+    {
+        std::deque<Request> readQ;
+        std::deque<Request> writeQ;
+        bool kickScheduled = false;
+    };
+
+    /** Channel a request of this kind steers to. */
+    std::uint32_t channelFor(bool is_log_traffic) const;
+
+    static bool isLogTraffic(WriteKind kind);
+    static bool isGated(WriteKind kind);
+
+    void kick(std::uint32_t ch);
+    void scheduleKick(std::uint32_t ch, Tick when);
+    void issueRead(std::uint32_t ch, Request req);
+    void issueWrite(std::uint32_t ch, Request req);
+
+    const char *statName() const { return _statName.c_str(); }
+
+    McId _id;
+    EventQueue &_eq;
+    const SystemConfig &_cfg;
+    DataImage &_nvm;
+    StatSet &_stats;
+    std::string _statName;
+
+    std::vector<NvmChannel> _channels;
+    std::vector<ChannelState> _chState;
+    WriteGate *_gate = nullptr;
+
+    /** Writes accepted but not yet durable, by line address. */
+    std::unordered_map<Addr, std::uint32_t> _inflightWrites;
+    /** Callbacks waiting on line durability. */
+    std::unordered_map<Addr, std::vector<WriteCallback>> _durWaiters;
+
+    std::size_t _pendingWrites = 0;
+    std::size_t _pendingReads = 0;
+    std::uint64_t _epoch = 0;  //!< bumped on powerFail to cancel events
+
+    Counter &_statReads;
+    Counter &_statLogReads;
+    Counter &_statWrites;
+    Counter &_statLogWrites;
+    Counter &_statGateBlocks;
+};
+
+} // namespace atomsim
+
+#endif // ATOMSIM_MEM_MEMORY_CONTROLLER_HH

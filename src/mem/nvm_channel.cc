@@ -1,0 +1,39 @@
+#include "mem/nvm_channel.hh"
+
+#include <algorithm>
+
+namespace atomsim
+{
+
+NvmChannel::NvmChannel(EventQueue &eq, const SystemConfig &cfg)
+    : _eq(eq),
+      _transferCycles(cfg.lineTransferCycles()),
+      _readLatency(cfg.nvmReadLatency),
+      _writeLatency(cfg.nvmWriteLatency)
+{
+}
+
+Tick
+NvmChannel::grant()
+{
+    const Tick start = std::max(_eq.now(), _busyUntil);
+    _busyUntil = start + _transferCycles;
+    _busyCycles += _transferCycles;
+    return _busyUntil;
+}
+
+Tick
+NvmChannel::scheduleRead()
+{
+    ++_reads;
+    return grant() + _readLatency;
+}
+
+Tick
+NvmChannel::scheduleWrite()
+{
+    ++_writes;
+    return grant() + _writeLatency;
+}
+
+} // namespace atomsim

@@ -1,0 +1,55 @@
+#include "mem/packet.hh"
+
+namespace atomsim
+{
+
+const char *
+msgName(MsgType type)
+{
+    switch (type) {
+      case MsgType::GetS: return "GetS";
+      case MsgType::GetX: return "GetX";
+      case MsgType::Upgrade: return "Upgrade";
+      case MsgType::PutM: return "PutM";
+      case MsgType::Data: return "Data";
+      case MsgType::DataExcl: return "DataExcl";
+      case MsgType::DataLogged: return "DataLogged";
+      case MsgType::Inv: return "Inv";
+      case MsgType::InvAck: return "InvAck";
+      case MsgType::FwdGetS: return "FwdGetS";
+      case MsgType::FwdGetX: return "FwdGetX";
+      case MsgType::WbAck: return "WbAck";
+      case MsgType::LogWrite: return "LogWrite";
+      case MsgType::LogAck: return "LogAck";
+      case MsgType::FlushReq: return "FlushReq";
+      case MsgType::FlushAck: return "FlushAck";
+      case MsgType::MemRead: return "MemRead";
+      case MsgType::MemWrite: return "MemWrite";
+      case MsgType::RedoLog: return "RedoLog";
+      case MsgType::Ctrl: return "Ctrl";
+    }
+    return "?";
+}
+
+std::uint32_t
+msgFlits(MsgType type)
+{
+    switch (type) {
+      case MsgType::Data:
+      case MsgType::DataExcl:
+      case MsgType::DataLogged:
+      case MsgType::PutM:
+      case MsgType::MemWrite:
+      case MsgType::FlushReq:
+        // 64 B payload + 1 header flit.
+        return 5;
+      case MsgType::LogWrite:
+      case MsgType::RedoLog:
+        // 64 B payload + logged address + header.
+        return 6;
+      default:
+        return 1;
+    }
+}
+
+} // namespace atomsim

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Message kinds exchanged between system components.
+ *
+ * atomsim delivers messages as callbacks through the mesh (see
+ * net/mesh.hh), so Packet is deliberately small: it exists to give every
+ * message a type (for stats and tracing) and a flit count (for network
+ * serialization). The protocol payload travels in the bound callback.
+ */
+
+#ifndef ATOMSIM_MEM_PACKET_HH
+#define ATOMSIM_MEM_PACKET_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace atomsim
+{
+
+/** Coherence / logging message kinds. */
+enum class MsgType : std::uint8_t
+{
+    GetS,        //!< read request (load miss)
+    GetX,        //!< read-exclusive request (store miss)
+    Upgrade,     //!< S->M upgrade request
+    PutM,        //!< dirty writeback L1 -> L2
+    Data,        //!< data response (shared)
+    DataExcl,    //!< data response (exclusive/modified grant)
+    DataLogged,  //!< data response with log bit pre-set (source logging)
+    Inv,         //!< invalidate a sharer
+    InvAck,      //!< invalidation acknowledgement
+    FwdGetS,     //!< forward read to the modified owner
+    FwdGetX,     //!< forward read-exclusive to the modified owner
+    WbAck,       //!< writeback acknowledgement
+    LogWrite,    //!< undo-log entry: address + 64 B old value
+    LogAck,      //!< log entry accepted/persisted acknowledgement
+    FlushReq,    //!< durable writeback request (clwb-like)
+    FlushAck,    //!< flush completion
+    MemRead,     //!< L2 miss fill request to the memory controller
+    MemWrite,    //!< data write to NVM
+    RedoLog,     //!< redo-log entry (new value) to the MC log buffer
+    Ctrl,        //!< small control message (begin/end/truncate)
+};
+
+/** Printable name for a message type. */
+const char *msgName(MsgType type);
+
+/**
+ * Number of 16-byte flits for a message of a given kind.
+ *
+ * Control messages are a single flit; data-bearing messages carry a
+ * 64-byte line plus a header; log writes additionally carry the logged
+ * address.
+ */
+std::uint32_t msgFlits(MsgType type);
+
+} // namespace atomsim
+
+#endif // ATOMSIM_MEM_PACKET_HH

@@ -1,0 +1,101 @@
+#include "net/mesh.hh"
+
+#include "sim/logging.hh"
+
+namespace atomsim
+{
+
+Mesh::Mesh(EventQueue &eq, const SystemConfig &cfg, StatSet &stats)
+    : _eq(eq),
+      _rows(cfg.meshRows),
+      _cols(cfg.meshCols()),
+      _hopLatency(cfg.hopLatency),
+      _messages(stats.counter("mesh", "messages")),
+      _flitHops(stats.counter("mesh", "flit_hops"))
+{
+    // 4 directed links per node: 0=E, 1=W, 2=S, 3=N.
+    _links.resize(std::size_t(numNodes()) * 4);
+}
+
+MeshCoord
+Mesh::coordOf(std::uint32_t node) const
+{
+    return MeshCoord{node / _cols, node % _cols};
+}
+
+std::uint32_t
+Mesh::nodeOf(MeshCoord c) const
+{
+    return c.row * _cols + c.col;
+}
+
+std::uint32_t
+Mesh::mcNode(McId mc) const
+{
+    // Memory controllers sit on the four die corners (Section V).
+    switch (mc % 4) {
+      case 0:
+        return nodeOf({0, 0});
+      case 1:
+        return nodeOf({0, _cols - 1});
+      case 2:
+        return nodeOf({_rows - 1, 0});
+      default:
+        return nodeOf({_rows - 1, _cols - 1});
+    }
+}
+
+std::size_t
+Mesh::linkIndex(std::uint32_t from, std::uint32_t to) const
+{
+    const MeshCoord a = coordOf(from);
+    const MeshCoord b = coordOf(to);
+    std::uint32_t dir;
+    if (b.row == a.row)
+        dir = (b.col == a.col + 1) ? 0 : 1;
+    else
+        dir = (b.row == a.row + 1) ? 2 : 3;
+    return std::size_t(from) * 4 + dir;
+}
+
+std::uint32_t
+Mesh::hops(std::uint32_t src, std::uint32_t dst) const
+{
+    return meshHops(coordOf(src), coordOf(dst));
+}
+
+void
+Mesh::send(std::uint32_t src, std::uint32_t dst, MsgType type,
+           std::function<void()> deliver)
+{
+    panic_if(src >= numNodes() || dst >= numNodes(),
+             "bad mesh node (%u -> %u)", src, dst);
+
+    const std::uint32_t flits = msgFlits(type);
+    _messages.inc();
+
+    // XY routing: move along the row (X) first, then the column (Y).
+    MeshCoord cur = coordOf(src);
+    const MeshCoord target = coordOf(dst);
+    Tick head = _eq.now() + _hopLatency;  // source router traversal
+
+    std::uint32_t hop_count = 0;
+    while (!(cur == target)) {
+        MeshCoord next = cur;
+        if (cur.col != target.col)
+            next.col += (target.col > cur.col) ? 1 : -1;
+        else
+            next.row += (target.row > cur.row) ? 1 : -1;
+        const std::size_t li = linkIndex(nodeOf(cur), nodeOf(next));
+        head = _links[li].reserve(head, _hopLatency, flits);
+        cur = next;
+        ++hop_count;
+    }
+
+    // Tail flit arrives after the body streams in behind the head.
+    const Tick arrival = head + flits - 1;
+    _flitHops.inc(std::uint64_t(flits) * (hop_count + 1));
+    _eq.schedule(arrival, std::move(deliver));
+}
+
+} // namespace atomsim

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Garnet-lite 2D mesh on-chip network.
+ *
+ * Node layout reproduces the paper's system: one node per core/L2-tile
+ * (4 rows as in Table I), with the four memory controllers attached to
+ * the corner nodes. Messages route XY (column first along the row, then
+ * down the column); per-link reservations model serialization and
+ * contention; message delivery is a scheduled callback.
+ */
+
+#ifndef ATOMSIM_NET_MESH_HH
+#define ATOMSIM_NET_MESH_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mem/packet.hh"
+#include "net/router.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace atomsim
+{
+
+/**
+ * The on-chip interconnect.
+ *
+ * Node ids 0..numTiles-1 are core/L2 tiles (row-major). Memory
+ * controllers are reached through their attachment corner node; use
+ * mcNode() to get the node id for an MC.
+ */
+class Mesh
+{
+  public:
+    Mesh(EventQueue &eq, const SystemConfig &cfg, StatSet &stats);
+
+    /** Number of mesh nodes (tiles). */
+    std::uint32_t numNodes() const { return _rows * _cols; }
+
+    /** Node id for a core (cores are co-located with L2 tiles). */
+    std::uint32_t coreNode(CoreId core) const { return core % numNodes(); }
+
+    /** Node id for an L2 tile. */
+    std::uint32_t tileNode(std::uint32_t tile) const {
+        return tile % numNodes();
+    }
+
+    /** Corner node a memory controller attaches to. */
+    std::uint32_t mcNode(McId mc) const;
+
+    /**
+     * Send a message of type @p type from @p src to @p dst node;
+     * @p deliver runs when the tail flit arrives.
+     *
+     * Same-node messages still pay one hop (router traversal).
+     */
+    void send(std::uint32_t src, std::uint32_t dst, MsgType type,
+              std::function<void()> deliver);
+
+    /** Total flit-hops carried (utilization stat). */
+    std::uint64_t flitHops() const { return _flitHops.value(); }
+
+    /** Hop count of the XY route between two nodes. */
+    std::uint32_t hops(std::uint32_t src, std::uint32_t dst) const;
+
+  private:
+    MeshCoord coordOf(std::uint32_t node) const;
+    std::uint32_t nodeOf(MeshCoord c) const;
+
+    /** Link index for the hop from @p from toward @p to (adjacent). */
+    std::size_t linkIndex(std::uint32_t from, std::uint32_t to) const;
+
+    EventQueue &_eq;
+    std::uint32_t _rows;
+    std::uint32_t _cols;
+    Cycles _hopLatency;
+    std::vector<MeshLink> _links;  //!< 4 directed links per node
+    Counter &_messages;
+    Counter &_flitHops;
+};
+
+} // namespace atomsim
+
+#endif // ATOMSIM_NET_MESH_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Mesh node coordinates and link bookkeeping for the on-chip network.
+ */
+
+#ifndef ATOMSIM_NET_ROUTER_HH
+#define ATOMSIM_NET_ROUTER_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace atomsim
+{
+
+/** Integer coordinates of a node in the 2D mesh. */
+struct MeshCoord
+{
+    std::uint32_t row;
+    std::uint32_t col;
+
+    bool
+    operator==(const MeshCoord &other) const
+    {
+        return row == other.row && col == other.col;
+    }
+};
+
+/** Manhattan distance between two mesh nodes (XY route length). */
+std::uint32_t meshHops(const MeshCoord &a, const MeshCoord &b);
+
+/**
+ * A unidirectional mesh link with a busy-until reservation.
+ *
+ * Cut-through approximation: the head flit reserves the link until it
+ * passes; body flits extend occupancy at the destination only. This
+ * captures queuing under load without per-flit events.
+ */
+class MeshLink
+{
+  public:
+    /** Reserve the link starting no earlier than @p earliest.
+     * @return tick at which the head flit has traversed. */
+    Tick reserve(Tick earliest, Cycles hop_latency,
+                 std::uint32_t flits);
+
+    Tick freeAt() const { return _busyUntil; }
+    std::uint64_t flitsCarried() const { return _flits; }
+
+  private:
+    Tick _busyUntil = 0;
+    std::uint64_t _flits = 0;
+};
+
+} // namespace atomsim
+
+#endif // ATOMSIM_NET_ROUTER_HH

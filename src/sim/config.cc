@@ -1,0 +1,80 @@
+#include "sim/config.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace atomsim
+{
+
+const char *
+designName(DesignKind kind)
+{
+    switch (kind) {
+      case DesignKind::Base:
+        return "BASE";
+      case DesignKind::Atom:
+        return "ATOM";
+      case DesignKind::AtomOpt:
+        return "ATOM-OPT";
+      case DesignKind::NonAtomic:
+        return "NON-ATOMIC";
+      case DesignKind::Redo:
+        return "REDO";
+    }
+    return "?";
+}
+
+DesignKind
+designFromName(const std::string &name)
+{
+    if (name == "BASE")
+        return DesignKind::Base;
+    if (name == "ATOM")
+        return DesignKind::Atom;
+    if (name == "ATOM-OPT" || name == "ATOM_OPT")
+        return DesignKind::AtomOpt;
+    if (name == "NON-ATOMIC" || name == "NON_ATOMIC")
+        return DesignKind::NonAtomic;
+    if (name == "REDO")
+        return DesignKind::Redo;
+    fatal("unknown design name '%s'", name.c_str());
+}
+
+Cycles
+SystemConfig::lineTransferCycles() const
+{
+    const double bytes_per_cycle = channelBandwidthBytesPerSec / clockHz;
+    return static_cast<Cycles>(
+        std::ceil(double(kLineBytes) / bytes_per_cycle));
+}
+
+std::uint32_t
+SystemConfig::meshCols() const
+{
+    return (numCores + meshRows - 1) / meshRows;
+}
+
+void
+SystemConfig::validate() const
+{
+    fatal_if(numCores == 0, "numCores must be > 0");
+    fatal_if(sqEntries == 0, "sqEntries must be > 0");
+    fatal_if(l1SizeBytes % (l1Assoc * kLineBytes) != 0,
+             "L1 size must be a multiple of assoc * line size");
+    fatal_if(l2TileBytes % (l2Assoc * kLineBytes) != 0,
+             "L2 tile size must be a multiple of assoc * line size");
+    fatal_if(numMemCtrls == 0, "need at least one memory controller");
+    fatal_if((numMemCtrls & (numMemCtrls - 1)) != 0,
+             "numMemCtrls must be a power of two (address interleaving)");
+    fatal_if(l2Tiles == 0, "need at least one L2 tile");
+    fatal_if(channelsPerMc == 0 || channelsPerMc > 2,
+             "channelsPerMc must be 1 or 2");
+    fatal_if(recordEntries == 0 || recordEntries > 7,
+             "recordEntries must be in [1,7] (512-byte record)");
+    fatal_if(bucketsPerMc == 0, "bucketsPerMc must be > 0");
+    fatal_if(ausPerMc == 0, "ausPerMc must be > 0");
+    fatal_if(meshRows == 0, "meshRows must be > 0");
+}
+
+} // namespace atomsim

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * System configuration: Table I of the paper, plus design knobs.
+ *
+ * Defaults reproduce the paper's evaluated machine: 32 OoO cores at
+ * 2 GHz, 32-entry store queue, 32 KB 4-way L1, 32 x 1 MB 16-way L2
+ * tiles, 4 memory controllers, NVM write/read latency of 360/240 core
+ * cycles (10x DRAM write latency), 2D mesh with 4 rows and 16-byte
+ * flits, 5.3 GB/s peak bandwidth per memory channel.
+ */
+
+#ifndef ATOMSIM_SIM_CONFIG_HH
+#define ATOMSIM_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace atomsim
+{
+
+/**
+ * Which atomic-durability design the system runs.
+ *
+ * These correspond one-to-one with the designs compared in Section V of
+ * the paper.
+ */
+enum class DesignKind
+{
+    /** Hardware undo log; log persist in the store critical path. */
+    Base,
+    /** ATOM with the posted-log optimization (Section III-C). */
+    Atom,
+    /** ATOM with posted + source logging (Section III-D). */
+    AtomOpt,
+    /** No logging at all; upper bound. Data still flushed at commit. */
+    NonAtomic,
+    /** Redo-log design of Doshi et al. (HPCA 2016), hardware-assisted. */
+    Redo,
+};
+
+/** Human-readable design name as used in the paper's figures. */
+const char *designName(DesignKind kind);
+
+/** Parse a design name ("BASE", "ATOM", "ATOM-OPT", ...). */
+DesignKind designFromName(const std::string &name);
+
+/** Full machine + design configuration. */
+struct SystemConfig
+{
+    // --- Cores (Table I) -------------------------------------------------
+    std::uint32_t numCores = 32;
+    /** Core clock in Hz; used only to convert cycles to seconds. */
+    double clockHz = 2.0e9;
+    std::uint32_t robSize = 192;
+    std::uint32_t sqEntries = 32;
+    /**
+     * Stores the SQ may retire concurrently (entries dequeue in
+     * order). Models the LogI MSHRs that let log writes of several
+     * stores overlap (Section IV-B) instead of serializing each
+     * log persist at the SQ head.
+     */
+    std::uint32_t sqDrainWidth = 2;
+    /**
+     * Average non-memory work between two memory micro-ops, in cycles.
+     * Stands in for the OoO core's compute (instruction fetch/decode,
+     * address generation, the program's non-memory instructions);
+     * calibrated so the BASE-vs-NON-ATOMIC gap lands in the paper's
+     * reported range. See DESIGN.md substitutions.
+     */
+    Cycles computeGap = 80;
+
+    // --- L1 (Table I) ----------------------------------------------------
+    std::uint32_t l1SizeBytes = 32 * 1024;
+    std::uint32_t l1Assoc = 4;
+    Cycles l1Latency = 3;
+    std::uint32_t mshrs = 32;
+
+    // --- L2 (Table I) ----------------------------------------------------
+    std::uint32_t l2Tiles = 32;
+    std::uint32_t l2TileBytes = 1024 * 1024;
+    std::uint32_t l2Assoc = 16;
+    Cycles l2Latency = 30;
+
+    // --- Memory (Table I) ------------------------------------------------
+    std::uint32_t numMemCtrls = 4;
+    /** Channels per memory controller (1 default; 2 for the -2C runs). */
+    std::uint32_t channelsPerMc = 1;
+    Cycles nvmReadLatency = 240;
+    Cycles nvmWriteLatency = 360;
+    /**
+     * Peak bandwidth per channel in bytes/second (5.3 GB/s). Converted
+     * to a per-64B-transfer channel occupancy internally.
+     */
+    double channelBandwidthBytesPerSec = 5.3e9;
+    /** Latency of the record-header address match in the MC (1 cycle). */
+    Cycles mcAddrMatchLatency = 1;
+    /** MC scheduling / queueing overhead per request. */
+    Cycles mcFrontendLatency = 8;
+    /** Read queue entries per controller. */
+    std::uint32_t mcReadQueue = 64;
+    /** Write queue entries per controller. */
+    std::uint32_t mcWriteQueue = 64;
+
+    // --- Network (Table I) -----------------------------------------------
+    std::uint32_t meshRows = 4;
+    std::uint32_t flitBytes = 16;
+    /** Per-hop router + link traversal latency. */
+    Cycles hopLatency = 2;
+
+    // --- ATOM log manager (Section IV) -------------------------------
+    /** Log records are 8 lines: 7 data entries + 1 header. */
+    std::uint32_t recordEntries = 7;
+    /** Records per log bucket. */
+    std::uint32_t recordsPerBucket = 8;
+    /** Buckets per memory controller (bucket bit vector width). */
+    std::uint32_t bucketsPerMc = 256;
+    /** Concurrent atomic updates supported in hardware (AUS count). */
+    std::uint32_t ausPerMc = 32;
+    /** Enable log-entry collation (ablation knob; paper default on). */
+    bool enableLec = true;
+    /**
+     * Buckets the OS initially hands to each controller's free list
+     * (0 = all of bucketsPerMc). Smaller values exercise log overflow:
+     * the OS is interrupted to map more log pages (Section IV-E).
+     */
+    std::uint32_t osInitialBucketsPerMc = 0;
+    /** OS interrupt + page-mapping cost on log overflow. */
+    Cycles osOverflowLatency = 5000;
+
+    // --- Design under test -------------------------------------------
+    DesignKind design = DesignKind::AtomOpt;
+
+    /**
+     * REDO: entries the write-combining buffer holds before draining.
+     */
+    std::uint32_t redoCombineEntries = 8;
+
+    /** Workload RNG seed. */
+    std::uint64_t seed = 42;
+
+    // --- Derived -----------------------------------------------------
+    /** Channel occupancy of one 64-byte transfer, in core cycles. */
+    Cycles lineTransferCycles() const;
+    /** Mesh columns = total tiles / rows (cores co-located with tiles). */
+    std::uint32_t meshCols() const;
+
+    /** Abort with a message if the configuration is inconsistent. */
+    void validate() const;
+};
+
+} // namespace atomsim
+
+#endif // ATOMSIM_SIM_CONFIG_HH

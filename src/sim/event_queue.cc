@@ -1,0 +1,55 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace atomsim
+{
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    panic_if(when < _now, "scheduling into the past: when=%llu now=%llu",
+             (unsigned long long)when, (unsigned long long)_now);
+    _heap.push(Entry{when, _seq++, std::move(cb)});
+}
+
+bool
+EventQueue::step()
+{
+    if (_heap.empty())
+        return false;
+    // priority_queue::top() returns const&; move out via const_cast is
+    // safe here because we pop immediately after.
+    Entry e = std::move(const_cast<Entry &>(_heap.top()));
+    _heap.pop();
+    _now = e.when;
+    ++_executed;
+    e.cb();
+    return true;
+}
+
+std::uint64_t
+EventQueue::run(Tick limit)
+{
+    std::uint64_t n = 0;
+    while (!_heap.empty() && _heap.top().when <= limit) {
+        step();
+        ++n;
+    }
+    if (_now < limit && limit != kTickNever)
+        _now = limit;
+    return n;
+}
+
+std::uint64_t
+EventQueue::runUntil(const std::function<bool()> &pred, Tick limit)
+{
+    std::uint64_t n = 0;
+    while (!pred() && !_heap.empty() && _heap.top().when <= limit) {
+        step();
+        ++n;
+    }
+    return n;
+}
+
+} // namespace atomsim

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * atomsim is driven by a single global-per-System event queue. Components
+ * schedule callbacks at absolute ticks; the queue executes them in
+ * (tick, insertion-order) order, which gives deterministic simulation for
+ * a fixed configuration and seed.
+ */
+
+#ifndef ATOMSIM_SIM_EVENT_QUEUE_HH
+#define ATOMSIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace atomsim
+{
+
+/**
+ * A single-owner discrete event queue.
+ *
+ * Events are arbitrary std::function callbacks. Scheduling is allowed
+ * from inside event execution (the common case). Events may be scheduled
+ * at the current tick; they run after all previously-scheduled events of
+ * that tick.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /**
+     * Schedule a callback at absolute tick @p when.
+     *
+     * @pre when >= now()
+     */
+    void schedule(Tick when, Callback cb);
+
+    /** Schedule a callback @p delay ticks from now. */
+    void scheduleIn(Cycles delay, Callback cb) {
+        schedule(_now + delay, std::move(cb));
+    }
+
+    /** True when no events remain. */
+    bool empty() const { return _heap.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return _heap.size(); }
+
+    /**
+     * Execute a single event (the earliest). Advances now() to the
+     * event's tick.
+     *
+     * @retval true an event was executed
+     * @retval false the queue was empty
+     */
+    bool step();
+
+    /**
+     * Run until the queue drains or @p limit ticks is reached.
+     *
+     * @param limit absolute tick bound (events after it stay queued)
+     * @return number of events executed
+     */
+    std::uint64_t run(Tick limit = kTickNever);
+
+    /**
+     * Run until @p pred returns true (checked after every event), the
+     * queue drains, or @p limit is hit.
+     */
+    std::uint64_t runUntil(const std::function<bool()> &pred,
+                           Tick limit = kTickNever);
+
+    /** Total events executed over the queue's lifetime. */
+    std::uint64_t executed() const { return _executed; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;  //!< tie-breaker: FIFO within a tick
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
+    Tick _now = 0;
+    std::uint64_t _seq = 0;
+    std::uint64_t _executed = 0;
+};
+
+} // namespace atomsim
+
+#endif // ATOMSIM_SIM_EVENT_QUEUE_HH

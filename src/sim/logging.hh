@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's base/logging.hh.
+ *
+ * panic()  -- internal simulator invariant violated (never the user's
+ *             fault); aborts.
+ * fatal()  -- the simulation cannot continue because of a configuration
+ *             or usage error; exits cleanly with an error.
+ * warn()   -- something is off but simulation can proceed.
+ * inform() -- status messages.
+ */
+
+#ifndef ATOMSIM_SIM_LOGGING_HH
+#define ATOMSIM_SIM_LOGGING_HH
+
+#include <cstdarg>
+
+namespace atomsim
+{
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+void warnImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+void informImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Enable/disable inform() output (benches quiet it down). */
+void setVerbose(bool verbose);
+bool verbose();
+
+} // namespace atomsim
+
+#define panic(...) ::atomsim::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define fatal(...) ::atomsim::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define warn(...) ::atomsim::warnImpl(__VA_ARGS__)
+#define inform(...) ::atomsim::informImpl(__VA_ARGS__)
+
+#define panic_if(cond, ...) \
+    do { \
+        if (cond) \
+            panic(__VA_ARGS__); \
+    } while (0)
+
+#define fatal_if(cond, ...) \
+    do { \
+        if (cond) \
+            fatal(__VA_ARGS__); \
+    } while (0)
+
+#endif // ATOMSIM_SIM_LOGGING_HH

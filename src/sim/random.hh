@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Deterministic pseudo-random source for workloads.
+ *
+ * A small xoshiro256** generator: fast, seedable, reproducible across
+ * platforms (unlike std::default_random_engine) so experiment outputs
+ * are stable.
+ */
+
+#ifndef ATOMSIM_SIM_RANDOM_HH
+#define ATOMSIM_SIM_RANDOM_HH
+
+#include <cstdint>
+
+namespace atomsim
+{
+
+/** xoshiro256** PRNG with splitmix64 seeding. */
+class Random
+{
+  public:
+    explicit Random(std::uint64_t seed = 1) { reseed(seed); }
+
+    /** Reset the stream from a 64-bit seed. */
+    void reseed(std::uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) (bound > 0). */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double unit();
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return unit() < p; }
+
+  private:
+    std::uint64_t _s[4];
+};
+
+} // namespace atomsim
+
+#endif // ATOMSIM_SIM_RANDOM_HH

@@ -1,0 +1,55 @@
+#include "sim/stats.hh"
+
+namespace atomsim
+{
+
+Counter &
+StatSet::counter(const std::string &group, const std::string &name)
+{
+    return _counters[group + "." + name];
+}
+
+std::uint64_t
+StatSet::value(const std::string &group, const std::string &name) const
+{
+    auto it = _counters.find(group + "." + name);
+    return it == _counters.end() ? 0 : it->second.value();
+}
+
+std::uint64_t
+StatSet::sum(const std::string &group_prefix, const std::string &name) const
+{
+    std::uint64_t total = 0;
+    const std::string suffix = "." + name;
+    for (const auto &[full, ctr] : _counters) {
+        if (full.size() < suffix.size())
+            continue;
+        if (full.compare(full.size() - suffix.size(), suffix.size(),
+                         suffix) != 0) {
+            continue;
+        }
+        if (full.compare(0, group_prefix.size(), group_prefix) != 0)
+            continue;
+        total += ctr.value();
+    }
+    return total;
+}
+
+void
+StatSet::resetAll()
+{
+    for (auto &[full, ctr] : _counters)
+        ctr.reset();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+StatSet::dump() const
+{
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(_counters.size());
+    for (const auto &[full, ctr] : _counters)
+        out.emplace_back(full, ctr.value());
+    return out;
+}
+
+} // namespace atomsim

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fundamental scalar types used throughout atomsim.
+ *
+ * All timing in atomsim is expressed in core clock cycles ("ticks") of
+ * the simulated 2 GHz processor. Addresses are byte addresses in the
+ * simulated physical address space.
+ */
+
+#ifndef ATOMSIM_SIM_TYPES_HH
+#define ATOMSIM_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace atomsim
+{
+
+/** Simulated time, in core clock cycles. */
+using Tick = std::uint64_t;
+
+/** A duration, in core clock cycles. */
+using Cycles = std::uint64_t;
+
+/** Physical byte address in the simulated machine. */
+using Addr = std::uint64_t;
+
+/** Identifier of a core / hardware thread (0..numCores-1). */
+using CoreId = std::uint32_t;
+
+/** Identifier of a memory controller (0..numMemCtrls-1). */
+using McId = std::uint32_t;
+
+/** Sentinel for "no tick scheduled". */
+constexpr Tick kTickNever = ~Tick(0);
+
+/** Cache line size used everywhere in the system (bytes). */
+constexpr std::uint32_t kLineBytes = 64;
+
+/** Shift amount converting a byte address to a line address. */
+constexpr std::uint32_t kLineShift = 6;
+
+/** Align an address down to its cache-line base. */
+constexpr Addr
+lineAlign(Addr a)
+{
+    return a & ~Addr(kLineBytes - 1);
+}
+
+/** Line number (address / 64) of a byte address. */
+constexpr Addr
+lineNumber(Addr a)
+{
+    return a >> kLineShift;
+}
+
+} // namespace atomsim
+
+#endif // ATOMSIM_SIM_TYPES_HH

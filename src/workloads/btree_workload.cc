@@ -1,0 +1,106 @@
+#include "workloads/btree_workload.hh"
+
+#include <algorithm>
+
+namespace atomsim
+{
+
+namespace
+{
+
+std::uint64_t
+payloadWord(std::uint64_t key, std::size_t i)
+{
+    return key * 0x2545f4914f6cdd1dULL + i;
+}
+
+} // namespace
+
+BTreeWorkload::BTreeWorkload(const MicroParams &params) : _params(params)
+{
+}
+
+void
+BTreeWorkload::init(DirectAccessor &mem, PersistentHeap &heap,
+                    std::uint32_t num_cores)
+{
+    _heap = &heap;
+    _state.clear();
+    _state.resize(num_cores);
+    for (std::uint32_t c = 0; c < num_cores; ++c) {
+        PerCore &pc = _state[c];
+        const Addr anchor = BPlusTree::create(mem, heap, c);
+        pc.tree = std::make_unique<BPlusTree>(anchor, heap, c);
+        pc.nextKey = (std::uint64_t(c) << 32) + 1;
+        for (std::uint32_t i = 0; i < _params.initialItems; ++i)
+            insert(c, mem, pc.nextKey++);
+    }
+}
+
+void
+BTreeWorkload::insert(CoreId core, Accessor &mem, std::uint64_t key)
+{
+    PerCore &pc = _state[core];
+    const Addr payload = _heap->alloc(core, _params.entryBytes,
+                                      kLineBytes);
+    std::vector<std::uint64_t> words(_params.entryBytes / 8);
+    for (std::size_t i = 0; i < words.size(); ++i)
+        words[i] = payloadWord(key, i);
+
+    mem.atomicBegin();
+    mem.storeBytes(payload, _params.entryBytes, words.data());
+    pc.tree->insert(mem, key, payload);
+    mem.atomicEnd();
+    pc.liveKeys.push_back(key);
+}
+
+void
+BTreeWorkload::runTransaction(CoreId core, Accessor &mem, Random &rng)
+{
+    PerCore &pc = _state[core];
+    if (!pc.liveKeys.empty()) {
+        pc.tree->search(
+            mem, pc.liveKeys[std::size_t(rng.below(pc.liveKeys.size()))]);
+    }
+    if (pc.liveKeys.empty() || rng.chance(0.5)) {
+        insert(core, mem, pc.nextKey++);
+    } else {
+        const std::size_t at = std::size_t(rng.below(pc.liveKeys.size()));
+        const std::uint64_t key = pc.liveKeys[at];
+        mem.atomicBegin();
+        pc.tree->remove(mem, key);
+        mem.atomicEnd();
+        pc.liveKeys[at] = pc.liveKeys.back();
+        pc.liveKeys.pop_back();
+    }
+}
+
+std::string
+BTreeWorkload::checkConsistency(DirectAccessor &mem,
+                                std::uint32_t num_cores)
+{
+    for (std::uint32_t c = 0; c < num_cores; ++c) {
+        PerCore &pc = _state[c];
+        if (!pc.tree)
+            continue;
+        const std::string err = pc.tree->checkStructure(mem);
+        if (!err.empty())
+            return err;
+        // Payload integrity for every reachable key.
+        for (std::uint64_t key = (std::uint64_t(c) << 32) + 1;
+             key < pc.nextKey; ++key) {
+            const auto val = pc.tree->search(mem, key);
+            if (!val)
+                continue;
+            std::vector<std::uint64_t> words(_params.entryBytes / 8);
+            mem.loadBytes(*val, _params.entryBytes, words.data());
+            for (std::size_t i = 0; i < words.size(); ++i) {
+                if (words[i] != payloadWord(key, i))
+                    return "torn btree payload";
+            }
+        }
+    }
+    return "";
+}
+
+} // namespace atomsim

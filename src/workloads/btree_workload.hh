@@ -1,0 +1,51 @@
+/**
+ * @file
+ * BTree micro-benchmark: atomic insert/delete of nodes in per-core
+ * persistent B+-trees (Table II). Values point at payload blocks of
+ * entryBytes written inside the atomic region.
+ */
+
+#ifndef ATOMSIM_WORKLOADS_BTREE_WORKLOAD_HH
+#define ATOMSIM_WORKLOADS_BTREE_WORKLOAD_HH
+
+#include <memory>
+#include <vector>
+
+#include "workloads/heap.hh"
+#include "workloads/tpcc/bplus_tree.hh"
+#include "workloads/workload.hh"
+
+namespace atomsim
+{
+
+/** Per-core B+-tree with external payload blocks. */
+class BTreeWorkload : public Workload
+{
+  public:
+    explicit BTreeWorkload(const MicroParams &params);
+
+    std::string name() const override { return "btree"; }
+    void init(DirectAccessor &mem, PersistentHeap &heap,
+              std::uint32_t num_cores) override;
+    void runTransaction(CoreId core, Accessor &mem, Random &rng) override;
+    std::string checkConsistency(DirectAccessor &mem,
+                                 std::uint32_t num_cores) override;
+
+  private:
+    struct PerCore
+    {
+        std::unique_ptr<BPlusTree> tree;
+        std::uint64_t nextKey = 0;
+        std::vector<std::uint64_t> liveKeys;
+    };
+
+    void insert(CoreId core, Accessor &mem, std::uint64_t key);
+
+    MicroParams _params;
+    PersistentHeap *_heap = nullptr;
+    std::vector<PerCore> _state;
+};
+
+} // namespace atomsim
+
+#endif // ATOMSIM_WORKLOADS_BTREE_WORKLOAD_HH

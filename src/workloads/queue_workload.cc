@@ -1,0 +1,159 @@
+#include "workloads/queue_workload.hh"
+
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace atomsim
+{
+
+namespace
+{
+
+constexpr Addr kNextOff = 0;
+constexpr Addr kSeqOff = 8;
+constexpr Addr kPayloadOff = kLineBytes;
+
+constexpr Addr kHeadOff = 0;
+constexpr Addr kTailOff = 8;
+constexpr Addr kCountOff = 16;
+
+} // namespace
+
+QueueWorkload::QueueWorkload(const MicroParams &params) : _params(params)
+{
+}
+
+Addr
+QueueWorkload::nodeBytes() const
+{
+    return kPayloadOff + _params.entryBytes;
+}
+
+void
+QueueWorkload::init(DirectAccessor &mem, PersistentHeap &heap,
+                    std::uint32_t num_cores)
+{
+    _heap = &heap;
+    _state.assign(num_cores, PerCore{});
+    for (std::uint32_t c = 0; c < num_cores; ++c) {
+        PerCore &pc = _state[c];
+        pc.anchor = heap.alloc(c, 24, kLineBytes);
+        mem.store64(pc.anchor + kHeadOff, 0);
+        mem.store64(pc.anchor + kTailOff, 0);
+        mem.store64(pc.anchor + kCountOff, 0);
+        pc.nextSeq = std::uint64_t(c) << 32;
+        for (std::uint32_t i = 0; i < _params.initialItems; ++i)
+            enqueue(c, mem);
+    }
+}
+
+void
+QueueWorkload::enqueue(CoreId core, Accessor &mem)
+{
+    PerCore &pc = _state[core];
+    const std::uint64_t seq = pc.nextSeq++;
+    const Addr node = _heap->alloc(core, nodeBytes());
+    const Addr tail = mem.load64(pc.anchor + kTailOff);
+    const std::uint64_t count = mem.load64(pc.anchor + kCountOff);
+
+    std::vector<std::uint64_t> payload(_params.entryBytes / 8);
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = seq * 0xc2b2ae3d27d4eb4fULL + i;
+
+    mem.atomicBegin();
+    mem.store64(node + kNextOff, 0);
+    mem.store64(node + kSeqOff, seq);
+    mem.storeBytes(node + kPayloadOff, _params.entryBytes,
+                   payload.data());
+    if (tail == 0) {
+        mem.store64(pc.anchor + kHeadOff, node);
+    } else {
+        mem.store64(tail + kNextOff, node);
+    }
+    mem.store64(pc.anchor + kTailOff, node);
+    mem.store64(pc.anchor + kCountOff, count + 1);
+    mem.atomicEnd();
+}
+
+void
+QueueWorkload::dequeue(CoreId core, Accessor &mem)
+{
+    PerCore &pc = _state[core];
+    const Addr head = mem.load64(pc.anchor + kHeadOff);
+    if (head == 0)
+        return;
+    const Addr next = mem.load64(head + kNextOff);
+    const std::uint64_t count = mem.load64(pc.anchor + kCountOff);
+
+    mem.atomicBegin();
+    mem.store64(pc.anchor + kHeadOff, next);
+    if (next == 0)
+        mem.store64(pc.anchor + kTailOff, 0);
+    mem.store64(pc.anchor + kCountOff, count - 1);
+    mem.store64(head + kSeqOff, ~std::uint64_t(0));  // poison
+    mem.atomicEnd();
+    _heap->free(core, head, nodeBytes());
+}
+
+void
+QueueWorkload::runTransaction(CoreId core, Accessor &mem, Random &rng)
+{
+    // Peek (search analogue), then a balanced enqueue/dequeue mix.
+    PerCore &pc = _state[core];
+    const Addr head = mem.load64(pc.anchor + kHeadOff);
+    if (head != 0)
+        mem.load64(head + kSeqOff);
+
+    if (rng.chance(0.5))
+        enqueue(core, mem);
+    else
+        dequeue(core, mem);
+}
+
+std::string
+QueueWorkload::checkConsistency(DirectAccessor &mem,
+                                std::uint32_t num_cores)
+{
+    for (std::uint32_t c = 0; c < num_cores; ++c) {
+        const PerCore &pc = _state[c];
+        if (pc.anchor == 0)
+            continue;
+        const Addr head = mem.load64(pc.anchor + kHeadOff);
+        const Addr tail = mem.load64(pc.anchor + kTailOff);
+        const std::uint64_t count = mem.load64(pc.anchor + kCountOff);
+
+        std::uint64_t seen = 0;
+        Addr node = head;
+        Addr last = 0;
+        std::uint64_t prev_seq = 0;
+        while (node != 0) {
+            const std::uint64_t seq = mem.load64(node + kSeqOff);
+            if (seq == ~std::uint64_t(0))
+                return "queue reaches a dequeued (poisoned) node";
+            if (seen > 0 && seq <= prev_seq)
+                return "queue sequence numbers not increasing";
+            std::vector<std::uint64_t> payload(_params.entryBytes / 8);
+            mem.loadBytes(node + kPayloadOff, _params.entryBytes,
+                          payload.data());
+            for (std::size_t i = 0; i < payload.size(); ++i) {
+                if (payload[i] != seq * 0xc2b2ae3d27d4eb4fULL + i)
+                    return "torn queue payload";
+            }
+            prev_seq = seq;
+            last = node;
+            node = mem.load64(node + kNextOff);
+            if (++seen > (std::uint64_t(1) << 24))
+                return "cycle in the queue";
+        }
+        if (seen != count)
+            return "queue count disagrees with the chain length";
+        if (last != tail)
+            return "tail pointer does not reach the last node";
+        if ((head == 0) != (tail == 0))
+            return "head/tail emptiness mismatch";
+    }
+    return "";
+}
+
+} // namespace atomsim

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Queue micro-benchmark: atomic enqueue/dequeue on per-core linked
+ * FIFO queues, in the spirit of the copy-while-locked queue the paper
+ * references (Table II).
+ */
+
+#ifndef ATOMSIM_WORKLOADS_QUEUE_WORKLOAD_HH
+#define ATOMSIM_WORKLOADS_QUEUE_WORKLOAD_HH
+
+#include <vector>
+
+#include "workloads/heap.hh"
+#include "workloads/workload.hh"
+
+namespace atomsim
+{
+
+/**
+ * Per core: a {head, tail, count} anchor plus singly-linked nodes
+ * {next, seq, payload[entryBytes]}. A transaction enqueues or dequeues
+ * atomically; enqueue copies the full payload (the write-heavy part).
+ */
+class QueueWorkload : public Workload
+{
+  public:
+    explicit QueueWorkload(const MicroParams &params);
+
+    std::string name() const override { return "queue"; }
+    void init(DirectAccessor &mem, PersistentHeap &heap,
+              std::uint32_t num_cores) override;
+    void runTransaction(CoreId core, Accessor &mem, Random &rng) override;
+    std::string checkConsistency(DirectAccessor &mem,
+                                 std::uint32_t num_cores) override;
+
+  private:
+    struct PerCore
+    {
+        Addr anchor = 0;  //!< head @0, tail @8, count @16
+        std::uint64_t nextSeq = 0;
+    };
+
+    Addr nodeBytes() const;
+    void enqueue(CoreId core, Accessor &mem);
+    void dequeue(CoreId core, Accessor &mem);
+
+    MicroParams _params;
+    PersistentHeap *_heap = nullptr;
+    std::vector<PerCore> _state;
+};
+
+} // namespace atomsim
+
+#endif // ATOMSIM_WORKLOADS_QUEUE_WORKLOAD_HH

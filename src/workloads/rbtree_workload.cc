@@ -1,0 +1,459 @@
+#include "workloads/rbtree_workload.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace atomsim
+{
+
+namespace
+{
+
+// Node layout: key @0, color @8 (0=black, 1=red), left @16, right @24,
+// parent @32, payload @64 (line-aligned).
+constexpr Addr kKeyOff = 0;
+constexpr Addr kColorOff = 8;
+constexpr Addr kLeftOff = 16;
+constexpr Addr kRightOff = 24;
+constexpr Addr kParentOff = 32;
+constexpr Addr kPayloadOff = kLineBytes;
+
+constexpr std::uint64_t kBlack = 0;
+constexpr std::uint64_t kRed = 1;
+
+std::uint64_t
+payloadWord(std::uint64_t key, std::size_t i)
+{
+    return key * 0xa24baed4963ee407ULL + i;
+}
+
+} // namespace
+
+RbTreeWorkload::RbTreeWorkload(const MicroParams &params)
+    : _params(params)
+{
+}
+
+Addr
+RbTreeWorkload::nodeBytes() const
+{
+    return kPayloadOff + _params.entryBytes;
+}
+
+Addr
+RbTreeWorkload::root(Accessor &mem, PerCore &pc)
+{
+    return mem.load64(pc.anchor);
+}
+
+void
+RbTreeWorkload::setRoot(Accessor &mem, PerCore &pc, Addr n)
+{
+    mem.store64(pc.anchor, n);
+}
+
+void
+RbTreeWorkload::init(DirectAccessor &mem, PersistentHeap &heap,
+                     std::uint32_t num_cores)
+{
+    _heap = &heap;
+    _state.assign(num_cores, PerCore{});
+    for (std::uint32_t c = 0; c < num_cores; ++c) {
+        PerCore &pc = _state[c];
+        pc.anchor = heap.alloc(c, 8, kLineBytes);
+        pc.nil = heap.alloc(c, nodeBytes());
+        mem.store64(pc.nil + kColorOff, kBlack);
+        mem.store64(pc.nil + kLeftOff, pc.nil);
+        mem.store64(pc.nil + kRightOff, pc.nil);
+        mem.store64(pc.nil + kParentOff, pc.nil);
+        setRoot(mem, pc, pc.nil);
+        pc.nextKey = std::uint64_t(c) << 32;
+        for (std::uint32_t i = 0; i < _params.initialItems; ++i)
+            insert(c, mem, pc.nextKey++);
+    }
+}
+
+void
+RbTreeWorkload::leftRotate(Accessor &mem, PerCore &pc, Addr x)
+{
+    const Addr y = mem.load64(x + kRightOff);
+    const Addr y_left = mem.load64(y + kLeftOff);
+    mem.store64(x + kRightOff, y_left);
+    if (y_left != pc.nil)
+        mem.store64(y_left + kParentOff, x);
+    const Addr xp = mem.load64(x + kParentOff);
+    mem.store64(y + kParentOff, xp);
+    if (xp == pc.nil)
+        setRoot(mem, pc, y);
+    else if (x == mem.load64(xp + kLeftOff))
+        mem.store64(xp + kLeftOff, y);
+    else
+        mem.store64(xp + kRightOff, y);
+    mem.store64(y + kLeftOff, x);
+    mem.store64(x + kParentOff, y);
+}
+
+void
+RbTreeWorkload::rightRotate(Accessor &mem, PerCore &pc, Addr x)
+{
+    const Addr y = mem.load64(x + kLeftOff);
+    const Addr y_right = mem.load64(y + kRightOff);
+    mem.store64(x + kLeftOff, y_right);
+    if (y_right != pc.nil)
+        mem.store64(y_right + kParentOff, x);
+    const Addr xp = mem.load64(x + kParentOff);
+    mem.store64(y + kParentOff, xp);
+    if (xp == pc.nil)
+        setRoot(mem, pc, y);
+    else if (x == mem.load64(xp + kRightOff))
+        mem.store64(xp + kRightOff, y);
+    else
+        mem.store64(xp + kLeftOff, y);
+    mem.store64(y + kRightOff, x);
+    mem.store64(x + kParentOff, y);
+}
+
+void
+RbTreeWorkload::insertFixup(Accessor &mem, PerCore &pc, Addr z)
+{
+    while (mem.load64(mem.load64(z + kParentOff) + kColorOff) == kRed) {
+        Addr zp = mem.load64(z + kParentOff);
+        Addr zpp = mem.load64(zp + kParentOff);
+        if (zp == mem.load64(zpp + kLeftOff)) {
+            const Addr uncle = mem.load64(zpp + kRightOff);
+            if (mem.load64(uncle + kColorOff) == kRed) {
+                mem.store64(zp + kColorOff, kBlack);
+                mem.store64(uncle + kColorOff, kBlack);
+                mem.store64(zpp + kColorOff, kRed);
+                z = zpp;
+            } else {
+                if (z == mem.load64(zp + kRightOff)) {
+                    z = zp;
+                    leftRotate(mem, pc, z);
+                    zp = mem.load64(z + kParentOff);
+                    zpp = mem.load64(zp + kParentOff);
+                }
+                mem.store64(zp + kColorOff, kBlack);
+                mem.store64(zpp + kColorOff, kRed);
+                rightRotate(mem, pc, zpp);
+            }
+        } else {
+            const Addr uncle = mem.load64(zpp + kLeftOff);
+            if (mem.load64(uncle + kColorOff) == kRed) {
+                mem.store64(zp + kColorOff, kBlack);
+                mem.store64(uncle + kColorOff, kBlack);
+                mem.store64(zpp + kColorOff, kRed);
+                z = zpp;
+            } else {
+                if (z == mem.load64(zp + kLeftOff)) {
+                    z = zp;
+                    rightRotate(mem, pc, z);
+                    zp = mem.load64(z + kParentOff);
+                    zpp = mem.load64(zp + kParentOff);
+                }
+                mem.store64(zp + kColorOff, kBlack);
+                mem.store64(zpp + kColorOff, kRed);
+                leftRotate(mem, pc, zpp);
+            }
+        }
+    }
+    mem.store64(root(mem, pc) + kColorOff, kBlack);
+}
+
+void
+RbTreeWorkload::insert(CoreId core, Accessor &mem, std::uint64_t key)
+{
+    PerCore &pc = _state[core];
+
+    const Addr z = _heap->alloc(core, nodeBytes());
+    std::vector<std::uint64_t> payload(_params.entryBytes / 8);
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = payloadWord(key, i);
+
+    // Walk down to the insertion point (reads happen outside the
+    // atomic region; the mutation is the durable part).
+    Addr y = pc.nil;
+    Addr x = root(mem, pc);
+    while (x != pc.nil) {
+        y = x;
+        mem.compute(2);
+        x = (key < mem.load64(x + kKeyOff))
+                ? mem.load64(x + kLeftOff)
+                : mem.load64(x + kRightOff);
+    }
+
+    mem.atomicBegin();
+    mem.store64(z + kKeyOff, key);
+    mem.storeBytes(z + kPayloadOff, _params.entryBytes, payload.data());
+    mem.store64(z + kParentOff, y);
+    if (y == pc.nil)
+        setRoot(mem, pc, z);
+    else if (key < mem.load64(y + kKeyOff))
+        mem.store64(y + kLeftOff, z);
+    else
+        mem.store64(y + kRightOff, z);
+    mem.store64(z + kLeftOff, pc.nil);
+    mem.store64(z + kRightOff, pc.nil);
+    mem.store64(z + kColorOff, kRed);
+    insertFixup(mem, pc, z);
+    mem.atomicEnd();
+
+    pc.liveKeys.push_back(key);
+}
+
+Addr
+RbTreeWorkload::minimum(Accessor &mem, PerCore &pc, Addr n)
+{
+    while (mem.load64(n + kLeftOff) != pc.nil)
+        n = mem.load64(n + kLeftOff);
+    return n;
+}
+
+void
+RbTreeWorkload::transplant(Accessor &mem, PerCore &pc, Addr u, Addr v)
+{
+    const Addr up = mem.load64(u + kParentOff);
+    if (up == pc.nil)
+        setRoot(mem, pc, v);
+    else if (u == mem.load64(up + kLeftOff))
+        mem.store64(up + kLeftOff, v);
+    else
+        mem.store64(up + kRightOff, v);
+    mem.store64(v + kParentOff, up);
+}
+
+void
+RbTreeWorkload::deleteFixup(Accessor &mem, PerCore &pc, Addr x)
+{
+    while (x != root(mem, pc) &&
+           mem.load64(x + kColorOff) == kBlack) {
+        const Addr xp = mem.load64(x + kParentOff);
+        if (x == mem.load64(xp + kLeftOff)) {
+            Addr w = mem.load64(xp + kRightOff);
+            if (mem.load64(w + kColorOff) == kRed) {
+                mem.store64(w + kColorOff, kBlack);
+                mem.store64(xp + kColorOff, kRed);
+                leftRotate(mem, pc, xp);
+                w = mem.load64(mem.load64(x + kParentOff) + kRightOff);
+            }
+            const Addr wl = mem.load64(w + kLeftOff);
+            const Addr wr = mem.load64(w + kRightOff);
+            if (mem.load64(wl + kColorOff) == kBlack &&
+                mem.load64(wr + kColorOff) == kBlack) {
+                mem.store64(w + kColorOff, kRed);
+                x = mem.load64(x + kParentOff);
+            } else {
+                if (mem.load64(wr + kColorOff) == kBlack) {
+                    mem.store64(wl + kColorOff, kBlack);
+                    mem.store64(w + kColorOff, kRed);
+                    rightRotate(mem, pc, w);
+                    w = mem.load64(mem.load64(x + kParentOff) +
+                                   kRightOff);
+                }
+                const Addr xp2 = mem.load64(x + kParentOff);
+                mem.store64(w + kColorOff,
+                            mem.load64(xp2 + kColorOff));
+                mem.store64(xp2 + kColorOff, kBlack);
+                mem.store64(mem.load64(w + kRightOff) + kColorOff,
+                            kBlack);
+                leftRotate(mem, pc, xp2);
+                x = root(mem, pc);
+            }
+        } else {
+            Addr w = mem.load64(xp + kLeftOff);
+            if (mem.load64(w + kColorOff) == kRed) {
+                mem.store64(w + kColorOff, kBlack);
+                mem.store64(xp + kColorOff, kRed);
+                rightRotate(mem, pc, xp);
+                w = mem.load64(mem.load64(x + kParentOff) + kLeftOff);
+            }
+            const Addr wl = mem.load64(w + kLeftOff);
+            const Addr wr = mem.load64(w + kRightOff);
+            if (mem.load64(wr + kColorOff) == kBlack &&
+                mem.load64(wl + kColorOff) == kBlack) {
+                mem.store64(w + kColorOff, kRed);
+                x = mem.load64(x + kParentOff);
+            } else {
+                if (mem.load64(wl + kColorOff) == kBlack) {
+                    mem.store64(wr + kColorOff, kBlack);
+                    mem.store64(w + kColorOff, kRed);
+                    leftRotate(mem, pc, w);
+                    w = mem.load64(mem.load64(x + kParentOff) +
+                                   kLeftOff);
+                }
+                const Addr xp2 = mem.load64(x + kParentOff);
+                mem.store64(w + kColorOff,
+                            mem.load64(xp2 + kColorOff));
+                mem.store64(xp2 + kColorOff, kBlack);
+                mem.store64(mem.load64(w + kLeftOff) + kColorOff,
+                            kBlack);
+                rightRotate(mem, pc, xp2);
+                x = root(mem, pc);
+            }
+        }
+    }
+    mem.store64(x + kColorOff, kBlack);
+}
+
+Addr
+RbTreeWorkload::find(Accessor &mem, PerCore &pc, std::uint64_t key)
+{
+    Addr n = root(mem, pc);
+    while (n != pc.nil) {
+        const std::uint64_t k = mem.load64(n + kKeyOff);
+        mem.compute(2);
+        if (k == key)
+            return n;
+        n = (key < k) ? mem.load64(n + kLeftOff)
+                      : mem.load64(n + kRightOff);
+    }
+    return 0;
+}
+
+bool
+RbTreeWorkload::remove(CoreId core, Accessor &mem, std::uint64_t key)
+{
+    PerCore &pc = _state[core];
+    const Addr z = find(mem, pc, key);
+    if (z == 0)
+        return false;
+
+    mem.atomicBegin();
+    Addr y = z;
+    std::uint64_t y_color = mem.load64(y + kColorOff);
+    Addr x;
+    if (mem.load64(z + kLeftOff) == pc.nil) {
+        x = mem.load64(z + kRightOff);
+        transplant(mem, pc, z, x);
+    } else if (mem.load64(z + kRightOff) == pc.nil) {
+        x = mem.load64(z + kLeftOff);
+        transplant(mem, pc, z, x);
+    } else {
+        y = minimum(mem, pc, mem.load64(z + kRightOff));
+        y_color = mem.load64(y + kColorOff);
+        x = mem.load64(y + kRightOff);
+        if (mem.load64(y + kParentOff) == z) {
+            mem.store64(x + kParentOff, y);
+        } else {
+            transplant(mem, pc, y, x);
+            const Addr zr = mem.load64(z + kRightOff);
+            mem.store64(y + kRightOff, zr);
+            mem.store64(zr + kParentOff, y);
+        }
+        transplant(mem, pc, z, y);
+        const Addr zl = mem.load64(z + kLeftOff);
+        mem.store64(y + kLeftOff, zl);
+        mem.store64(zl + kParentOff, y);
+        mem.store64(y + kColorOff, mem.load64(z + kColorOff));
+    }
+    if (y_color == kBlack)
+        deleteFixup(mem, pc, x);
+    mem.store64(z + kKeyOff, ~std::uint64_t(0));  // poison
+    mem.atomicEnd();
+
+    _heap->free(core, z, nodeBytes());
+    auto it = std::find(pc.liveKeys.begin(), pc.liveKeys.end(), key);
+    if (it != pc.liveKeys.end()) {
+        *it = pc.liveKeys.back();
+        pc.liveKeys.pop_back();
+    }
+    return true;
+}
+
+void
+RbTreeWorkload::runTransaction(CoreId core, Accessor &mem, Random &rng)
+{
+    PerCore &pc = _state[core];
+    // Search first (non-durable), then an atomic insert or delete.
+    if (!pc.liveKeys.empty()) {
+        find(mem, pc,
+             pc.liveKeys[std::size_t(rng.below(pc.liveKeys.size()))]);
+    }
+    const bool do_insert = pc.liveKeys.empty() || rng.chance(0.5);
+    if (do_insert) {
+        insert(core, mem, pc.nextKey++);
+    } else {
+        const std::uint64_t victim =
+            pc.liveKeys[std::size_t(rng.below(pc.liveKeys.size()))];
+        remove(core, mem, victim);
+    }
+}
+
+std::string
+RbTreeWorkload::checkSubtree(DirectAccessor &mem, const PerCore &pc,
+                             Addr n, std::uint64_t lo, std::uint64_t hi,
+                             int &black_height) const
+{
+    if (n == pc.nil) {
+        black_height = 1;
+        return "";
+    }
+    const std::uint64_t key = mem.load64(n + kKeyOff);
+    if (key == ~std::uint64_t(0))
+        return "tree reaches a deleted (poisoned) node";
+    if (key < lo || key >= hi)
+        return "BST ordering violated";
+    const std::uint64_t color = mem.load64(n + kColorOff);
+    if (color != kRed && color != kBlack)
+        return "invalid node color";
+    const Addr l = mem.load64(n + kLeftOff);
+    const Addr r = mem.load64(n + kRightOff);
+    if (color == kRed) {
+        if (mem.load64(l + kColorOff) == kRed ||
+            mem.load64(r + kColorOff) == kRed) {
+            return "red node with a red child";
+        }
+    }
+    // Parent pointers must agree with the downward links.
+    if (l != pc.nil && mem.load64(l + kParentOff) != n)
+        return "left child's parent pointer is wrong";
+    if (r != pc.nil && mem.load64(r + kParentOff) != n)
+        return "right child's parent pointer is wrong";
+
+    // Payload integrity.
+    std::vector<std::uint64_t> words(_params.entryBytes / 8);
+    mem.loadBytes(n + kPayloadOff, _params.entryBytes, words.data());
+    for (std::size_t i = 0; i < words.size(); ++i) {
+        if (words[i] != payloadWord(key, i))
+            return "torn node payload";
+    }
+
+    int lbh = 0;
+    int rbh = 0;
+    std::string err = checkSubtree(mem, pc, l, lo, key, lbh);
+    if (!err.empty())
+        return err;
+    err = checkSubtree(mem, pc, r, key + 1, hi, rbh);
+    if (!err.empty())
+        return err;
+    if (lbh != rbh)
+        return "black heights differ between siblings";
+    black_height = lbh + (color == kBlack ? 1 : 0);
+    return "";
+}
+
+std::string
+RbTreeWorkload::checkConsistency(DirectAccessor &mem,
+                                 std::uint32_t num_cores)
+{
+    for (std::uint32_t c = 0; c < num_cores; ++c) {
+        const PerCore &pc = _state[c];
+        if (pc.anchor == 0)
+            continue;
+        const Addr rt = mem.load64(pc.anchor);
+        if (rt == pc.nil)
+            continue;
+        if (mem.load64(rt + kColorOff) != kBlack)
+            return "root is not black";
+        int bh = 0;
+        const std::string err =
+            checkSubtree(mem, pc, rt, 0, ~std::uint64_t(0), bh);
+        if (!err.empty())
+            return err;
+    }
+    return "";
+}
+
+} // namespace atomsim

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * RBTree micro-benchmark: atomic insert/delete of nodes in per-core
+ * persistent red-black trees (Table II).
+ *
+ * The tree is a standard red-black tree with parent pointers and a
+ * per-core nil sentinel, implemented entirely over the Accessor
+ * interface so every pointer/color update is a recorded persistent
+ * store. Rebalancing makes this the workload with the most scattered
+ * writes per transaction -- the case ATOM helps most (Section VI-A).
+ */
+
+#ifndef ATOMSIM_WORKLOADS_RBTREE_WORKLOAD_HH
+#define ATOMSIM_WORKLOADS_RBTREE_WORKLOAD_HH
+
+#include <string>
+#include <vector>
+
+#include "workloads/heap.hh"
+#include "workloads/workload.hh"
+
+namespace atomsim
+{
+
+/** Per-core red-black tree of {key, payload[entryBytes]} nodes. */
+class RbTreeWorkload : public Workload
+{
+  public:
+    explicit RbTreeWorkload(const MicroParams &params);
+
+    std::string name() const override { return "rbtree"; }
+    void init(DirectAccessor &mem, PersistentHeap &heap,
+              std::uint32_t num_cores) override;
+    void runTransaction(CoreId core, Accessor &mem, Random &rng) override;
+    std::string checkConsistency(DirectAccessor &mem,
+                                 std::uint32_t num_cores) override;
+
+  private:
+    struct PerCore
+    {
+        Addr anchor = 0;  //!< root pointer slot
+        Addr nil = 0;     //!< sentinel node (black)
+        std::uint64_t nextKey = 0;
+        std::vector<std::uint64_t> liveKeys;  //!< for delete targeting
+    };
+
+    // Node field helpers (offsets within a node).
+    Addr nodeBytes() const;
+
+    Addr root(Accessor &mem, PerCore &pc);
+    void setRoot(Accessor &mem, PerCore &pc, Addr n);
+
+    void leftRotate(Accessor &mem, PerCore &pc, Addr x);
+    void rightRotate(Accessor &mem, PerCore &pc, Addr x);
+    void insertFixup(Accessor &mem, PerCore &pc, Addr z);
+    void transplant(Accessor &mem, PerCore &pc, Addr u, Addr v);
+    void deleteFixup(Accessor &mem, PerCore &pc, Addr x);
+    Addr minimum(Accessor &mem, PerCore &pc, Addr n);
+
+    void insert(CoreId core, Accessor &mem, std::uint64_t key);
+    bool remove(CoreId core, Accessor &mem, std::uint64_t key);
+    Addr find(Accessor &mem, PerCore &pc, std::uint64_t key);
+
+    std::string checkSubtree(DirectAccessor &mem, const PerCore &pc,
+                             Addr n, std::uint64_t lo, std::uint64_t hi,
+                             int &black_height) const;
+
+    MicroParams _params;
+    PersistentHeap *_heap = nullptr;
+    std::vector<PerCore> _state;
+};
+
+} // namespace atomsim
+
+#endif // ATOMSIM_WORKLOADS_RBTREE_WORKLOAD_HH

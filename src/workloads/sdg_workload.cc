@@ -1,0 +1,178 @@
+#include "workloads/sdg_workload.hh"
+
+#include <vector>
+
+namespace atomsim
+{
+
+namespace
+{
+
+constexpr Addr kToOff = 0;
+constexpr Addr kNextOff = 8;
+constexpr Addr kWeightOff = 16;
+constexpr Addr kPayloadOff = kLineBytes;
+
+constexpr Addr kVertexStride = 16;  // {edgeHead, degree}
+
+std::uint64_t
+edgeWeight(std::uint32_t from, std::uint32_t to)
+{
+    return (std::uint64_t(from) << 32) ^ to ^ 0x5bd1e995u;
+}
+
+} // namespace
+
+SdgWorkload::SdgWorkload(const MicroParams &params) : _params(params) {}
+
+Addr
+SdgWorkload::edgeBytes() const
+{
+    return kPayloadOff + _params.entryBytes;
+}
+
+void
+SdgWorkload::init(DirectAccessor &mem, PersistentHeap &heap,
+                  std::uint32_t num_cores)
+{
+    _heap = &heap;
+    _state.assign(num_cores, PerCore{});
+    Random rng(_params.seed ^ 0x5d9u);
+    for (std::uint32_t c = 0; c < num_cores; ++c) {
+        PerCore &pc = _state[c];
+        pc.vertices = heap.alloc(c, kVertices * kVertexStride,
+                                 kLineBytes);
+        pc.counters = heap.alloc(c, 16, kLineBytes);
+        for (std::uint32_t v = 0; v < kVertices; ++v) {
+            mem.store64(pc.vertices + v * kVertexStride, 0);
+            mem.store64(pc.vertices + v * kVertexStride + 8, 0);
+        }
+        mem.store64(pc.counters, 0);
+        mem.store64(pc.counters + 8, 0);
+        for (std::uint32_t i = 0; i < _params.initialItems; ++i) {
+            insertEdge(c, mem, std::uint32_t(rng.below(kVertices)),
+                       std::uint32_t(rng.below(kVertices)));
+        }
+    }
+}
+
+void
+SdgWorkload::insertEdge(CoreId core, Accessor &mem, std::uint32_t from,
+                        std::uint32_t to)
+{
+    PerCore &pc = _state[core];
+    const Addr vslot = pc.vertices + from * kVertexStride;
+    const Addr head = mem.load64(vslot);
+    const std::uint64_t degree = mem.load64(vslot + 8);
+    const std::uint64_t edges = mem.load64(pc.counters);
+    const std::uint64_t dsum = mem.load64(pc.counters + 8);
+
+    const Addr edge = _heap->alloc(core, edgeBytes());
+    std::vector<std::uint64_t> payload(_params.entryBytes / 8);
+    const std::uint64_t w = edgeWeight(from, to);
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = w + i;
+
+    mem.atomicBegin();
+    mem.store64(edge + kToOff, to);
+    mem.store64(edge + kNextOff, head);
+    mem.store64(edge + kWeightOff, w);
+    mem.storeBytes(edge + kPayloadOff, _params.entryBytes,
+                   payload.data());
+    mem.store64(vslot, edge);
+    mem.store64(vslot + 8, degree + 1);
+    mem.store64(pc.counters, edges + 1);
+    mem.store64(pc.counters + 8, dsum + 1);
+    mem.atomicEnd();
+}
+
+bool
+SdgWorkload::removeEdge(CoreId core, Accessor &mem, std::uint32_t from,
+                        std::uint32_t to)
+{
+    PerCore &pc = _state[core];
+    const Addr vslot = pc.vertices + from * kVertexStride;
+
+    Addr prev_slot = vslot;
+    Addr edge = mem.load64(vslot);
+    while (edge != 0) {
+        if (mem.load64(edge + kToOff) == to) {
+            const Addr next = mem.load64(edge + kNextOff);
+            const std::uint64_t degree = mem.load64(vslot + 8);
+            const std::uint64_t edges = mem.load64(pc.counters);
+            const std::uint64_t dsum = mem.load64(pc.counters + 8);
+            mem.atomicBegin();
+            mem.store64(prev_slot, next);
+            mem.store64(vslot + 8, degree - 1);
+            mem.store64(pc.counters, edges - 1);
+            mem.store64(pc.counters + 8, dsum - 1);
+            mem.store64(edge + kWeightOff, ~std::uint64_t(0));
+            mem.atomicEnd();
+            _heap->free(core, edge, edgeBytes());
+            return true;
+        }
+        prev_slot = edge + kNextOff;
+        edge = mem.load64(edge + kNextOff);
+    }
+    return false;
+}
+
+void
+SdgWorkload::runTransaction(CoreId core, Accessor &mem, Random &rng)
+{
+    const auto from = std::uint32_t(rng.below(kVertices));
+    const auto to = std::uint32_t(rng.below(kVertices));
+
+    // Search: walk the adjacency list of a random vertex.
+    PerCore &pc = _state[core];
+    Addr e = mem.load64(pc.vertices +
+                        rng.below(kVertices) * kVertexStride);
+    std::uint32_t walked = 0;
+    while (e != 0 && walked++ < 8)
+        e = mem.load64(e + kNextOff);
+
+    if (rng.chance(0.5)) {
+        insertEdge(core, mem, from, to);
+    } else if (!removeEdge(core, mem, from, to)) {
+        insertEdge(core, mem, from, to);
+    }
+}
+
+std::string
+SdgWorkload::checkConsistency(DirectAccessor &mem,
+                              std::uint32_t num_cores)
+{
+    for (std::uint32_t c = 0; c < num_cores; ++c) {
+        const PerCore &pc = _state[c];
+        if (pc.vertices == 0)
+            continue;
+        std::uint64_t edge_total = 0;
+        for (std::uint32_t v = 0; v < kVertices; ++v) {
+            const Addr vslot = pc.vertices + v * kVertexStride;
+            std::uint64_t chain = 0;
+            Addr edge = mem.load64(vslot);
+            while (edge != 0) {
+                const std::uint64_t to = mem.load64(edge + kToOff);
+                const std::uint64_t w = mem.load64(edge + kWeightOff);
+                if (w == ~std::uint64_t(0))
+                    return "adjacency list reaches a removed edge";
+                if (w != edgeWeight(v, std::uint32_t(to)))
+                    return "edge weight mismatch (torn insert)";
+                ++chain;
+                edge = mem.load64(edge + kNextOff);
+                if (chain > (std::uint64_t(1) << 24))
+                    return "cycle in an adjacency list";
+            }
+            if (chain != mem.load64(vslot + 8))
+                return "vertex degree disagrees with its list";
+            edge_total += chain;
+        }
+        if (edge_total != mem.load64(pc.counters))
+            return "global edge count disagrees with the lists";
+        if (mem.load64(pc.counters) != mem.load64(pc.counters + 8))
+            return "edge count / degree sum mismatch";
+    }
+    return "";
+}
+
+} // namespace atomsim

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * SDG micro-benchmark: atomic insert/delete of edges in a scalable
+ * graph (adjacency lists), per Table II of the paper.
+ */
+
+#ifndef ATOMSIM_WORKLOADS_SDG_WORKLOAD_HH
+#define ATOMSIM_WORKLOADS_SDG_WORKLOAD_HH
+
+#include <vector>
+
+#include "workloads/heap.hh"
+#include "workloads/workload.hh"
+
+namespace atomsim
+{
+
+/**
+ * Per core: a vertex table; each vertex anchors a linked adjacency
+ * list of edge nodes {to, next, weight, payload}. A transaction adds
+ * or removes a random edge atomically, updating the per-vertex degree
+ * and the global edge count.
+ */
+class SdgWorkload : public Workload
+{
+  public:
+    explicit SdgWorkload(const MicroParams &params);
+
+    std::string name() const override { return "sdg"; }
+    void init(DirectAccessor &mem, PersistentHeap &heap,
+              std::uint32_t num_cores) override;
+    void runTransaction(CoreId core, Accessor &mem, Random &rng) override;
+    std::string checkConsistency(DirectAccessor &mem,
+                                 std::uint32_t num_cores) override;
+
+    static constexpr std::uint32_t kVertices = 32;
+
+  private:
+    struct PerCore
+    {
+        /** Vertex table: per vertex {edgeHead @0, degree @8}. */
+        Addr vertices = 0;
+        /** Global counters: edgeCount @0, degreeSum @8. */
+        Addr counters = 0;
+    };
+
+    Addr edgeBytes() const;
+    void insertEdge(CoreId core, Accessor &mem, std::uint32_t from,
+                    std::uint32_t to);
+    bool removeEdge(CoreId core, Accessor &mem, std::uint32_t from,
+                    std::uint32_t to);
+
+    MicroParams _params;
+    PersistentHeap *_heap = nullptr;
+    std::vector<PerCore> _state;
+};
+
+} // namespace atomsim
+
+#endif // ATOMSIM_WORKLOADS_SDG_WORKLOAD_HH

@@ -1,0 +1,94 @@
+#include "workloads/sps_workload.hh"
+
+#include <vector>
+
+namespace atomsim
+{
+
+namespace
+{
+
+std::uint64_t
+payloadWord(std::uint64_t tag, std::size_t i)
+{
+    return tag * 0xd6e8feb86659fd93ULL + i;
+}
+
+} // namespace
+
+SpsWorkload::SpsWorkload(const MicroParams &params) : _params(params) {}
+
+void
+SpsWorkload::init(DirectAccessor &mem, PersistentHeap &heap,
+                  std::uint32_t num_cores)
+{
+    _state.assign(num_cores, PerCore{});
+    for (std::uint32_t c = 0; c < num_cores; ++c) {
+        PerCore &pc = _state[c];
+        pc.entries = _params.initialItems;
+        pc.array = heap.alloc(c, Addr(pc.entries) * _params.entryBytes,
+                              kLineBytes);
+        for (std::uint32_t e = 0; e < pc.entries; ++e) {
+            std::vector<std::uint64_t> words(_params.entryBytes / 8);
+            // Word 0 is the permutation tag.
+            words[0] = e;
+            for (std::size_t i = 1; i < words.size(); ++i)
+                words[i] = payloadWord(e, i);
+            mem.storeBytes(pc.array + Addr(e) * _params.entryBytes,
+                           _params.entryBytes, words.data());
+        }
+    }
+}
+
+void
+SpsWorkload::runTransaction(CoreId core, Accessor &mem, Random &rng)
+{
+    PerCore &pc = _state[core];
+    const std::uint32_t a = std::uint32_t(rng.below(pc.entries));
+    std::uint32_t b = std::uint32_t(rng.below(pc.entries));
+    if (b == a)
+        b = (b + 1) % pc.entries;
+
+    const Addr ea = pc.array + Addr(a) * _params.entryBytes;
+    const Addr eb = pc.array + Addr(b) * _params.entryBytes;
+
+    std::vector<std::uint8_t> va(_params.entryBytes);
+    std::vector<std::uint8_t> vb(_params.entryBytes);
+    mem.loadBytes(ea, _params.entryBytes, va.data());
+    mem.loadBytes(eb, _params.entryBytes, vb.data());
+
+    mem.atomicBegin();
+    mem.storeBytes(ea, _params.entryBytes, vb.data());
+    mem.storeBytes(eb, _params.entryBytes, va.data());
+    mem.atomicEnd();
+}
+
+std::string
+SpsWorkload::checkConsistency(DirectAccessor &mem,
+                              std::uint32_t num_cores)
+{
+    for (std::uint32_t c = 0; c < num_cores; ++c) {
+        const PerCore &pc = _state[c];
+        if (pc.array == 0)
+            continue;
+        std::vector<bool> seen(pc.entries, false);
+        for (std::uint32_t e = 0; e < pc.entries; ++e) {
+            std::vector<std::uint64_t> words(_params.entryBytes / 8);
+            mem.loadBytes(pc.array + Addr(e) * _params.entryBytes,
+                          _params.entryBytes, words.data());
+            const std::uint64_t tag = words[0];
+            if (tag >= pc.entries)
+                return "entry tag out of range (torn swap)";
+            if (seen[std::size_t(tag)])
+                return "duplicate entry tag (half-applied swap)";
+            seen[std::size_t(tag)] = true;
+            for (std::size_t i = 1; i < words.size(); ++i) {
+                if (words[i] != payloadWord(tag, i))
+                    return "entry payload does not match its tag";
+            }
+        }
+    }
+    return "";
+}
+
+} // namespace atomsim

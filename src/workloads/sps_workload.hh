@@ -1,0 +1,49 @@
+/**
+ * @file
+ * SPS micro-benchmark: random atomic swaps between entries of a
+ * persistent array (Table II).
+ */
+
+#ifndef ATOMSIM_WORKLOADS_SPS_WORKLOAD_HH
+#define ATOMSIM_WORKLOADS_SPS_WORKLOAD_HH
+
+#include <vector>
+
+#include "workloads/heap.hh"
+#include "workloads/workload.hh"
+
+namespace atomsim
+{
+
+/**
+ * Per core: an array of N entries of entryBytes each. A transaction
+ * reads two random entries and swaps them atomically. A permutation
+ * tag in each entry lets the consistency check verify the array is
+ * always a permutation of the initial entries with intact payloads.
+ */
+class SpsWorkload : public Workload
+{
+  public:
+    explicit SpsWorkload(const MicroParams &params);
+
+    std::string name() const override { return "sps"; }
+    void init(DirectAccessor &mem, PersistentHeap &heap,
+              std::uint32_t num_cores) override;
+    void runTransaction(CoreId core, Accessor &mem, Random &rng) override;
+    std::string checkConsistency(DirectAccessor &mem,
+                                 std::uint32_t num_cores) override;
+
+  private:
+    struct PerCore
+    {
+        Addr array = 0;
+        std::uint32_t entries = 0;
+    };
+
+    MicroParams _params;
+    std::vector<PerCore> _state;
+};
+
+} // namespace atomsim
+
+#endif // ATOMSIM_WORKLOADS_SPS_WORKLOAD_HH

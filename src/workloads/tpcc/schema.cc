@@ -1,0 +1,154 @@
+#include "workloads/tpcc/schema.hh"
+
+#include <vector>
+
+namespace atomsim
+{
+namespace tpcc
+{
+
+std::uint64_t
+districtKey(std::uint32_t w, std::uint32_t d)
+{
+    return (std::uint64_t(w) << 8) | d;
+}
+
+std::uint64_t
+customerKey(std::uint32_t w, std::uint32_t d, std::uint32_t c)
+{
+    return (std::uint64_t(w) << 24) | (std::uint64_t(d) << 16) | c;
+}
+
+std::uint64_t
+stockKey(std::uint32_t w, std::uint32_t i)
+{
+    return (std::uint64_t(w) << 20) | i;
+}
+
+std::uint64_t
+orderKey(std::uint32_t w, std::uint32_t d, std::uint32_t o)
+{
+    return (std::uint64_t(w) << 40) | (std::uint64_t(d) << 32) | o;
+}
+
+std::uint64_t
+orderLineKey(std::uint32_t w, std::uint32_t d, std::uint32_t o,
+             std::uint32_t line)
+{
+    return (std::uint64_t(w) << 44) | (std::uint64_t(d) << 36) |
+           (std::uint64_t(o) << 4) | line;
+}
+
+Database::Database(const ScaleParams &scale, PersistentHeap &heap)
+    : _scale(scale), _heap(heap)
+{
+}
+
+void
+Database::populate(Accessor &mem, std::uint32_t num_cores)
+{
+    // Spread the trees and rows over several arenas so the tables sit
+    // behind different memory controllers.
+    auto arena = [num_cores](std::uint32_t i) {
+        return i % std::max<std::uint32_t>(1, num_cores);
+    };
+
+    _warehouse = std::make_unique<BPlusTree>(
+        BPlusTree::create(mem, _heap, arena(0)), _heap, arena(0));
+    _district = std::make_unique<BPlusTree>(
+        BPlusTree::create(mem, _heap, arena(1)), _heap, arena(1));
+    _customer = std::make_unique<BPlusTree>(
+        BPlusTree::create(mem, _heap, arena(2)), _heap, arena(2));
+    _item = std::make_unique<BPlusTree>(
+        BPlusTree::create(mem, _heap, arena(3)), _heap, arena(3));
+    _stock = std::make_unique<BPlusTree>(
+        BPlusTree::create(mem, _heap, arena(4)), _heap, arena(4));
+    _orders = std::make_unique<BPlusTree>(
+        BPlusTree::create(mem, _heap, arena(5)), _heap, arena(5));
+    _newOrders = std::make_unique<BPlusTree>(
+        BPlusTree::create(mem, _heap, arena(6)), _heap, arena(6));
+    _orderLines = std::make_unique<BPlusTree>(
+        BPlusTree::create(mem, _heap, arena(7)), _heap, arena(7));
+
+    auto fill_row = [&](Addr row, std::uint32_t bytes,
+                        std::uint64_t tag) {
+        std::vector<std::uint64_t> words(bytes / 8);
+        for (std::size_t i = 0; i < words.size(); ++i)
+            words[i] = tag + i;
+        mem.storeBytes(row, bytes, words.data());
+    };
+
+    for (std::uint32_t w = 1; w <= _scale.warehouses; ++w) {
+        const Addr wrow = _heap.alloc(arena(w), kWarehouseRow,
+                                      kLineBytes);
+        fill_row(wrow, kWarehouseRow, w * 131);
+        mem.store64(wrow + kWTaxOff, 7);   // 0.07% scaled tax
+        mem.store64(wrow + kWYtdOff, 0);
+        _warehouse->insert(mem, w, wrow);
+
+        for (std::uint32_t d = 1; d <= _scale.districtsPerWh; ++d) {
+            const Addr drow = _heap.alloc(arena(w + d), kDistrictRow,
+                                          kLineBytes);
+            fill_row(drow, kDistrictRow, w * 131 + d);
+            mem.store64(drow + kDTaxOff, 5);
+            mem.store64(drow + kDNextOidOff, 1);
+            _district->insert(mem, districtKey(w, d), drow);
+
+            for (std::uint32_t c = 1; c <= _scale.customersPerDistrict;
+                 ++c) {
+                const Addr crow = _heap.alloc(arena(c), kCustomerRow,
+                                              kLineBytes);
+                fill_row(crow, kCustomerRow, c * 17);
+                mem.store64(crow + kCDiscountOff, c % 50);
+                mem.store64(crow + kCBalanceOff, 0);
+                _customer->insert(mem, customerKey(w, d, c), crow);
+            }
+        }
+
+        for (std::uint32_t i = 1; i <= _scale.items; ++i) {
+            const Addr srow = _heap.alloc(arena(i), kStockRow,
+                                          kLineBytes);
+            fill_row(srow, kStockRow, i * 29);
+            mem.store64(srow + kSQuantityOff, 50 + i % 50);
+            mem.store64(srow + kSYtdOff, 0);
+            mem.store64(srow + kSOrderCntOff, 0);
+            mem.store64(srow + kSRemoteCntOff, 0);
+            _stock->insert(mem, stockKey(w, i), srow);
+        }
+    }
+
+    for (std::uint32_t i = 1; i <= _scale.items; ++i) {
+        const Addr irow = _heap.alloc(arena(i), kItemRow, kLineBytes);
+        fill_row(irow, kItemRow, i * 37);
+        mem.store64(irow + kIPriceOff, 100 + i % 900);
+        _item->insert(mem, i, irow);
+    }
+}
+
+std::string
+Database::checkStructure(Accessor &mem)
+{
+    struct Named
+    {
+        const char *name;
+        BPlusTree *tree;
+    };
+    const Named tables[] = {
+        {"warehouse", _warehouse.get()}, {"district", _district.get()},
+        {"customer", _customer.get()},   {"item", _item.get()},
+        {"stock", _stock.get()},         {"orders", _orders.get()},
+        {"new_order", _newOrders.get()},
+        {"order_line", _orderLines.get()},
+    };
+    for (const auto &t : tables) {
+        if (!t.tree)
+            continue;
+        const std::string err = t.tree->checkStructure(mem);
+        if (!err.empty())
+            return std::string(t.name) + ": " + err;
+    }
+    return "";
+}
+
+} // namespace tpcc
+} // namespace atomsim

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * TPC-C schema on B+-trees (Section V of the paper: scale factor 1,
+ * 32 terminals issuing new-order transactions, no think time).
+ *
+ * Tables are persistent B+-trees keyed by the standard composite keys;
+ * rows are fixed-layout structs stored in heap blocks. Row sizes are
+ * condensed from the TPC-C row definitions (free-text fields sized
+ * down) -- what matters for the logging study is the number and spread
+ * of lines written per transaction.
+ */
+
+#ifndef ATOMSIM_WORKLOADS_TPCC_SCHEMA_HH
+#define ATOMSIM_WORKLOADS_TPCC_SCHEMA_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "workloads/heap.hh"
+#include "workloads/tpcc/bplus_tree.hh"
+#include "workloads/workload.hh"
+
+namespace atomsim
+{
+namespace tpcc
+{
+
+/** Scale parameters (SF=1, sized for simulation). */
+struct ScaleParams
+{
+    std::uint32_t warehouses = 1;
+    std::uint32_t districtsPerWh = 10;
+    std::uint32_t customersPerDistrict = 64;
+    std::uint32_t items = 1024;
+};
+
+// Row byte sizes (condensed TPC-C layouts; multiples of 8).
+constexpr std::uint32_t kWarehouseRow = 96;
+constexpr std::uint32_t kDistrictRow = 112;
+constexpr std::uint32_t kCustomerRow = 576;
+constexpr std::uint32_t kItemRow = 96;
+constexpr std::uint32_t kStockRow = 320;
+constexpr std::uint32_t kOrderRow = 64;
+constexpr std::uint32_t kNewOrderRow = 32;
+constexpr std::uint32_t kOrderLineRow = 64;
+
+// Field offsets used by the new-order transaction.
+constexpr Addr kWTaxOff = 0;        // warehouse: w_tax (u64 fixed-point)
+constexpr Addr kWYtdOff = 8;        // warehouse: w_ytd
+constexpr Addr kDTaxOff = 0;        // district: d_tax
+constexpr Addr kDNextOidOff = 8;    // district: d_next_o_id
+constexpr Addr kCDiscountOff = 0;   // customer: c_discount
+constexpr Addr kCBalanceOff = 8;    // customer: c_balance
+constexpr Addr kIPriceOff = 0;      // item: i_price
+constexpr Addr kSQuantityOff = 0;   // stock: s_quantity
+constexpr Addr kSYtdOff = 8;        // stock: s_ytd
+constexpr Addr kSOrderCntOff = 16;  // stock: s_order_cnt
+constexpr Addr kSRemoteCntOff = 24; // stock: s_remote_cnt
+
+/** Composite key helpers (fit in 64 bits). */
+std::uint64_t districtKey(std::uint32_t w, std::uint32_t d);
+std::uint64_t customerKey(std::uint32_t w, std::uint32_t d,
+                          std::uint32_t c);
+std::uint64_t stockKey(std::uint32_t w, std::uint32_t i);
+std::uint64_t orderKey(std::uint32_t w, std::uint32_t d,
+                       std::uint32_t o);
+std::uint64_t orderLineKey(std::uint32_t w, std::uint32_t d,
+                           std::uint32_t o, std::uint32_t line);
+
+/** The database: one B+-tree per table plus row storage. */
+class Database
+{
+  public:
+    Database(const ScaleParams &scale, PersistentHeap &heap);
+
+    /** Populate all tables (functional). Rows allocate from core 0's
+     * arena groups spread by table for cross-MC distribution. */
+    void populate(Accessor &mem, std::uint32_t num_cores);
+
+    const ScaleParams &scale() const { return _scale; }
+
+    BPlusTree &warehouse() { return *_warehouse; }
+    BPlusTree &district() { return *_district; }
+    BPlusTree &customer() { return *_customer; }
+    BPlusTree &item() { return *_item; }
+    BPlusTree &stock() { return *_stock; }
+    BPlusTree &orders() { return *_orders; }
+    BPlusTree &newOrders() { return *_newOrders; }
+    BPlusTree &orderLines() { return *_orderLines; }
+
+    PersistentHeap &heap() { return _heap; }
+
+    /** Structural check of every table tree. */
+    std::string checkStructure(Accessor &mem);
+
+  private:
+    ScaleParams _scale;
+    PersistentHeap &_heap;
+    std::unique_ptr<BPlusTree> _warehouse;
+    std::unique_ptr<BPlusTree> _district;
+    std::unique_ptr<BPlusTree> _customer;
+    std::unique_ptr<BPlusTree> _item;
+    std::unique_ptr<BPlusTree> _stock;
+    std::unique_ptr<BPlusTree> _orders;
+    std::unique_ptr<BPlusTree> _newOrders;
+    std::unique_ptr<BPlusTree> _orderLines;
+};
+
+} // namespace tpcc
+} // namespace atomsim
+
+#endif // ATOMSIM_WORKLOADS_TPCC_SCHEMA_HH

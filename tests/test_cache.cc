@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Unit tests for the cache substrate: array/LRU, MSHRs, and the
+ * L1/L2 coherence protocol exercised through a small System.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache_array.hh"
+#include "cache/mshr.hh"
+#include "harness/system.hh"
+
+namespace atomsim
+{
+namespace
+{
+
+TEST(CacheArrayTest, InstallAndFind)
+{
+    CacheArray arr(4 * 1024, 4);  // 16 sets
+    CacheLineState *victim = arr.victim(0x1000);
+    ASSERT_NE(victim, nullptr);
+    EXPECT_FALSE(victim->valid);
+    arr.install(victim, 0x1000);
+    EXPECT_EQ(arr.find(0x1000), victim);
+    EXPECT_EQ(arr.find(0x1020), victim);  // same line
+    EXPECT_EQ(arr.find(0x2000), nullptr);
+}
+
+TEST(CacheArrayTest, LruVictimSelection)
+{
+    CacheArray arr(4 * 1024, 4);
+    // Fill one set: lines that alias to set 0 (stride = sets*64).
+    const Addr stride = Addr(arr.numSets()) * kLineBytes;
+    for (int i = 0; i < 4; ++i)
+        arr.install(arr.victim(i * stride), i * stride);
+    // Touch line 0 so line 1 becomes LRU.
+    arr.touch(0);
+    CacheLineState *victim = arr.victim(4 * stride);
+    ASSERT_TRUE(victim->valid);
+    EXPECT_EQ(victim->tag, stride);  // line 1 was least recently used
+}
+
+TEST(CacheArrayTest, InvalidFramePreferredOverLru)
+{
+    CacheArray arr(4 * 1024, 4);
+    const Addr stride = Addr(arr.numSets()) * kLineBytes;
+    for (int i = 0; i < 3; ++i)
+        arr.install(arr.victim(i * stride), i * stride);
+    CacheLineState *victim = arr.victim(7 * stride);
+    EXPECT_FALSE(victim->valid);
+}
+
+TEST(CacheArrayTest, InvalidateAllClearsState)
+{
+    CacheArray arr(4 * 1024, 4);
+    arr.install(arr.victim(0x40), 0x40);
+    arr.invalidateAll();
+    EXPECT_EQ(arr.find(0x40), nullptr);
+}
+
+TEST(MshrTest, TracksOutstandingMisses)
+{
+    MshrTable mshrs(2);
+    EXPECT_FALSE(mshrs.has(0x100));
+    mshrs.allocate(0x100);
+    EXPECT_TRUE(mshrs.has(0x100));
+    EXPECT_TRUE(mshrs.has(0x13f));  // same line
+    EXPECT_FALSE(mshrs.full());
+    mshrs.allocate(0x200);
+    EXPECT_TRUE(mshrs.full());
+}
+
+TEST(MshrTest, WaitersRunOnComplete)
+{
+    MshrTable mshrs(2);
+    mshrs.allocate(0x100);
+    int ran = 0;
+    mshrs.addWaiter(0x100, [&] { ++ran; });
+    mshrs.addWaiter(0x100, [&] { ++ran; });
+    for (auto &w : mshrs.complete(0x100))
+        w();
+    EXPECT_EQ(ran, 2);
+    EXPECT_FALSE(mshrs.has(0x100));
+}
+
+TEST(MshrTest, OverflowAdmittedWhenEntryFrees)
+{
+    MshrTable mshrs(1);
+    mshrs.allocate(0x100);
+    int overflow_ran = 0;
+    mshrs.queueForFree([&] { ++overflow_ran; });
+    EXPECT_EQ(mshrs.overflowDepth(), 1u);
+    for (auto &w : mshrs.complete(0x100))
+        w();
+    EXPECT_EQ(overflow_ran, 1);
+    EXPECT_EQ(mshrs.overflowDepth(), 0u);
+}
+
+/** Protocol tests: drive L1s directly inside a small system. */
+class ProtocolTest : public ::testing::Test
+{
+  protected:
+    static SystemConfig
+    config()
+    {
+        SystemConfig cfg;
+        cfg.numCores = 4;
+        cfg.l2Tiles = 4;
+        cfg.meshRows = 2;
+        cfg.ausPerMc = 4;
+        cfg.design = DesignKind::NonAtomic;
+        return cfg;
+    }
+
+    ProtocolTest() : sys(config(), Addr(16) * 1024 * 1024) {}
+
+    void
+    drain()
+    {
+        sys.eventQueue().run();
+    }
+
+    System sys;
+    static constexpr Addr kAddr = 0x10040;
+};
+
+TEST_F(ProtocolTest, LoadMissFillsExclusive)
+{
+    bool done = false;
+    sys.l1(0).load(kAddr, [&] { done = true; });
+    drain();
+    ASSERT_TRUE(done);
+    const CacheLineState *line = sys.l1(0).array().find(kAddr);
+    ASSERT_NE(line, nullptr);
+    EXPECT_EQ(line->state, CoherenceState::Exclusive);
+    EXPECT_FALSE(line->dirty);
+}
+
+TEST_F(ProtocolTest, StoreMissFillsModifiedWithData)
+{
+    const std::uint64_t value = 0x1122334455667788ULL;
+    bool done = false;
+    sys.l1(0).store(kAddr, reinterpret_cast<const std::uint8_t *>(&value),
+                    8, [&] { done = true; });
+    drain();
+    ASSERT_TRUE(done);
+    const CacheLineState *line = sys.l1(0).array().find(kAddr);
+    ASSERT_NE(line, nullptr);
+    EXPECT_EQ(line->state, CoherenceState::Modified);
+    EXPECT_TRUE(line->dirty);
+    std::uint64_t back;
+    std::memcpy(&back, line->data.data() + (kAddr % kLineBytes), 8);
+    EXPECT_EQ(back, value);
+}
+
+TEST_F(ProtocolTest, SecondReaderDowngradesOwnerToShared)
+{
+    const std::uint64_t value = 42;
+    bool s0 = false;
+    sys.l1(0).store(kAddr, reinterpret_cast<const std::uint8_t *>(&value),
+                    8, [&] { s0 = true; });
+    drain();
+    ASSERT_TRUE(s0);
+
+    bool l1done = false;
+    sys.l1(1).load(kAddr, [&] { l1done = true; });
+    drain();
+    ASSERT_TRUE(l1done);
+
+    const CacheLineState *owner = sys.l1(0).array().find(kAddr);
+    const CacheLineState *reader = sys.l1(1).array().find(kAddr);
+    ASSERT_NE(owner, nullptr);
+    ASSERT_NE(reader, nullptr);
+    EXPECT_EQ(owner->state, CoherenceState::Shared);
+    EXPECT_EQ(reader->state, CoherenceState::Shared);
+    // Reader sees the writer's data through the 3-hop forward.
+    std::uint64_t back;
+    std::memcpy(&back, reader->data.data() + (kAddr % kLineBytes), 8);
+    EXPECT_EQ(back, 42u);
+}
+
+TEST_F(ProtocolTest, WriterInvalidatesSharers)
+{
+    bool a = false;
+    bool b = false;
+    sys.l1(0).load(kAddr, [&] { a = true; });
+    drain();
+    sys.l1(1).load(kAddr, [&] { b = true; });
+    drain();
+    ASSERT_TRUE(a && b);
+
+    const std::uint64_t value = 7;
+    bool wrote = false;
+    sys.l1(2).store(kAddr, reinterpret_cast<const std::uint8_t *>(&value),
+                    8, [&] { wrote = true; });
+    drain();
+    ASSERT_TRUE(wrote);
+
+    EXPECT_EQ(sys.l1(0).array().find(kAddr), nullptr);
+    EXPECT_EQ(sys.l1(1).array().find(kAddr), nullptr);
+    const CacheLineState *writer = sys.l1(2).array().find(kAddr);
+    ASSERT_NE(writer, nullptr);
+    EXPECT_EQ(writer->state, CoherenceState::Modified);
+}
+
+TEST_F(ProtocolTest, OwnershipMigratesBetweenWriters)
+{
+    const std::uint64_t v1 = 1;
+    const std::uint64_t v2 = 2;
+    bool w1 = false;
+    bool w2 = false;
+    sys.l1(0).store(kAddr, reinterpret_cast<const std::uint8_t *>(&v1), 8,
+                    [&] { w1 = true; });
+    drain();
+    sys.l1(1).store(kAddr + 8, reinterpret_cast<const std::uint8_t *>(&v2),
+                    8, [&] { w2 = true; });
+    drain();
+    ASSERT_TRUE(w1 && w2);
+
+    EXPECT_EQ(sys.l1(0).array().find(kAddr), nullptr);
+    const CacheLineState *line = sys.l1(1).array().find(kAddr);
+    ASSERT_NE(line, nullptr);
+    EXPECT_EQ(line->state, CoherenceState::Modified);
+    // The second writer's line must contain both stores.
+    std::uint64_t back1;
+    std::uint64_t back2;
+    std::memcpy(&back1, line->data.data() + (kAddr % kLineBytes), 8);
+    std::memcpy(&back2, line->data.data() + (kAddr % kLineBytes) + 8, 8);
+    EXPECT_EQ(back1, 1u);
+    EXPECT_EQ(back2, 2u);
+}
+
+TEST_F(ProtocolTest, UpgradeFromSharedToModified)
+{
+    bool a = false;
+    sys.l1(0).load(kAddr, [&] { a = true; });
+    drain();
+    sys.l1(1).load(kAddr, [&] { a = true; });
+    drain();
+    // Core 0 is Shared now; store triggers an upgrade.
+    const std::uint64_t value = 9;
+    bool wrote = false;
+    sys.l1(0).store(kAddr, reinterpret_cast<const std::uint8_t *>(&value),
+                    8, [&] { wrote = true; });
+    drain();
+    ASSERT_TRUE(wrote);
+    const CacheLineState *line = sys.l1(0).array().find(kAddr);
+    ASSERT_NE(line, nullptr);
+    EXPECT_EQ(line->state, CoherenceState::Modified);
+    EXPECT_EQ(sys.l1(1).array().find(kAddr), nullptr);
+}
+
+TEST_F(ProtocolTest, FlushMakesLineDurableAndClean)
+{
+    const std::uint64_t value = 0xfeedfaceULL;
+    bool wrote = false;
+    sys.l1(0).store(kAddr, reinterpret_cast<const std::uint8_t *>(&value),
+                    8, [&] { wrote = true; });
+    drain();
+    ASSERT_TRUE(wrote);
+    EXPECT_EQ(sys.nvmImage().load64(kAddr), 0u);  // still volatile
+
+    bool flushed = false;
+    sys.l1(0).flush(kAddr, [&] { flushed = true; });
+    drain();
+    ASSERT_TRUE(flushed);
+    EXPECT_EQ(sys.nvmImage().load64(kAddr), value);
+
+    const CacheLineState *line = sys.l1(0).array().find(kAddr);
+    ASSERT_NE(line, nullptr);
+    EXPECT_FALSE(line->dirty);   // clean after writeback
+    EXPECT_TRUE(line->valid);    // clwb keeps the line cached
+}
+
+TEST_F(ProtocolTest, FlushOfCleanLineStillAcks)
+{
+    bool loaded = false;
+    sys.l1(0).load(kAddr, [&] { loaded = true; });
+    drain();
+    bool flushed = false;
+    sys.l1(0).flush(kAddr, [&] { flushed = true; });
+    drain();
+    EXPECT_TRUE(flushed);
+}
+
+TEST_F(ProtocolTest, EvictionWritesBackThroughL2)
+{
+    // Fill one L1 set beyond capacity with dirty lines; the victim's
+    // data must survive in the L2 and be readable by another core.
+    const std::uint32_t sets =
+        config().l1SizeBytes / (config().l1Assoc * kLineBytes);
+    const Addr stride = Addr(sets) * kLineBytes;
+    const Addr base = 0x40000;
+
+    for (std::uint32_t i = 0; i <= config().l1Assoc; ++i) {
+        const std::uint64_t value = 100 + i;
+        bool done = false;
+        sys.l1(0).store(base + i * stride,
+                        reinterpret_cast<const std::uint8_t *>(&value), 8,
+                        [&] { done = true; });
+        drain();
+        ASSERT_TRUE(done);
+    }
+    // The first line was evicted from the L1.
+    EXPECT_EQ(sys.l1(0).array().find(base), nullptr);
+
+    bool read = false;
+    sys.l1(1).load(base, [&] { read = true; });
+    drain();
+    ASSERT_TRUE(read);
+    const CacheLineState *line = sys.l1(1).array().find(base);
+    ASSERT_NE(line, nullptr);
+    std::uint64_t back;
+    std::memcpy(&back, line->data.data(), 8);
+    EXPECT_EQ(back, 100u);
+}
+
+TEST_F(ProtocolTest, MshrMergesConcurrentAccessesToOneLine)
+{
+    int done = 0;
+    sys.l1(0).load(kAddr, [&] { ++done; });
+    sys.l1(0).load(kAddr + 8, [&] { ++done; });
+    sys.l1(0).load(kAddr + 16, [&] { ++done; });
+    drain();
+    EXPECT_EQ(done, 3);
+    // A single L2 miss despite three accesses.
+    EXPECT_EQ(sys.stats().sum("l2t", "misses"), 1u);
+}
+
+} // namespace
+} // namespace atomsim

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event queue, stats, RNG,
+ * configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+
+namespace atomsim
+{
+namespace
+{
+
+TEST(EventQueueTest, ExecutesInTickOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueueTest, FifoWithinATick)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[std::size_t(i)], i);
+}
+
+TEST(EventQueueTest, SchedulingFromInsideEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        ++fired;
+        eq.scheduleIn(4, [&] {
+            ++fired;
+            EXPECT_EQ(eq.now(), 5u);
+        });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, SameTickSchedulingRunsAfterCurrentEvent)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(7, [&] {
+        order.push_back(1);
+        eq.scheduleIn(0, [&] { order.push_back(2); });
+    });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueueTest, RunRespectsLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(100, [&] { ++fired; });
+    eq.run(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, RunUntilPredicate)
+{
+    EventQueue eq;
+    int count = 0;
+    for (Tick t = 1; t <= 10; ++t)
+        eq.schedule(t, [&] { ++count; });
+    eq.runUntil([&] { return count >= 4; });
+    EXPECT_EQ(count, 4);
+    EXPECT_EQ(eq.pending(), 6u);
+}
+
+TEST(EventQueueTest, StepReturnsFalseWhenEmpty)
+{
+    EventQueue eq;
+    EXPECT_FALSE(eq.step());
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueueTest, ExecutedCounter)
+{
+    EventQueue eq;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(Tick(i), [] {});
+    eq.run();
+    EXPECT_EQ(eq.executed(), 5u);
+}
+
+TEST(StatSetTest, CountersAccumulateAndReset)
+{
+    StatSet stats;
+    Counter &c = stats.counter("core0", "ops");
+    c.inc();
+    c.inc(9);
+    EXPECT_EQ(stats.value("core0", "ops"), 10u);
+    stats.resetAll();
+    EXPECT_EQ(stats.value("core0", "ops"), 0u);
+}
+
+TEST(StatSetTest, SumAcrossGroups)
+{
+    StatSet stats;
+    stats.counter("core0", "txn").inc(3);
+    stats.counter("core1", "txn").inc(4);
+    stats.counter("mc0", "txn").inc(100);
+    EXPECT_EQ(stats.sum("core", "txn"), 7u);
+    EXPECT_EQ(stats.sum("", "txn"), 107u);
+}
+
+TEST(StatSetTest, MissingCounterReadsZero)
+{
+    StatSet stats;
+    EXPECT_EQ(stats.value("nope", "none"), 0u);
+}
+
+TEST(StatSetTest, DumpSorted)
+{
+    StatSet stats;
+    stats.counter("b", "y").inc(2);
+    stats.counter("a", "x").inc(1);
+    const auto dump = stats.dump();
+    ASSERT_EQ(dump.size(), 2u);
+    EXPECT_EQ(dump[0].first, "a.x");
+    EXPECT_EQ(dump[1].first, "b.y");
+}
+
+TEST(RandomTest, DeterministicForSeed)
+{
+    Random a(123);
+    Random b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RandomTest, DifferentSeedsDiffer)
+{
+    Random a(1);
+    Random b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 4);
+}
+
+TEST(RandomTest, BelowStaysInRange)
+{
+    Random rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(13), 13u);
+}
+
+TEST(RandomTest, RangeInclusive)
+{
+    Random rng(9);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.range(5, 8);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 8u);
+        saw_lo = saw_lo || v == 5;
+        saw_hi = saw_hi || v == 8;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomTest, UnitInHalfOpenInterval)
+{
+    Random rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.unit();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(ConfigTest, DefaultsMatchTableOne)
+{
+    SystemConfig cfg;
+    EXPECT_EQ(cfg.numCores, 32u);
+    EXPECT_EQ(cfg.sqEntries, 32u);
+    EXPECT_EQ(cfg.l1SizeBytes, 32u * 1024);
+    EXPECT_EQ(cfg.l1Assoc, 4u);
+    EXPECT_EQ(cfg.l1Latency, 3u);
+    EXPECT_EQ(cfg.l2Tiles, 32u);
+    EXPECT_EQ(cfg.l2TileBytes, 1024u * 1024);
+    EXPECT_EQ(cfg.l2Assoc, 16u);
+    EXPECT_EQ(cfg.l2Latency, 30u);
+    EXPECT_EQ(cfg.numMemCtrls, 4u);
+    EXPECT_EQ(cfg.nvmReadLatency, 240u);
+    EXPECT_EQ(cfg.nvmWriteLatency, 360u);
+    EXPECT_EQ(cfg.meshRows, 4u);
+    EXPECT_EQ(cfg.mshrs, 32u);
+    EXPECT_EQ(cfg.robSize, 192u);
+    cfg.validate();  // must not die
+}
+
+TEST(ConfigTest, LineTransferMatchesBandwidth)
+{
+    SystemConfig cfg;
+    // 5.3 GB/s at 2 GHz = 2.65 B/cycle -> 64 B needs ceil(24.15) = 25.
+    EXPECT_EQ(cfg.lineTransferCycles(), 25u);
+}
+
+TEST(ConfigTest, MeshColsDerived)
+{
+    SystemConfig cfg;
+    EXPECT_EQ(cfg.meshCols(), 8u);  // 32 tiles / 4 rows
+}
+
+TEST(ConfigTest, DesignNamesRoundTrip)
+{
+    for (auto kind :
+         {DesignKind::Base, DesignKind::Atom, DesignKind::AtomOpt,
+          DesignKind::NonAtomic, DesignKind::Redo}) {
+        EXPECT_EQ(designFromName(designName(kind)), kind);
+    }
+}
+
+TEST(ConfigDeathTest, RejectsNonPowerOfTwoMcs)
+{
+    SystemConfig cfg;
+    cfg.numMemCtrls = 3;
+    EXPECT_DEATH({ cfg.validate(); }, "power of two");
+}
+
+TEST(ConfigDeathTest, RejectsOversizedRecord)
+{
+    SystemConfig cfg;
+    cfg.recordEntries = 8;
+    EXPECT_DEATH({ cfg.validate(); }, "recordEntries");
+}
+
+} // namespace
+} // namespace atomsim
