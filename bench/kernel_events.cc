@@ -1,0 +1,255 @@
+/**
+ * @file
+ * DES-kernel microbenchmark: pooled intrusive events + calendar queue
+ * (the current kernel) versus the seed's std::function-per-event
+ * std::priority_queue kernel, kept here verbatim as the baseline.
+ *
+ * The workload mirrors the simulator's steady state: a population of
+ * actors, each rescheduling itself with a deterministic mix of short
+ * delays (cache/network latencies), mid delays (NVM completions) and
+ * occasional far-future delays (the 5000-cycle OS interrupt), plus a
+ * one-shot "continuation" posted per firing (the miss-fill / delivery
+ * pattern). Events/sec is reported for three kernels:
+ *
+ *   legacy    std::function closures through std::priority_queue
+ *   pooled    one-shot post() path (pooled FuncEvents, calendar queue)
+ *   intrusive member TickEvents (zero allocation, calendar queue)
+ *
+ * Exit status is non-zero when --min-speedup N is given and the
+ * intrusive kernel fails to beat the legacy kernel by that factor.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace
+{
+
+using atomsim::Cycles;
+using atomsim::EventQueue;
+using atomsim::Tick;
+using atomsim::TickEvent;
+
+// --- the seed kernel, verbatim ---------------------------------------
+
+class LegacyQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    Tick now() const { return _now; }
+
+    void
+    schedule(Tick when, Callback cb)
+    {
+        _heap.push(Entry{when, _seq++, std::move(cb)});
+    }
+
+    void
+    scheduleIn(Cycles delay, Callback cb)
+    {
+        schedule(_now + delay, std::move(cb));
+    }
+
+    bool empty() const { return _heap.empty(); }
+
+    bool
+    step()
+    {
+        if (_heap.empty())
+            return false;
+        Entry e = std::move(const_cast<Entry &>(_heap.top()));
+        _heap.pop();
+        _now = e.when;
+        e.cb();
+        return true;
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
+    Tick _now = 0;
+    std::uint64_t _seq = 0;
+};
+
+// --- deterministic workload shape -------------------------------------
+
+/** Delay of actor @p a's @p n-th firing: mostly short, sometimes the
+ * 5000-cycle far-future path. Identical across kernels. */
+inline Cycles
+actorDelay(std::uint32_t a, std::uint64_t n)
+{
+    const std::uint64_t x = (a * 2654435761u) ^ (n * 0x9e3779b97f4a7c15ull);
+    if ((x & 0xff) == 0)
+        return 5000;  // ~0.4%: OS-interrupt-like spill
+    return 1 + (x % 400);  // 1..400: core/cache/NVM latencies
+}
+
+constexpr std::uint32_t kActors = 256;
+
+double
+runLegacy(std::uint64_t budget, std::uint64_t &fired_out)
+{
+    LegacyQueue q;
+    std::uint64_t fired = 0;
+    std::vector<std::uint64_t> n(kActors, 0);
+
+    std::function<void(std::uint32_t)> fire = [&](std::uint32_t a) {
+        ++fired;
+        q.scheduleIn(1, [&fired] { ++fired; });  // one-shot continuation
+        if (fired < budget)
+            q.scheduleIn(actorDelay(a, n[a]++), [&fire, a] { fire(a); });
+    };
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint32_t a = 0; a < kActors; ++a)
+        q.scheduleIn(actorDelay(a, n[a]++), [&fire, a] { fire(a); });
+    while (q.step()) {
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    fired_out = fired;
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+double
+runPooled(std::uint64_t budget, std::uint64_t &fired_out)
+{
+    EventQueue q;
+    std::uint64_t fired = 0;
+    std::vector<std::uint64_t> n(kActors, 0);
+
+    std::function<void(std::uint32_t)> fire = [&](std::uint32_t a) {
+        ++fired;
+        q.postIn(1, [&fired] { ++fired; });
+        if (fired < budget)
+            q.postIn(actorDelay(a, n[a]++), [&fire, a] { fire(a); });
+    };
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint32_t a = 0; a < kActors; ++a)
+        q.postIn(actorDelay(a, n[a]++), [&fire, a] { fire(a); });
+    q.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    fired_out = fired;
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+double
+runIntrusive(std::uint64_t budget, std::uint64_t &fired_out)
+{
+    EventQueue q;
+    std::uint64_t fired = 0;
+    std::vector<std::uint64_t> n(kActors, 0);
+
+    std::vector<std::unique_ptr<TickEvent>> actors;
+    std::vector<std::unique_ptr<TickEvent>> continuations;
+    actors.reserve(kActors);
+    continuations.reserve(kActors);
+    for (std::uint32_t a = 0; a < kActors; ++a) {
+        continuations.push_back(std::make_unique<TickEvent>(
+            [&fired] { ++fired; }, "bench.cont"));
+        actors.push_back(std::make_unique<TickEvent>(
+            [&, a] {
+                ++fired;
+                TickEvent &cont = *continuations[a];
+                if (!cont.scheduled())
+                    q.scheduleIn(cont, 1);
+                if (fired < budget)
+                    q.scheduleIn(*actors[a], actorDelay(a, n[a]++));
+            },
+            "bench.actor"));
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint32_t a = 0; a < kActors; ++a)
+        q.scheduleIn(*actors[a], actorDelay(a, n[a]++));
+    q.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    fired_out = fired;
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t budget = 5'000'000;
+    double min_speedup = 0.0;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--events") && i + 1 < argc)
+            budget = std::strtoull(argv[++i], nullptr, 10);
+        else if (!std::strcmp(argv[i], "--min-speedup") && i + 1 < argc)
+            min_speedup = std::strtod(argv[++i], nullptr);
+    }
+
+    std::printf("DES kernel microbenchmark: %llu scheduled events, "
+                "%u actors\n\n",
+                (unsigned long long)budget, kActors);
+
+    // Warm-up pass so all three kernels run against a hot allocator.
+    std::uint64_t fired = 0;
+    runLegacy(budget / 10, fired);
+    runPooled(budget / 10, fired);
+    runIntrusive(budget / 10, fired);
+
+    std::uint64_t fired_legacy = 0, fired_pooled = 0, fired_intr = 0;
+    const double t_legacy = runLegacy(budget, fired_legacy);
+    const double t_pooled = runPooled(budget, fired_pooled);
+    const double t_intr = runIntrusive(budget, fired_intr);
+
+    if (fired_legacy != fired_pooled || fired_legacy != fired_intr) {
+        std::fprintf(stderr,
+                     "event-count mismatch: legacy=%llu pooled=%llu "
+                     "intrusive=%llu\n",
+                     (unsigned long long)fired_legacy,
+                     (unsigned long long)fired_pooled,
+                     (unsigned long long)fired_intr);
+        return 2;
+    }
+
+    const double eps_legacy = double(fired_legacy) / t_legacy;
+    const double eps_pooled = double(fired_pooled) / t_pooled;
+    const double eps_intr = double(fired_intr) / t_intr;
+
+    std::printf("  %-38s %8.1f M events/s\n",
+                "legacy (std::function + prio-queue)", eps_legacy / 1e6);
+    std::printf("  %-38s %8.1f M events/s   (%.2fx)\n",
+                "pooled one-shots (calendar queue)", eps_pooled / 1e6,
+                eps_pooled / eps_legacy);
+    std::printf("  %-38s %8.1f M events/s   (%.2fx)\n",
+                "intrusive TickEvents (calendar queue)", eps_intr / 1e6,
+                eps_intr / eps_legacy);
+
+    if (min_speedup > 0.0 && eps_intr < min_speedup * eps_legacy) {
+        std::fprintf(stderr,
+                     "\nFAIL: intrusive kernel %.2fx < required %.2fx\n",
+                     eps_intr / eps_legacy, min_speedup);
+        return 1;
+    }
+    return 0;
+}

@@ -202,8 +202,7 @@ LogM::postLogEntry(std::uint32_t aus, Addr line_addr,
             // (address-match latency); persistence is off the critical
             // path (Section III-C).
             if (ack) {
-                _eq.scheduleIn(_cfg.mcAddrMatchLatency,
-                               std::move(ack));
+                _eq.postIn(_cfg.mcAddrMatchLatency, std::move(ack));
             }
         } else if (ack) {
             // BASE: the ack waits until the entry is durable, i.e.

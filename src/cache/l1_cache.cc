@@ -36,7 +36,9 @@ L1Cache::L1Cache(CoreId core, EventQueue &eq, const SystemConfig &cfg,
 void
 L1Cache::after(Cycles delay, std::function<void()> fn)
 {
-    _eq.scheduleIn(delay, std::move(fn));
+    // Dynamic continuation (several can be in flight per cache): carried
+    // by a pooled one-shot event.
+    _eq.postIn(delay, std::move(fn));
 }
 
 std::uint32_t

@@ -33,7 +33,7 @@ L2Tile::L2Tile(std::uint32_t tile_id, EventQueue &eq,
 void
 L2Tile::after(Cycles delay, std::function<void()> fn)
 {
-    _eq.scheduleIn(delay, std::move(fn));
+    _eq.postIn(delay, std::move(fn));
 }
 
 void
@@ -63,8 +63,8 @@ L2Tile::recallOwner(Addr addr, DirEntry &dir, CacheLineState *frame)
 {
     if (dir.owner == kNoCore)
         return;
-    auto got = _l1s[dir.owner]->surrenderLine(addr);
-    if (got && got->second && frame) {
+    if (auto got = _l1s[dir.owner]->surrenderLine(addr);
+        frame != nullptr && got.has_value() && got->second) {
         frame->data = got->first;
         frame->dirty = true;
     }

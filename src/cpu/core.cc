@@ -13,6 +13,9 @@ Core::Core(CoreId id, EventQueue &eq, const SystemConfig &cfg, L1Cache &l1,
       _cfg(cfg),
       _l1(l1),
       _sq(id, eq, cfg.sqEntries, cfg.sqDrainWidth, l1, stats),
+      _nextTxnEvent([this] { nextTransaction(); }, "core.nextTxn"),
+      _opDoneEvent([this] { opDone(_opDoneIdx); }, "core.opDone"),
+      _execOpEvent([this] { execOp(_execIdx); }, "core.execOp"),
       _statCommitted(
           stats.counter("core" + std::to_string(id), "txn_committed")),
       _statOps(stats.counter("core" + std::to_string(id), "ops")),
@@ -26,7 +29,7 @@ Core::start()
 {
     panic_if(!_source, "core %u has no transaction source", _id);
     panic_if(!_hooks, "core %u has no design hooks", _id);
-    _eq.scheduleIn(0, [this] { nextTransaction(); });
+    _eq.scheduleIn(_nextTxnEvent, 0);
 }
 
 void
@@ -53,14 +56,16 @@ Core::execOp(std::size_t idx)
 
     switch (op.kind) {
       case OpKind::Compute:
-        _eq.scheduleIn(op.cycles, [this, idx] { opDone(idx); });
+        _opDoneIdx = idx;
+        _eq.scheduleIn(_opDoneEvent, op.cycles);
         return;
 
       case OpKind::Load: {
         // Store-to-load forwarding: a queued store to the same line
         // supplies the data without an L1 access.
         if (_sq.holdsLine(op.addr)) {
-            _eq.scheduleIn(1, [this, idx] { opDone(idx); });
+            _opDoneIdx = idx;
+            _eq.scheduleIn(_opDoneEvent, 1);
             return;
         }
         const Tick issued = _eq.now();
@@ -100,7 +105,8 @@ void
 Core::opDone(std::size_t idx)
 {
     // Inter-op compute gap stands in for non-memory instructions.
-    _eq.scheduleIn(_cfg.computeGap, [this, idx] { execOp(idx + 1); });
+    _execIdx = idx + 1;
+    _eq.scheduleIn(_execOpEvent, _cfg.computeGap);
 }
 
 } // namespace atomsim

@@ -102,6 +102,14 @@ class Core
     std::optional<Transaction> _txn;
     bool _done = false;
 
+    // Recurring kernel events (one of each pending at most; the core
+    // is in-order, so op completion and the inter-op gap alternate).
+    TickEvent _nextTxnEvent;  //!< pull the next transaction
+    TickEvent _opDoneEvent;   //!< completion of the op at _opDoneIdx
+    TickEvent _execOpEvent;   //!< start of the op at _execIdx
+    std::size_t _opDoneIdx = 0;
+    std::size_t _execIdx = 0;
+
     Counter &_statCommitted;
     Counter &_statOps;
     Counter &_statLoadStallCycles;

@@ -82,12 +82,12 @@ DesignContext::atomicBegin(CoreId core, std::function<void()> done)
 {
     switch (_cfg.design) {
       case DesignKind::NonAtomic:
-        _eq.scheduleIn(1, std::move(done));
+        _eq.postIn(1, std::move(done));
         return;
 
       case DesignKind::Redo:
         _redo->beginTxn(core);
-        _eq.scheduleIn(1, std::move(done));
+        _eq.postIn(1, std::move(done));
         return;
 
       case DesignKind::Base:
@@ -99,7 +99,7 @@ DesignContext::atomicBegin(CoreId core, std::function<void()> done)
             // may land behind any of them (data placement decides).
             for (auto &logm : _logms)
                 logm->beginUpdate(slot);
-            _eq.scheduleIn(1, std::move(done));
+            _eq.postIn(1, std::move(done));
         });
         return;
     }

@@ -75,6 +75,11 @@ RedoEngine::RedoEngine(EventQueue &eq, const SystemConfig &cfg,
     // The redo log reuses the OS-reserved log region of each MC; the
     // cursor starts at the MC's first bucket page.
     (void)amap;
+    _drainEvents.reserve(cfg.numCores);
+    for (CoreId c = 0; c < cfg.numCores; ++c) {
+        _drainEvents.push_back(std::make_unique<TickEvent>(
+            [this, c] { drainWcb(c); }, "redo.drainWcb"));
+    }
 }
 
 bool
@@ -111,7 +116,7 @@ RedoEngine::onStore(CoreId core, Addr addr, std::function<void()> done)
         if (e.line == line) {
             _statCombined.inc();
             e.readyAt = _eq.now() + 2;  // snapshot after this store too
-            _eq.scheduleIn(1, std::move(done));
+            _eq.postIn(1, std::move(done));
             return;
         }
     }
@@ -127,12 +132,12 @@ RedoEngine::onStore(CoreId core, Addr addr, std::function<void()> done)
     }
 
     cs.wcb.push_back(WcbEntry{line, Line{}, _eq.now() + 2});
-    _eq.scheduleIn(1, std::move(done));
+    _eq.postIn(1, std::move(done));
     if (!cs.draining) {
         cs.draining = true;
         // Start draining after the store has applied to the cache so
         // the snapshot sees the newest value.
-        _eq.scheduleIn(2, [this, core] { drainWcb(core); });
+        _eq.scheduleIn(*_drainEvents[core], 2);
     }
 }
 
@@ -152,8 +157,7 @@ RedoEngine::drainWcb(CoreId core)
 
     if (cs.wcb.front().readyAt > _eq.now()) {
         // The triggering store has not applied yet: drain later.
-        const Tick when = cs.wcb.front().readyAt;
-        _eq.schedule(when, [this, core] { drainWcb(core); });
+        _eq.schedule(*_drainEvents[core], cs.wcb.front().readyAt);
         return;
     }
 
@@ -189,7 +193,7 @@ RedoEngine::drainWcb(CoreId core)
     });
     // Pace: one entry per drain step; next step after the combine
     // buffer's issue latency.
-    _eq.scheduleIn(1, [this, core] { drainWcb(core); });
+    _eq.scheduleIn(*_drainEvents[core], 1);
 }
 
 void
@@ -379,6 +383,8 @@ RedoEngine::backlog() const
 void
 RedoEngine::powerFail()
 {
+    for (auto &ev : _drainEvents)
+        _eq.deschedule(*ev);
     for (auto &cs : _cores) {
         cs.active = false;
         cs.wcb.clear();

@@ -163,6 +163,9 @@ class RedoEngine : public StoreLogger
 
     std::vector<CoreState> _cores;
     std::vector<McState> _mcState;
+    /** One recurring combine-buffer drain event per core (at most one
+     * drain step pending per core; see CoreState::draining). */
+    std::vector<std::unique_ptr<TickEvent>> _drainEvents;
     VictimCache _victims;
     std::function<Line(CoreId, Addr)> _snapshot;
 

@@ -25,6 +25,10 @@ MemoryController::MemoryController(McId id, EventQueue &eq,
     for (std::uint32_t c = 0; c < cfg.channelsPerMc; ++c)
         _channels.emplace_back(eq, cfg);
     _chState.resize(cfg.channelsPerMc);
+    for (std::uint32_t c = 0; c < cfg.channelsPerMc; ++c) {
+        _chState[c].kickEvent = std::make_unique<TickEvent>(
+            [this, c] { kick(c); }, "mc.kick");
+    }
 }
 
 bool
@@ -138,17 +142,10 @@ MemoryController::whenLineDurable(Addr addr, WriteCallback cb)
 void
 MemoryController::scheduleKick(std::uint32_t ch, Tick when)
 {
-    auto &st = _chState[ch];
-    if (st.kickScheduled)
+    TickEvent &ev = *_chState[ch].kickEvent;
+    if (ev.scheduled())
         return;
-    st.kickScheduled = true;
-    const std::uint64_t epoch = _epoch;
-    _eq.schedule(std::max(when, _eq.now()), [this, ch, epoch] {
-        if (epoch != _epoch)
-            return;
-        _chState[ch].kickScheduled = false;
-        kick(ch);
-    });
+    _eq.schedule(ev, std::max(when, _eq.now()));
 }
 
 void
@@ -220,8 +217,8 @@ MemoryController::issueRead(std::uint32_t ch, Request req)
     const Tick done = _channels[ch].scheduleRead();
     const std::uint64_t epoch = _epoch;
     auto cb = std::move(req.rcb);
-    _eq.schedule(done, [this, epoch, cb = std::move(cb),
-                        data = std::move(data)] {
+    _eq.post(done, [this, epoch, cb = std::move(cb),
+                    data = std::move(data)] {
         if (epoch != _epoch)
             return;
         --_pendingReads;
@@ -238,7 +235,7 @@ MemoryController::issueWrite(std::uint32_t ch, Request req)
                       (isGated(req.wkind) ? _cfg.mcAddrMatchLatency : 0);
     const std::uint64_t epoch = _epoch;
     auto shared = std::make_shared<Request>(std::move(req));
-    _eq.schedule(done, [this, epoch, shared] {
+    _eq.post(done, [this, epoch, shared] {
         if (epoch != _epoch)
             return;
         _nvm.writeLine(shared->addr, shared->data);
@@ -268,7 +265,7 @@ MemoryController::powerFail()
     for (auto &st : _chState) {
         st.readQ.clear();
         st.writeQ.clear();
-        st.kickScheduled = false;
+        _eq.deschedule(*st.kickEvent);
     }
     _inflightWrites.clear();
     _durWaiters.clear();

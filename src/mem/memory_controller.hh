@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -144,7 +145,9 @@ class MemoryController
     {
         std::deque<Request> readQ;
         std::deque<Request> writeQ;
-        bool kickScheduled = false;
+        /** Recurring scheduler event; at most one kick pending per
+         * channel (kickEvent->scheduled() is the guard). */
+        std::unique_ptr<TickEvent> kickEvent;
     };
 
     /** Channel a request of this kind steers to. */

@@ -95,7 +95,7 @@ Mesh::send(std::uint32_t src, std::uint32_t dst, MsgType type,
     // Tail flit arrives after the body streams in behind the head.
     const Tick arrival = head + flits - 1;
     _flitHops.inc(std::uint64_t(flits) * (hop_count + 1));
-    _eq.schedule(arrival, std::move(deliver));
+    _eq.post(arrival, std::move(deliver));
 }
 
 } // namespace atomsim

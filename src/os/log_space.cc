@@ -11,6 +11,11 @@ LogSpace::LogSpace(EventQueue &eq, const SystemConfig &cfg, StatSet &stats)
       _pending(cfg.numMemCtrls),
       _statInterrupts(stats.counter("os", "log_overflow_interrupts"))
 {
+    _grantEvents.reserve(cfg.numMemCtrls);
+    for (McId mc = 0; mc < cfg.numMemCtrls; ++mc) {
+        _grantEvents.push_back(std::make_unique<TickEvent>(
+            [this, mc] { grant(mc); }, "os.grant"));
+    }
 }
 
 void
@@ -22,13 +27,17 @@ LogSpace::requestMoreBuckets(McId mc,
         return;
     _busy[mc] = true;
     _statInterrupts.inc();
-    _eq.scheduleIn(_latency, [this, mc] {
-        _busy[mc] = false;
-        auto waiters = std::move(_pending[mc]);
-        _pending[mc].clear();
-        for (auto &w : waiters)
-            w(_grantSize);
-    });
+    _eq.scheduleIn(*_grantEvents[mc], _latency);
+}
+
+void
+LogSpace::grant(McId mc)
+{
+    _busy[mc] = false;
+    auto waiters = std::move(_pending[mc]);
+    _pending[mc].clear();
+    for (auto &w : waiters)
+        w(_grantSize);
 }
 
 } // namespace atomsim

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "sim/config.hh"
@@ -50,11 +51,16 @@ class LogSpace
     }
 
   private:
+    /** Interrupt handling for @p mc finished: hand out the grant. */
+    void grant(McId mc);
+
     EventQueue &_eq;
     Cycles _latency;
     std::uint32_t _grantSize;
     std::vector<bool> _busy;  //!< per-MC: interrupt being serviced
     std::vector<std::deque<std::function<void(std::uint32_t)>>> _pending;
+    /** One recurring interrupt-completion event per controller. */
+    std::vector<std::unique_ptr<TickEvent>> _grantEvents;
 
     Counter &_statInterrupts;
 };

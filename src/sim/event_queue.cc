@@ -1,30 +1,255 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace atomsim
 {
 
+/**
+ * Pooled one-shot event carrying a post()ed callback. The queue runs
+ * pooled events inline (moving the callback out and releasing the node
+ * *before* invoking it, so the callback may itself post), hence
+ * process() only exists to satisfy the Event interface.
+ */
+class FuncEvent final : public Event
+{
+  public:
+    FuncEvent() = default;
+
+    void process() override { _fn(); }
+
+  private:
+    friend class EventQueue;
+
+    EventQueue::Callback _fn;
+};
+
+Event::~Event()
+{
+    if (scheduled() && _queue)
+        _queue->deschedule(*this);
+}
+
+EventQueue::EventQueue() : _wheel(kWheelBuckets) {}
+
+EventQueue::~EventQueue()
+{
+    // Orphan everything still queued so events that outlive the queue
+    // (and the pooled events destroyed next) don't deschedule against
+    // freed state.
+    for (auto &b : _wheel) {
+        for (Event *e = b.head; e != nullptr;) {
+            Event *next = e->_next;
+            e->_flags &= ~Event::kScheduled;
+            e->_queue = nullptr;
+            e->_next = nullptr;
+            e = next;
+        }
+        b.head = b.tail = nullptr;
+    }
+    for (Event *e : _spill) {
+        e->_flags &= ~Event::kScheduled;
+        e->_queue = nullptr;
+    }
+}
+
 void
-EventQueue::schedule(Tick when, Callback cb)
+EventQueue::wheelInsert(Event *ev)
+{
+    const std::uint32_t bi = std::uint32_t(ev->_when) & kWheelMask;
+    Bucket &b = _wheel[bi];
+    if (b.tail)
+        b.tail->_next = ev;
+    else
+        b.head = ev;
+    b.tail = ev;
+    _occupied[bi >> 6] |= std::uint64_t(1) << (bi & 63);
+    ++_wheelCount;
+}
+
+void
+EventQueue::schedule(Event &ev, Tick when)
 {
     panic_if(when < _now, "scheduling into the past: when=%llu now=%llu",
              (unsigned long long)when, (unsigned long long)_now);
-    _heap.push(Entry{when, _seq++, std::move(cb)});
+    panic_if(ev.scheduled(), "scheduling an already-scheduled event");
+    ev._when = when;
+    ev._seq = _seq++;
+    ev._queue = this;
+    ev._next = nullptr;
+    ev._flags |= Event::kScheduled;
+    ++_pending;
+    if (when - _now < kWheelBuckets) {
+        wheelInsert(&ev);
+    } else {
+        _spill.push_back(&ev);
+        std::push_heap(_spill.begin(), _spill.end(), SpillLater{});
+    }
+}
+
+void
+EventQueue::deschedule(Event &ev)
+{
+    if (!ev.scheduled() || ev._queue != this)
+        return;
+    if (ev._when - _now < kWheelBuckets) {
+        const std::uint32_t bi = std::uint32_t(ev._when) & kWheelMask;
+        Bucket &b = _wheel[bi];
+        Event *prev = nullptr;
+        Event *cur = b.head;
+        while (cur && cur != &ev) {
+            prev = cur;
+            cur = cur->_next;
+        }
+        panic_if(!cur, "descheduling an event missing from its bucket");
+        if (prev)
+            prev->_next = ev._next;
+        else
+            b.head = ev._next;
+        if (b.tail == &ev)
+            b.tail = prev;
+        if (!b.head)
+            _occupied[bi >> 6] &= ~(std::uint64_t(1) << (bi & 63));
+        --_wheelCount;
+    } else {
+        auto it = std::find(_spill.begin(), _spill.end(), &ev);
+        panic_if(it == _spill.end(),
+                 "descheduling an event missing from the spill heap");
+        _spill.erase(it);
+        std::make_heap(_spill.begin(), _spill.end(), SpillLater{});
+    }
+    ev._next = nullptr;
+    ev._flags &= ~Event::kScheduled;
+    ev._queue = nullptr;
+    --_pending;
+}
+
+FuncEvent *
+EventQueue::acquirePooled()
+{
+    if (_freeList) {
+        auto *fe = static_cast<FuncEvent *>(_freeList);
+        _freeList = fe->_next;
+        fe->_next = nullptr;
+        --_poolFreeCount;
+        return fe;
+    }
+    _funcPool.push_back(std::make_unique<FuncEvent>());
+    FuncEvent *fe = _funcPool.back().get();
+    fe->_flags |= Event::kPooled;
+    return fe;
+}
+
+void
+EventQueue::releasePooled(FuncEvent *ev)
+{
+    ev->_next = _freeList;
+    _freeList = ev;
+    ++_poolFreeCount;
+}
+
+void
+EventQueue::post(Tick when, Callback cb)
+{
+    FuncEvent *fe = acquirePooled();
+    fe->_fn = std::move(cb);
+    schedule(*fe, when);
+}
+
+Tick
+EventQueue::nextWheelTick() const
+{
+    const std::uint32_t s = std::uint32_t(_now) & kWheelMask;
+    const std::uint32_t sw = s >> 6;
+    const std::uint32_t sb = s & 63;
+
+    // Bits at or after the cursor in the cursor's word.
+    std::uint64_t word = _occupied[sw] & (~std::uint64_t(0) << sb);
+    if (word) {
+        const std::uint32_t bit =
+            sw * 64 + std::uint32_t(__builtin_ctzll(word));
+        return _now + ((bit - s) & kWheelMask);
+    }
+    // Remaining words, wrapping; the cursor word's low bits come last.
+    for (std::uint32_t i = 1; i <= kBitmapWords; ++i) {
+        const std::uint32_t wi = (sw + i) & (kBitmapWords - 1);
+        word = _occupied[wi];
+        if (i == kBitmapWords)
+            word &= (std::uint64_t(1) << sb) - 1;
+        if (word) {
+            const std::uint32_t bit =
+                wi * 64 + std::uint32_t(__builtin_ctzll(word));
+            return _now + ((bit - s) & kWheelMask);
+        }
+    }
+    panic("nextWheelTick: occupancy bitmap empty but wheelCount=%llu",
+          (unsigned long long)_wheelCount);
+}
+
+Tick
+EventQueue::nextEventTick() const
+{
+    // The wheel window invariant makes every wheel event earlier than
+    // every spill event, so the wheel wins whenever it is non-empty.
+    if (_wheelCount != 0)
+        return nextWheelTick();
+    return _spill.front()->_when;
+}
+
+void
+EventQueue::migrate()
+{
+    const Tick horizon = _now + kWheelBuckets;
+    while (!_spill.empty() && _spill.front()->_when < horizon) {
+        std::pop_heap(_spill.begin(), _spill.end(), SpillLater{});
+        Event *ev = _spill.back();
+        _spill.pop_back();
+        wheelInsert(ev);
+    }
+}
+
+void
+EventQueue::executeNext(Tick t)
+{
+    if (t != _now) {
+        _now = t;
+        migrate();
+    }
+    const std::uint32_t bi = std::uint32_t(t) & kWheelMask;
+    Bucket &b = _wheel[bi];
+    Event *ev = b.head;
+    b.head = ev->_next;
+    if (!b.head) {
+        b.tail = nullptr;
+        _occupied[bi >> 6] &= ~(std::uint64_t(1) << (bi & 63));
+    }
+    --_wheelCount;
+    --_pending;
+    ev->_next = nullptr;
+    ev->_queue = nullptr;
+    ev->_flags &= std::uint16_t(~Event::kScheduled);
+    ++_executed;
+    if (ev->_flags & Event::kPooled) {
+        // Release the node before running the callback so the callback
+        // may immediately reuse it via post().
+        auto *fe = static_cast<FuncEvent *>(ev);
+        Callback fn = std::move(fe->_fn);
+        fe->_fn = nullptr;
+        releasePooled(fe);
+        fn();
+    } else {
+        ev->process();
+    }
 }
 
 bool
 EventQueue::step()
 {
-    if (_heap.empty())
+    if (_pending == 0)
         return false;
-    // priority_queue::top() returns const&; move out via const_cast is
-    // safe here because we pop immediately after.
-    Entry e = std::move(const_cast<Entry &>(_heap.top()));
-    _heap.pop();
-    _now = e.when;
-    ++_executed;
-    e.cb();
+    executeNext(nextEventTick());
     return true;
 }
 
@@ -32,12 +257,21 @@ std::uint64_t
 EventQueue::run(Tick limit)
 {
     std::uint64_t n = 0;
-    while (!_heap.empty() && _heap.top().when <= limit) {
-        step();
+    while (_pending != 0) {
+        const Tick t = nextEventTick();
+        if (t > limit)
+            break;
+        executeNext(t);
         ++n;
     }
-    if (_now < limit && limit != kTickNever)
+    if (_now < limit && limit != kTickNever) {
+        // Jumping now() slides the wheel window: spill events that the
+        // jump brought inside the horizon must migrate before any new
+        // schedule() can land in the exposed region, or the window
+        // invariant (wheel events always earliest) breaks.
         _now = limit;
+        migrate();
+    }
     return n;
 }
 
@@ -45,8 +279,11 @@ std::uint64_t
 EventQueue::runUntil(const std::function<bool()> &pred, Tick limit)
 {
     std::uint64_t n = 0;
-    while (!pred() && !_heap.empty() && _heap.top().when <= limit) {
-        step();
+    while (!pred() && _pending != 0) {
+        const Tick t = nextEventTick();
+        if (t > limit)
+            break;
+        executeNext(t);
         ++n;
     }
     return n;

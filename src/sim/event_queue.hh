@@ -3,17 +3,65 @@
  * Discrete-event simulation kernel.
  *
  * atomsim is driven by a single global-per-System event queue. Components
- * schedule callbacks at absolute ticks; the queue executes them in
+ * schedule work at absolute ticks; the queue executes it in
  * (tick, insertion-order) order, which gives deterministic simulation for
  * a fixed configuration and seed.
+ *
+ * Event model
+ * -----------
+ * The kernel is built around gem5-style *intrusive* events: an Event is
+ * an object whose queue linkage (tick, sequence number, bucket link)
+ * lives inside the object itself, so scheduling one performs no
+ * allocation. Components own their recurring events as members --
+ * conventionally named `_tickEvent` / `_drainEvent` etc. and declared as
+ * EventFunctionWrapper (alias TickEvent) -- and (re)schedule the same
+ * object over and over:
+ *
+ *     class Core {
+ *         ...
+ *         TickEvent _opDoneEvent{[this] { opDone(_opDoneIdx); }};
+ *     };
+ *     _eq.scheduleIn(_opDoneEvent, op.cycles);
+ *
+ * For one-shot continuations whose capture state is inherently dynamic
+ * (cache-miss fills, mesh deliveries, NVM completions) the queue offers
+ * post()/postIn(): the callback is moved into a FuncEvent drawn from an
+ * internal free-list pool, so the steady-state hot loop performs zero
+ * queue-node allocations on this path too (the pool grows to the
+ * high-water mark of in-flight one-shots and is then reused forever).
+ *
+ * Calendar queue
+ * --------------
+ * Pending events live in a two-level calendar queue:
+ *
+ *  - a *timing wheel* of kWheelBuckets (4096) one-tick buckets covering
+ *    the near horizon [now(), now() + kWheelBuckets). Each bucket is an
+ *    intrusive singly-linked FIFO list; because every schedule() call
+ *    appends at the tail with a monotonically increasing global sequence
+ *    number, a bucket is always sorted by insertion order. A bitmap
+ *    (one bit per bucket) makes "find the next non-empty bucket" a
+ *    handful of word scans + ctz;
+ *
+ *  - a *spill heap* for far-future events (when >= now() + kWheelBuckets),
+ *    ordered by (tick, seq). Whenever now() advances, events whose tick
+ *    has come inside the horizon migrate from the heap into their wheel
+ *    bucket. Migration pops the heap in (tick, seq) order and the wheel
+ *    window invariant guarantees a migrating event can never land in a
+ *    bucket that already holds same-tick events, so FIFO order within a
+ *    tick is preserved across the two levels.
+ *
+ * Schedule/execute are therefore O(1) for the near horizon (the common
+ * case: latencies in this machine are 1..~400 cycles) and O(log n) only
+ * for far-future spills (e.g. the 5000-cycle OS overflow interrupt).
  */
 
 #ifndef ATOMSIM_SIM_EVENT_QUEUE_HH
 #define ATOMSIM_SIM_EVENT_QUEUE_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
 #include <vector>
 
 #include "sim/types.hh"
@@ -21,43 +69,145 @@
 namespace atomsim
 {
 
+class EventQueue;
+class FuncEvent;
+
 /**
- * A single-owner discrete event queue.
+ * Base class of every schedulable event.
  *
- * Events are arbitrary std::function callbacks. Scheduling is allowed
- * from inside event execution (the common case). Events may be scheduled
- * at the current tick; they run after all previously-scheduled events of
- * that tick.
+ * The queue linkage is intrusive: _when/_seq/_next live in the event, so
+ * scheduling allocates nothing. An Event may be scheduled on at most one
+ * queue at a time; scheduling an already-scheduled event is a bug (use
+ * reschedule()). Destroying a scheduled event deschedules it first.
+ */
+class Event
+{
+  public:
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    /** Invoked when simulated time reaches the scheduled tick. */
+    virtual void process() = 0;
+
+    /** True while the event sits on a queue. */
+    bool scheduled() const { return (_flags & kScheduled) != 0; }
+
+    /** Tick the event is scheduled at (valid while scheduled()). */
+    Tick when() const { return _when; }
+
+  protected:
+    Event() = default;
+    virtual ~Event();
+
+  private:
+    friend class EventQueue;
+
+    static constexpr std::uint16_t kScheduled = 0x1;
+    static constexpr std::uint16_t kPooled = 0x2;
+
+    Event *_next = nullptr;        //!< bucket / free-list link
+    EventQueue *_queue = nullptr;  //!< queue we are scheduled on
+    Tick _when = 0;
+    std::uint64_t _seq = 0;        //!< FIFO tie-breaker within a tick
+    std::uint16_t _flags = 0;
+};
+
+/**
+ * An Event that runs a callback bound once at construction time.
+ *
+ * This is the building block for component-owned recurring events: the
+ * std::function is allocated once when the component is built and the
+ * same object is rescheduled forever after.
+ */
+class EventFunctionWrapper : public Event
+{
+  public:
+    explicit EventFunctionWrapper(std::function<void()> fn,
+                                  const char *name = "anon")
+        : _fn(std::move(fn)), _name(name)
+    {
+    }
+
+    void process() override { _fn(); }
+
+    const char *name() const { return _name; }
+
+  private:
+    std::function<void()> _fn;
+    const char *_name;
+};
+
+/** Conventional name for a component's recurring member event. */
+using TickEvent = EventFunctionWrapper;
+
+/**
+ * A single-owner discrete event queue (see the file comment for the
+ * event model and calendar-queue design).
+ *
+ * Scheduling is allowed from inside event execution (the common case).
+ * Events may be scheduled at the current tick; they run after all
+ * previously-scheduled events of that tick.
  */
 class EventQueue
 {
   public:
     using Callback = std::function<void()>;
 
-    EventQueue() = default;
+    /** Near-horizon width, in ticks (power of two). */
+    static constexpr std::uint32_t kWheelBuckets = 4096;
+
+    EventQueue();
+    ~EventQueue();
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
     /** Current simulated time. */
     Tick now() const { return _now; }
 
+    // --- intrusive API (component-owned events) -----------------------
+
     /**
-     * Schedule a callback at absolute tick @p when.
+     * Schedule @p ev at absolute tick @p when.
      *
      * @pre when >= now()
+     * @pre !ev.scheduled()
      */
-    void schedule(Tick when, Callback cb);
+    void schedule(Event &ev, Tick when);
 
-    /** Schedule a callback @p delay ticks from now. */
-    void scheduleIn(Cycles delay, Callback cb) {
-        schedule(_now + delay, std::move(cb));
+    /** Schedule @p ev @p delay ticks from now. */
+    void scheduleIn(Event &ev, Cycles delay) { schedule(ev, _now + delay); }
+
+    /** Remove @p ev from the queue (no-op if not scheduled here). */
+    void deschedule(Event &ev);
+
+    /** Move @p ev to @p when, whether or not it is scheduled. */
+    void
+    reschedule(Event &ev, Tick when)
+    {
+        deschedule(ev);
+        schedule(ev, when);
     }
 
+    // --- pooled one-shot API (dynamic continuations) ------------------
+
+    /**
+     * Run @p cb at absolute tick @p when. The callback is carried by a
+     * FuncEvent drawn from the internal free-list pool; the event
+     * object returns to the pool as it fires, so steady state allocates
+     * no queue nodes.
+     */
+    void post(Tick when, Callback cb);
+
+    /** Run @p cb @p delay ticks from now. */
+    void postIn(Cycles delay, Callback cb) { post(_now + delay, std::move(cb)); }
+
+    // --- execution ----------------------------------------------------
+
     /** True when no events remain. */
-    bool empty() const { return _heap.empty(); }
+    bool empty() const { return _pending == 0; }
 
     /** Number of pending events. */
-    std::size_t pending() const { return _heap.size(); }
+    std::size_t pending() const { return _pending; }
 
     /**
      * Execute a single event (the earliest). Advances now() to the
@@ -77,7 +227,7 @@ class EventQueue
     std::uint64_t run(Tick limit = kTickNever);
 
     /**
-     * Run until @p pred returns true (checked after every event), the
+     * Run until @p pred returns true (checked before every event), the
      * queue drains, or @p limit is hit.
      */
     std::uint64_t runUntil(const std::function<bool()> &pred,
@@ -86,29 +236,67 @@ class EventQueue
     /** Total events executed over the queue's lifetime. */
     std::uint64_t executed() const { return _executed; }
 
+    // --- pool introspection (tests / diagnostics) ---------------------
+
+    /** FuncEvents ever allocated (pool high-water mark). */
+    std::size_t poolAllocated() const { return _funcPool.size(); }
+
+    /** FuncEvents currently idle on the free list. */
+    std::size_t poolFree() const { return _poolFreeCount; }
+
   private:
-    struct Entry
+    static constexpr std::uint32_t kWheelMask = kWheelBuckets - 1;
+    static constexpr std::uint32_t kBitmapWords = kWheelBuckets / 64;
+
+    struct Bucket
     {
-        Tick when;
-        std::uint64_t seq;  //!< tie-breaker: FIFO within a tick
-        Callback cb;
+        Event *head = nullptr;
+        Event *tail = nullptr;
     };
 
-    struct Later
+    /** Min-heap-on-vector comparator: true when a fires *later*. */
+    struct SpillLater
     {
         bool
-        operator()(const Entry &a, const Entry &b) const
+        operator()(const Event *a, const Event *b) const
         {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
+            if (a->_when != b->_when)
+                return a->_when > b->_when;
+            return a->_seq > b->_seq;
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
+    /** Append to the wheel bucket of ev->_when (must be in-horizon). */
+    void wheelInsert(Event *ev);
+
+    /** Tick of the earliest pending event (wheel beats spill). */
+    Tick nextEventTick() const;
+
+    /** Earliest non-empty wheel bucket's tick (requires _wheelCount). */
+    Tick nextWheelTick() const;
+
+    /** Pull spill-heap events that entered the horizon into the wheel. */
+    void migrate();
+
+    /** Pop and run the earliest event, known to be at tick @p t. */
+    void executeNext(Tick t);
+
+    FuncEvent *acquirePooled();
+    void releasePooled(FuncEvent *ev);
+
+    std::vector<Bucket> _wheel;
+    std::array<std::uint64_t, kBitmapWords> _occupied{};
+    std::vector<Event *> _spill;  //!< heap of far-future events
+
     Tick _now = 0;
     std::uint64_t _seq = 0;
     std::uint64_t _executed = 0;
+    std::size_t _pending = 0;
+    std::size_t _wheelCount = 0;
+
+    std::vector<std::unique_ptr<FuncEvent>> _funcPool;
+    Event *_freeList = nullptr;
+    std::size_t _poolFreeCount = 0;
 };
 
 } // namespace atomsim

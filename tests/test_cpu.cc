@@ -219,7 +219,7 @@ TEST(AusPoolTest, StructuralOverflowStallsAndRecovers)
     pool.acquire(1, [&](std::uint32_t) { got1 = true; });
     EXPECT_FALSE(got1);  // structural overflow: waits
 
-    eq.scheduleIn(100, [&] { pool.release(0); });
+    eq.postIn(100, [&] { pool.release(0); });
     eq.run();
     EXPECT_TRUE(got1);
     EXPECT_EQ(pool.slotOf(1), 0);

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
 #include "sim/config.hh"
@@ -22,22 +23,26 @@ TEST(EventQueueTest, ExecutesInTickOrder)
 {
     EventQueue eq;
     std::vector<int> order;
-    eq.schedule(30, [&] { order.push_back(3); });
-    eq.schedule(10, [&] { order.push_back(1); });
-    eq.schedule(20, [&] { order.push_back(2); });
+    eq.post(30, [&] { order.push_back(3); });
+    eq.post(10, [&] { order.push_back(1); });
+    eq.post(20, [&] { order.push_back(2); });
     eq.run();
     EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
     EXPECT_EQ(eq.now(), 30u);
 }
 
+// Regression for the old priority_queue kernel: events posted at one
+// tick must pop in posting order (FIFO within a tick), however many
+// there are.
 TEST(EventQueueTest, FifoWithinATick)
 {
     EventQueue eq;
     std::vector<int> order;
-    for (int i = 0; i < 8; ++i)
-        eq.schedule(5, [&order, i] { order.push_back(i); });
+    for (int i = 0; i < 64; ++i)
+        eq.post(5, [&order, i] { order.push_back(i); });
     eq.run();
-    for (int i = 0; i < 8; ++i)
+    ASSERT_EQ(order.size(), 64u);
+    for (int i = 0; i < 64; ++i)
         EXPECT_EQ(order[std::size_t(i)], i);
 }
 
@@ -45,9 +50,9 @@ TEST(EventQueueTest, SchedulingFromInsideEvents)
 {
     EventQueue eq;
     int fired = 0;
-    eq.schedule(1, [&] {
+    eq.post(1, [&] {
         ++fired;
-        eq.scheduleIn(4, [&] {
+        eq.postIn(4, [&] {
             ++fired;
             EXPECT_EQ(eq.now(), 5u);
         });
@@ -60,9 +65,9 @@ TEST(EventQueueTest, SameTickSchedulingRunsAfterCurrentEvent)
 {
     EventQueue eq;
     std::vector<int> order;
-    eq.schedule(7, [&] {
+    eq.post(7, [&] {
         order.push_back(1);
-        eq.scheduleIn(0, [&] { order.push_back(2); });
+        eq.postIn(0, [&] { order.push_back(2); });
     });
     eq.run();
     EXPECT_EQ(order, (std::vector<int>{1, 2}));
@@ -72,8 +77,8 @@ TEST(EventQueueTest, RunRespectsLimit)
 {
     EventQueue eq;
     int fired = 0;
-    eq.schedule(10, [&] { ++fired; });
-    eq.schedule(100, [&] { ++fired; });
+    eq.post(10, [&] { ++fired; });
+    eq.post(100, [&] { ++fired; });
     eq.run(50);
     EXPECT_EQ(fired, 1);
     EXPECT_EQ(eq.pending(), 1u);
@@ -86,10 +91,27 @@ TEST(EventQueueTest, RunUntilPredicate)
     EventQueue eq;
     int count = 0;
     for (Tick t = 1; t <= 10; ++t)
-        eq.schedule(t, [&] { ++count; });
+        eq.post(t, [&] { ++count; });
     eq.runUntil([&] { return count >= 4; });
     EXPECT_EQ(count, 4);
     EXPECT_EQ(eq.pending(), 6u);
+}
+
+TEST(EventQueueTest, RunUntilRespectsLimitAndAlreadyTruePredicate)
+{
+    EventQueue eq;
+    int count = 0;
+    for (Tick t = 1; t <= 10; ++t)
+        eq.post(t, [&] { ++count; });
+
+    // Predicate already true: nothing executes.
+    EXPECT_EQ(eq.runUntil([] { return true; }), 0u);
+    EXPECT_EQ(count, 0);
+
+    // Limit cuts the run short even though the predicate never fires.
+    EXPECT_EQ(eq.runUntil([] { return false; }, 3), 3u);
+    EXPECT_EQ(count, 3);
+    EXPECT_EQ(eq.pending(), 7u);
 }
 
 TEST(EventQueueTest, StepReturnsFalseWhenEmpty)
@@ -103,9 +125,226 @@ TEST(EventQueueTest, ExecutedCounter)
 {
     EventQueue eq;
     for (int i = 0; i < 5; ++i)
-        eq.schedule(Tick(i), [] {});
+        eq.post(Tick(i), [] {});
     eq.run();
     EXPECT_EQ(eq.executed(), 5u);
+}
+
+// --- intrusive-event API ------------------------------------------------
+
+TEST(EventQueueTest, MemberEventSchedulesAndReschedules)
+{
+    EventQueue eq;
+    int fired = 0;
+    TickEvent ev([&] { ++fired; }, "test.tick");
+
+    EXPECT_FALSE(ev.scheduled());
+    eq.schedule(ev, 10);
+    EXPECT_TRUE(ev.scheduled());
+    EXPECT_EQ(ev.when(), 10u);
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(ev.scheduled());
+
+    // The same object is reusable immediately.
+    eq.scheduleIn(ev, 5);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 15u);
+}
+
+TEST(EventQueueTest, DescheduleRemovesFromWheelAndSpill)
+{
+    EventQueue eq;
+    int fired = 0;
+    TickEvent near([&] { ++fired; }, "near");
+    TickEvent far([&] { ++fired; }, "far");
+
+    eq.schedule(near, 10);  // wheel
+    eq.schedule(far, Tick(EventQueue::kWheelBuckets) + 100);  // spill
+    EXPECT_EQ(eq.pending(), 2u);
+
+    eq.deschedule(near);
+    eq.deschedule(far);
+    EXPECT_TRUE(eq.empty());
+    eq.run();
+    EXPECT_EQ(fired, 0);
+
+    // reschedule() works whether or not the event is queued.
+    eq.reschedule(near, 3);
+    eq.reschedule(near, 7);
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 7u);
+}
+
+TEST(EventQueueTest, SelfReschedulingMemberEvent)
+{
+    EventQueue eq;
+    int ticks = 0;
+    TickEvent *self = nullptr;
+    TickEvent ev(
+        [&] {
+            if (++ticks < 10)
+                eq.scheduleIn(*self, 100);
+        },
+        "test.selftick");
+    self = &ev;
+    eq.schedule(ev, 100);
+    eq.run();
+    EXPECT_EQ(ticks, 10);
+    EXPECT_EQ(eq.now(), 1000u);
+}
+
+// --- calendar-queue internals ------------------------------------------
+
+// Events beyond the wheel horizon spill to the far-future heap and must
+// still run in (tick, insertion-order) order when the horizon reaches
+// them.
+TEST(EventQueueTest, FarFutureEventsCrossTheHorizon)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    const Tick far = Tick(EventQueue::kWheelBuckets) * 3 + 17;
+    eq.post(far, [&] { order.push_back(1); });
+    eq.post(far, [&] { order.push_back(2); });
+    eq.post(far + 1, [&] { order.push_back(3); });
+    eq.post(1, [&] { order.push_back(0); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(eq.now(), far + 1);
+}
+
+// FIFO within one tick must hold even when the earlier event sat in the
+// spill heap (scheduled while the tick was out of the horizon) and the
+// later one went straight into the wheel (scheduled after now()
+// advanced). The migration path must keep the seq order.
+TEST(EventQueueTest, FifoAcrossWheelAndSpill)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    const Tick target = Tick(EventQueue::kWheelBuckets) + 500;
+
+    // Out of horizon at schedule time -> spill heap.
+    eq.post(target, [&] { order.push_back(1); });
+    // Advance now() so `target` is inside the horizon, then schedule
+    // the second event for the same tick -> wheel bucket.
+    eq.post(1000, [&] {
+        eq.post(target, [&] { order.push_back(2); });
+    });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+// Regression: run(limit) jumps now() to the limit; spill events the
+// jump brought inside the horizon must migrate into the wheel, or a
+// later schedule into the same window executes ahead of them (and the
+// stale spill event fires a whole wheel-wrap late).
+TEST(EventQueueTest, RunLimitJumpKeepsSpillOrdering)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    const Tick a_tick = Tick(EventQueue::kWheelBuckets) * 2 + 1808;
+    eq.post(a_tick, [&] {
+        order.push_back(1);
+        EXPECT_EQ(eq.now(), a_tick);
+    });
+
+    // Jump now() to within a horizon of A without executing anything.
+    eq.run(a_tick - 1000);
+    EXPECT_EQ(eq.now(), a_tick - 1000);
+
+    // B lands in the wheel; A (scheduled first) must still run first.
+    eq.post(a_tick + 500, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(eq.now(), a_tick + 500);
+}
+
+// --- determinism --------------------------------------------------------
+
+namespace
+{
+
+/** A deterministic pseudo-random scheduling storm; returns the
+ * execution order of event ids. */
+std::vector<std::uint32_t>
+schedulingStorm(std::uint64_t seed)
+{
+    EventQueue eq;
+    std::vector<std::uint32_t> order;
+    std::uint64_t rng = seed;
+    auto next = [&rng] {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        return rng;
+    };
+    std::uint32_t id = 0;
+    std::function<void(std::uint32_t)> fire = [&](std::uint32_t my_id) {
+        order.push_back(my_id);
+        // Each event spawns 0..2 children at 0..~5000 ticks ahead,
+        // exercising same-tick FIFO, the wheel and the spill heap.
+        const std::uint32_t kids = next() % 3;
+        for (std::uint32_t k = 0; k < kids && id < 2000; ++k) {
+            const Cycles delay = next() % 5000;
+            const std::uint32_t kid_id = id++;
+            eq.postIn(delay, [&fire, kid_id] { fire(kid_id); });
+        }
+    };
+    for (int i = 0; i < 16; ++i) {
+        const std::uint32_t root = id++;
+        eq.post(next() % 64, [&fire, root] { fire(root); });
+    }
+    eq.run();
+    return order;
+}
+
+} // namespace
+
+TEST(EventQueueTest, DeterministicForSeed)
+{
+    const auto a = schedulingStorm(12345);
+    const auto b = schedulingStorm(12345);
+    EXPECT_GT(a.size(), 100u);
+    EXPECT_EQ(a, b);
+
+    const auto c = schedulingStorm(999);
+    EXPECT_NE(a, c);  // different seed, different storm
+}
+
+// --- event pool ---------------------------------------------------------
+
+// Under steady-state churn the pool must stop growing: the number of
+// FuncEvents ever allocated stays at the in-flight high-water mark.
+TEST(EventQueueTest, PoolReuseUnderChurn)
+{
+    EventQueue eq;
+    std::uint64_t fired = 0;
+    for (int round = 0; round < 100; ++round) {
+        for (int i = 0; i < 50; ++i)
+            eq.postIn(Cycles(1 + i), [&] { ++fired; });
+        eq.run();
+    }
+    EXPECT_EQ(fired, 5000u);
+    // 50 in flight at peak; allow slack but forbid per-event growth.
+    EXPECT_LE(eq.poolAllocated(), 64u);
+    EXPECT_EQ(eq.poolFree(), eq.poolAllocated());
+}
+
+TEST(EventQueueTest, PoolReleasesBeforeCallbackRuns)
+{
+    EventQueue eq;
+    int fired = 0;
+    // The callback posts again; the pool node freed by the firing event
+    // must be reusable right away, so two chained posts need one node.
+    eq.post(1, [&] {
+        ++fired;
+        eq.postIn(1, [&] { ++fired; });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.poolAllocated(), 1u);
 }
 
 TEST(StatSetTest, CountersAccumulateAndReset)
