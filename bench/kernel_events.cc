@@ -1,9 +1,11 @@
 /**
  * @file
- * DES-kernel microbenchmark: pooled intrusive events + calendar queue
- * (the current kernel) versus the seed's std::function-per-event
- * std::priority_queue kernel, kept here verbatim as the baseline.
+ * Hot-path microbenchmarks: the DES kernel, the mesh delivery path and
+ * the L1/L2 miss path.
  *
+ * Kernel section: pooled intrusive events + calendar queue (the
+ * current kernel) versus the seed's std::function-per-event
+ * std::priority_queue kernel, kept here verbatim as the baseline.
  * The workload mirrors the simulator's steady state: a population of
  * actors, each rescheduling itself with a deterministic mix of short
  * delays (cache/network latencies), mid delays (NVM completions) and
@@ -15,8 +17,25 @@
  *   pooled    one-shot post() path (pooled FuncEvents, calendar queue)
  *   intrusive member TickEvents (zero allocation, calendar queue)
  *
+ * Mesh section: typed intrusive packets through per-link delivery
+ * queues versus a closure-per-message baseline (the pre-refactor mesh,
+ * reconstructed here: identical routing/reservation math, delivery via
+ * a heap-captured std::function). The binary overrides operator
+ * new/delete to count allocations, proving the packet path performs
+ * ZERO steady-state heap allocations, and reports messages/sec for
+ * both.
+ *
+ * Miss-path section: a real (small) System driven through L1
+ * load/store miss churn -- ownership ping-pong between two cores, so
+ * every access walks MSHR allocate/waiter/fill, the directory, and
+ * 3-hop forwards. Steady-state allocations must be zero; misses/sec is
+ * reported, along with the calendar wheel's spill ratio.
+ *
  * Exit status is non-zero when --min-speedup N is given and the
- * intrusive kernel fails to beat the legacy kernel by that factor.
+ * intrusive kernel fails to beat the legacy kernel by that factor, or
+ * when --min-mesh-speedup N is given and the packet mesh fails to beat
+ * the closure mesh by that factor, or when a zero-allocation check
+ * fails.
  */
 
 #include <chrono>
@@ -26,11 +45,63 @@
 #include <cstring>
 #include <functional>
 #include <memory>
+#include <new>
 #include <queue>
 #include <vector>
 
+#include "harness/system.hh"
+#include "net/mesh.hh"
 #include "sim/event_queue.hh"
 #include "sim/types.hh"
+
+// --- allocation accounting (whole binary) ------------------------------
+
+namespace
+{
+std::uint64_t g_allocCount = 0;
+}
+
+void *
+operator new(std::size_t size)
+{
+    ++g_allocCount;
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    ++g_allocCount;
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
 
 namespace
 {
@@ -137,6 +208,9 @@ runLegacy(std::uint64_t budget, std::uint64_t &fired_out)
     return std::chrono::duration<double>(t1 - t0).count();
 }
 
+double g_pooledSpillRatio = 0.0;
+std::uint64_t g_pooledSpills = 0;
+
 double
 runPooled(std::uint64_t budget, std::uint64_t &fired_out)
 {
@@ -156,6 +230,8 @@ runPooled(std::uint64_t budget, std::uint64_t &fired_out)
     q.run();
     const auto t1 = std::chrono::steady_clock::now();
     fired_out = fired;
+    g_pooledSpillRatio = q.spillRatio();
+    g_pooledSpills = q.spillInserts();
     return std::chrono::duration<double>(t1 - t0).count();
 }
 
@@ -193,6 +269,271 @@ runIntrusive(std::uint64_t budget, std::uint64_t &fired_out)
     return std::chrono::duration<double>(t1 - t0).count();
 }
 
+// --- mesh delivery: typed packets vs. per-message closures -------------
+
+/**
+ * The pre-refactor mesh, reconstructed as a baseline: same XY routing
+ * and link-reservation math, but each message's delivery is a
+ * std::function closure scheduled through the event queue. The capture
+ * holds a 64-byte line (as the old protocol's respond closures did), so
+ * every message heap-allocates its closure.
+ */
+class ClosureMesh
+{
+  public:
+    ClosureMesh(EventQueue &eq, const atomsim::SystemConfig &cfg)
+        : _eq(eq),
+          _rows(cfg.meshRows),
+          _cols(cfg.meshCols()),
+          _hopLatency(cfg.hopLatency)
+    {
+        _links.resize(std::size_t(_rows) * _cols * 4);
+    }
+
+    void
+    send(std::uint32_t src, std::uint32_t dst, atomsim::MsgType type,
+         std::function<void()> deliver)
+    {
+        const std::uint32_t flits = atomsim::msgFlits(type);
+        atomsim::MeshCoord cur = coordOf(src);
+        const atomsim::MeshCoord target = coordOf(dst);
+        Tick head = _eq.now() + _hopLatency;
+        while (!(cur == target)) {
+            atomsim::MeshCoord next = cur;
+            if (cur.col != target.col)
+                next.col += (target.col > cur.col) ? 1 : -1;
+            else
+                next.row += (target.row > cur.row) ? 1 : -1;
+            Link &link = _links[linkIndex(nodeOf(cur), nodeOf(next))];
+            const Tick start = std::max(head, link.busyUntil);
+            head = start + _hopLatency;
+            link.busyUntil = head + flits - 1;
+            link.flits += flits;
+            cur = next;
+        }
+        _eq.post(head + flits - 1, [fn = std::move(deliver)]() mutable {
+            fn();
+        });
+    }
+
+  private:
+    // The pre-refactor per-link state and index math, verbatim.
+    struct Link
+    {
+        Tick busyUntil = 0;
+        std::uint64_t flits = 0;
+    };
+
+    atomsim::MeshCoord
+    coordOf(std::uint32_t node) const
+    {
+        return atomsim::MeshCoord{node / _cols, node % _cols};
+    }
+
+    std::uint32_t
+    nodeOf(atomsim::MeshCoord c) const
+    {
+        return c.row * _cols + c.col;
+    }
+
+    std::size_t
+    linkIndex(std::uint32_t from, std::uint32_t to) const
+    {
+        const atomsim::MeshCoord a = coordOf(from);
+        const atomsim::MeshCoord b = coordOf(to);
+        std::uint32_t dir;
+        if (b.row == a.row)
+            dir = (b.col == a.col + 1) ? 0 : 1;
+        else
+            dir = (b.row == a.row + 1) ? 2 : 3;
+        return std::size_t(from) * 4 + dir;
+    }
+
+    EventQueue &_eq;
+    std::uint32_t _rows, _cols;
+    Cycles _hopLatency;
+    std::vector<Link> _links;
+};
+
+constexpr std::uint32_t kMeshPairs = 8;
+
+double
+runClosureMesh(std::uint64_t budget, std::uint64_t &delivered_out,
+               std::uint64_t &steady_allocs)
+{
+    EventQueue eq;
+    atomsim::SystemConfig cfg;  // 4x8 mesh
+    ClosureMesh mesh(eq, cfg);
+
+    std::uint64_t delivered = 0;
+    std::uint64_t remaining = budget;
+    const std::uint64_t warmup = budget / 10;
+
+    // Ping-pong across the die: each bounce re-sends with a captured
+    // 64-byte payload, modeling the old respond-closure pattern.
+    std::function<void(std::uint32_t, std::uint32_t)> bounce =
+        [&](std::uint32_t self, std::uint32_t peer) {
+            if (remaining == 0)
+                return;
+            --remaining;
+            atomsim::Line payload{};
+            payload[0] = std::uint8_t(remaining);
+            mesh.send(self, peer, atomsim::MsgType::Data,
+                      [&, payload, self, peer]() mutable {
+                          (void)payload;
+                          ++delivered;
+                          bounce(peer, self);
+                      });
+        };
+
+    std::uint64_t allocs_at_steady = 0;
+    bool counting = false;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint32_t i = 0; i < kMeshPairs; ++i)
+        bounce(i, 31 - i);
+    while (eq.step()) {
+        if (!counting && delivered >= warmup) {
+            counting = true;
+            allocs_at_steady = g_allocCount;
+        }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    delivered_out = delivered;
+    steady_allocs = counting ? g_allocCount - allocs_at_steady : 0;
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/** Typed-packet bounce endpoint (one per mesh node in use). */
+struct BounceSink final : public atomsim::MeshSink
+{
+    void
+    meshDeliver(atomsim::Packet &pkt) override
+    {
+        ++*delivered;
+        if (*remaining == 0)
+            return;
+        --*remaining;
+        atomsim::Packet &p = mesh->make(atomsim::MsgType::Data);
+        p.receiver = peer;
+        p.data = pkt.data;  // carry the line back
+        mesh->send(self, peerNode, p);
+    }
+
+    atomsim::Mesh *mesh = nullptr;
+    BounceSink *peer = nullptr;
+    std::uint32_t self = 0;
+    std::uint32_t peerNode = 0;
+    std::uint64_t *delivered = nullptr;
+    std::uint64_t *remaining = nullptr;
+};
+
+double
+runPacketMesh(std::uint64_t budget, std::uint64_t &delivered_out,
+              std::uint64_t &steady_allocs)
+{
+    EventQueue eq;
+    atomsim::SystemConfig cfg;  // 4x8 mesh
+    atomsim::StatSet stats;
+    atomsim::Mesh mesh(eq, cfg, stats);
+
+    std::uint64_t delivered = 0;
+    std::uint64_t remaining = budget;
+    const std::uint64_t warmup = budget / 10;
+
+    std::vector<BounceSink> sinks(kMeshPairs * 2);
+    for (std::uint32_t i = 0; i < kMeshPairs; ++i) {
+        BounceSink &a = sinks[2 * i];
+        BounceSink &b = sinks[2 * i + 1];
+        a.mesh = b.mesh = &mesh;
+        a.self = b.peerNode = i;
+        b.self = a.peerNode = 31 - i;
+        a.peer = &b;
+        b.peer = &a;
+        a.delivered = b.delivered = &delivered;
+        a.remaining = b.remaining = &remaining;
+    }
+
+    std::uint64_t allocs_at_steady = 0;
+    bool counting = false;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint32_t i = 0; i < kMeshPairs; ++i) {
+        --remaining;
+        atomsim::Packet &p = mesh.make(atomsim::MsgType::Data);
+        p.receiver = &sinks[2 * i + 1];
+        mesh.send(sinks[2 * i].self, sinks[2 * i].peerNode, p);
+    }
+    while (eq.step()) {
+        if (!counting && delivered >= warmup) {
+            counting = true;
+            allocs_at_steady = g_allocCount;
+        }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    delivered_out = delivered;
+    steady_allocs = counting ? g_allocCount - allocs_at_steady : 0;
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+// --- L1/L2 miss path ---------------------------------------------------
+
+/**
+ * Drive a real System's L1s through miss churn: two cores ping-pong
+ * ownership of a line set, so every store is a GetX/Upgrade with a
+ * 3-hop forward and every load is a FwdGetS -- all through the MSHRs,
+ * the directory and the mesh. Returns ops/sec; @p steady_allocs gets
+ * the heap allocations observed after warmup (must be zero).
+ */
+double
+runMissPath(std::uint64_t rounds, std::uint64_t &ops_out,
+            std::uint64_t &steady_allocs, double &spill_ratio)
+{
+    atomsim::SystemConfig cfg;
+    cfg.numCores = 4;
+    cfg.l2Tiles = 4;
+    cfg.meshRows = 2;
+    cfg.ausPerMc = 4;
+    cfg.design = atomsim::DesignKind::NonAtomic;
+    atomsim::System sys(cfg, atomsim::Addr(16) * 1024 * 1024);
+    EventQueue &eq = sys.eventQueue();
+
+    constexpr std::uint32_t kLines = 32;
+    const atomsim::Addr base = 0x40000;
+    std::uint64_t ops = 0;
+    const std::uint64_t value = 0xfeedULL;
+    const auto *bytes = reinterpret_cast<const std::uint8_t *>(&value);
+
+    auto churn = [&](std::uint64_t n) {
+        for (std::uint64_t r = 0; r < n; ++r) {
+            const atomsim::CoreId writer = r % 2;
+            const atomsim::CoreId reader = 1 - writer;
+            for (std::uint32_t i = 0; i < kLines; ++i) {
+                const atomsim::Addr addr =
+                    base + atomsim::Addr(i) * atomsim::kLineBytes;
+                bool done = false;
+                sys.l1(writer).store(addr, bytes, 8, [&] { done = true; });
+                eq.run();
+                bool read = false;
+                sys.l1(reader).load(addr, [&] { read = true; });
+                eq.run();
+                ops += 2;
+                if (!done || !read)
+                    std::abort();
+            }
+        }
+    };
+
+    churn(4);  // warmup: fills, pools, directory control blocks
+    const std::uint64_t allocs_before = g_allocCount;
+    const std::uint64_t ops_before = ops;
+    const auto t0 = std::chrono::steady_clock::now();
+    churn(rounds);
+    const auto t1 = std::chrono::steady_clock::now();
+    steady_allocs = g_allocCount - allocs_before;
+    ops_out = ops - ops_before;
+    spill_ratio = eq.spillRatio();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
 } // namespace
 
 int
@@ -200,11 +541,15 @@ main(int argc, char **argv)
 {
     std::uint64_t budget = 5'000'000;
     double min_speedup = 0.0;
+    double min_mesh_speedup = 0.0;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--events") && i + 1 < argc)
             budget = std::strtoull(argv[++i], nullptr, 10);
         else if (!std::strcmp(argv[i], "--min-speedup") && i + 1 < argc)
             min_speedup = std::strtod(argv[++i], nullptr);
+        else if (!std::strcmp(argv[i], "--min-mesh-speedup") &&
+                 i + 1 < argc)
+            min_mesh_speedup = std::strtod(argv[++i], nullptr);
     }
 
     std::printf("DES kernel microbenchmark: %llu scheduled events, "
@@ -244,11 +589,83 @@ main(int argc, char **argv)
     std::printf("  %-38s %8.1f M events/s   (%.2fx)\n",
                 "intrusive TickEvents (calendar queue)", eps_intr / 1e6,
                 eps_intr / eps_legacy);
+    std::printf("  calendar wheel spill ratio: %.6f (%llu of the "
+                "schedules crossed the %u-tick horizon)\n",
+                g_pooledSpillRatio, (unsigned long long)g_pooledSpills,
+                EventQueue::kWheelBuckets);
 
     if (min_speedup > 0.0 && eps_intr < min_speedup * eps_legacy) {
         std::fprintf(stderr,
                      "\nFAIL: intrusive kernel %.2fx < required %.2fx\n",
                      eps_intr / eps_legacy, min_speedup);
+        return 1;
+    }
+
+    // --- mesh delivery path -------------------------------------------
+
+    const std::uint64_t mesh_budget = budget / 5;
+    std::printf("\nmesh delivery: %llu messages, %u ping-pong pairs "
+                "on the 4x8 mesh\n\n",
+                (unsigned long long)mesh_budget, kMeshPairs * 2);
+
+    std::uint64_t d_closure = 0, d_packet = 0;
+    std::uint64_t a_closure = 0, a_packet = 0;
+    // Warm-up pass for both against a hot allocator / warm pools.
+    runClosureMesh(mesh_budget / 10, d_closure, a_closure);
+    runPacketMesh(mesh_budget / 10, d_packet, a_packet);
+
+    const double t_closure =
+        runClosureMesh(mesh_budget, d_closure, a_closure);
+    const double t_packet =
+        runPacketMesh(mesh_budget, d_packet, a_packet);
+    const double mps_closure = double(d_closure) / t_closure;
+    const double mps_packet = double(d_packet) / t_packet;
+
+    std::printf("  %-38s %8.2f M msgs/s   (%llu steady-state allocs)\n",
+                "closure mesh (std::function/post)", mps_closure / 1e6,
+                (unsigned long long)a_closure);
+    std::printf("  %-38s %8.2f M msgs/s   (%.2fx, %llu steady-state "
+                "allocs)\n",
+                "intrusive packet mesh (typed sinks)", mps_packet / 1e6,
+                mps_packet / mps_closure, (unsigned long long)a_packet);
+
+    if (a_packet != 0) {
+        std::fprintf(stderr, "\nFAIL: packet mesh allocated %llu times "
+                             "in steady state (expected 0)\n",
+                     (unsigned long long)a_packet);
+        return 1;
+    }
+    if (min_mesh_speedup > 0.0 &&
+        mps_packet < min_mesh_speedup * mps_closure) {
+        std::fprintf(stderr,
+                     "\nFAIL: packet mesh %.2fx < required %.2fx\n",
+                     mps_packet / mps_closure, min_mesh_speedup);
+        return 1;
+    }
+
+    // --- L1/L2 miss path ----------------------------------------------
+
+    std::uint64_t miss_ops = 0, miss_allocs = 0;
+    double spill_ratio = 0.0;
+    const std::uint64_t miss_rounds = 200;
+    const double t_miss =
+        runMissPath(miss_rounds, miss_ops, miss_allocs, spill_ratio);
+
+    std::printf("\nmiss path: ownership ping-pong through MSHRs + "
+                "directory + 3-hop forwards\n\n");
+    std::printf("  %-38s %8.2f M ops/s    (%llu steady-state allocs)\n",
+                "L1 miss churn (4-core system)",
+                double(miss_ops) / t_miss / 1e6,
+                (unsigned long long)miss_allocs);
+    std::printf("  calendar wheel spill ratio: %.6f "
+                "(%s far-future schedules)\n",
+                spill_ratio,
+                spill_ratio == 0.0 ? "no" : "some");
+
+    if (miss_allocs != 0) {
+        std::fprintf(stderr, "\nFAIL: miss path allocated %llu times in "
+                             "steady state (expected 0)\n",
+                     (unsigned long long)miss_allocs);
         return 1;
     }
     return 0;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "atom/log_record.hh"
+#include "sim/callback.hh"
 #include "sim/types.hh"
 
 namespace atomsim
@@ -26,6 +27,13 @@ namespace atomsim
 
 /** Sentinel for "no bucket allocated". */
 constexpr std::uint32_t kNoBucket = ~std::uint32_t(0);
+
+/**
+ * A log-entry acknowledgement (LogM::postLogEntry). Fixed capacity:
+ * large enough for the LogI relay (node ids + the store path's own
+ * 72-byte packet rider), with no heap fallback.
+ */
+using LogAckCallback = InplaceCallback<96>;
 
 /**
  * The record currently being assembled (the record-header register),
@@ -40,7 +48,7 @@ struct OpenRecord
     bool sealed = false;       //!< no more entries may be added
     bool headerIssued = false; //!< header write handed to the channel
     /** BASE-mode acks to fire when the header persists (Figure 3(a)). */
-    std::vector<std::function<void()>> persistAcks;
+    std::vector<LogAckCallback> persistAcks;
 };
 
 /** Per-(controller, AUS) registers. */

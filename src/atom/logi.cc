@@ -22,7 +22,7 @@ LogI::LogI(EventQueue &eq, const SystemConfig &cfg, Mesh &mesh,
 
 void
 LogI::onFirstWrite(CoreId core, Addr addr, const Line &old_value,
-                   std::function<void()> done)
+                   CacheCallback done)
 {
     const int aus = _resolveAus(core);
     panic_if(aus < 0, "onFirstWrite outside an atomic update (core %u)",
@@ -33,24 +33,34 @@ LogI::onFirstWrite(CoreId core, Addr addr, const Line &old_value,
     // log/data co-location makes the posted-log optimization legal
     // (Section III-C, "Sources of reordering").
     const McId mc = _amap.memCtrl(addr);
-    const std::uint32_t core_node = _mesh.coreNode(core);
-    const std::uint32_t mc_node = _mesh.mcNode(mc);
-    LogM *logm = _logms[mc].get();
-
-    _mesh.send(core_node, mc_node, MsgType::LogWrite,
-               [this, logm, aus, addr, old_value, core_node, mc_node,
-                done = std::move(done)]() mutable {
-        logm->postLogEntry(std::uint32_t(aus), addr, old_value, _posted,
-                           [this, core_node, mc_node,
-                            done = std::move(done)]() mutable {
-            _mesh.send(mc_node, core_node, MsgType::LogAck,
-                       std::move(done));
-        });
-    });
+    Packet &p = _mesh.make(MsgType::LogWrite);
+    p.receiver = this;
+    p.core = core;
+    p.addr = addr;
+    p.arg = std::uint32_t(aus);
+    p.data = old_value;
+    p.cb = std::move(done);  // resumed by the LogAck
+    _mesh.send(_mesh.coreNode(core), _mesh.mcNode(mc), p);
 }
 
 void
-LogI::onStore(CoreId, Addr, std::function<void()>)
+LogI::meshDeliver(Packet &pkt)
+{
+    panic_if(pkt.type != MsgType::LogWrite,
+             "LogI: unexpected mesh message %s", msgName(pkt.type));
+    const McId mc = _amap.memCtrl(pkt.addr);
+    const std::uint32_t core_node = _mesh.coreNode(pkt.core);
+    const std::uint32_t mc_node = _mesh.mcNode(mc);
+    _logms[mc]->postLogEntry(
+        pkt.arg, pkt.addr, pkt.data, _posted,
+        [this, core_node, mc_node, done = std::move(pkt.cb)]() mutable {
+            _mesh.send(mc_node, core_node, MsgType::LogAck,
+                       std::move(done));
+        });
+}
+
+void
+LogI::onStore(CoreId, Addr, CacheCallback)
 {
     panic("LogI::onStore: redo logging is handled by RedoEngine");
 }

@@ -29,8 +29,15 @@
 namespace atomsim
 {
 
-/** Cache-side log write initiator for the undo designs. */
-class LogI : public StoreLogger
+/**
+ * Cache-side log write initiator for the undo designs.
+ *
+ * LogWrite messages are typed packets (LogI is their MeshSink): the
+ * old value travels in the packet's data line and the store path's
+ * completion rides the packet's inline callback, so a log round trip
+ * allocates nothing.
+ */
+class LogI : public StoreLogger, public MeshSink
 {
   public:
     /**
@@ -52,9 +59,11 @@ class LogI : public StoreLogger
     }
 
     void onFirstWrite(CoreId core, Addr addr, const Line &old_value,
-                      std::function<void()> done) override;
+                      CacheCallback done) override;
 
-    void onStore(CoreId, Addr, std::function<void()>) override;
+    void onStore(CoreId, Addr, CacheCallback) override;
+
+    void meshDeliver(Packet &pkt) override;
 
   private:
     EventQueue &_eq;

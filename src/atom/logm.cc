@@ -100,7 +100,7 @@ LogM::tryAcquire(Addr line_addr, std::function<void()> on_unlock)
 }
 
 void
-LogM::withOpenRecord(std::uint32_t aus, std::function<void()> ready)
+LogM::withOpenRecord(std::uint32_t aus, ReadyCallback ready)
 {
     AusState &st = _aus[aus];
     panic_if(!st.active, "log entry for inactive AUS %u", aus);
@@ -125,11 +125,15 @@ LogM::withOpenRecord(std::uint32_t aus, std::function<void()> ready)
             // forward progress with the new resources, so overflow
             // cannot deadlock.
             _statOverflows.inc();
+            // Cold path: the OS interface takes a copyable
+            // std::function, so the move-only continuation rides a
+            // shared_ptr for this one hop.
+            auto parked =
+                std::make_shared<ReadyCallback>(std::move(ready));
             _os.requestMoreBuckets(
-                _mc, [this, aus, ready = std::move(ready)](
-                         std::uint32_t extra) mutable {
+                _mc, [this, aus, parked](std::uint32_t extra) {
                     _buckets.extendMapped(extra);
-                    withOpenRecord(aus, std::move(ready));
+                    withOpenRecord(aus, std::move(*parked));
                 });
             return;
         }
@@ -149,7 +153,7 @@ LogM::withOpenRecord(std::uint32_t aus, std::function<void()> ready)
 void
 LogM::postLogEntry(std::uint32_t aus, Addr line_addr,
                    const Line &old_value, bool posted,
-                   std::function<void()> ack)
+                   LogAckCallback ack)
 {
     const Addr line = lineAlign(line_addr);
     withOpenRecord(aus, [this, aus, line, old_value, posted,
@@ -297,7 +301,7 @@ LogM::sourceLogFill(CoreId core, Addr addr, const Line &old_value)
         return false;
     _statSourceLogged.inc();
     postLogEntry(std::uint32_t(aus), addr, old_value, true,
-                 std::function<void()>{});
+                 LogAckCallback{});
     return true;
 }
 

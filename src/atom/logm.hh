@@ -76,7 +76,7 @@ class LogM : public WriteGate, public SourceLogger
      */
     void postLogEntry(std::uint32_t aus, Addr line_addr,
                       const Line &old_value, bool posted,
-                      std::function<void()> ack);
+                      LogAckCallback ack);
 
     /** SourceLogger: log a read-exclusive fill (Section III-D). */
     bool sourceLogFill(CoreId core, Addr addr,
@@ -110,10 +110,13 @@ class LogM : public WriteGate, public SourceLogger
     const AusState &aus(std::uint32_t idx) const { return _aus[idx]; }
 
   private:
+    /** Continuation of a log entry waiting for an open record: holds
+     * the entry's data line and its ack inline (no heap). */
+    using ReadyCallback = InplaceCallback<208>;
+
     /** Ensure @p aus has an open, unsealed record; may allocate a
      * bucket (possibly waiting on an OS overflow grant). */
-    void withOpenRecord(std::uint32_t aus,
-                        std::function<void()> ready);
+    void withOpenRecord(std::uint32_t aus, ReadyCallback ready);
 
     /** Seal the open record: no more entries; header persists once all
      * entry data is durable. */

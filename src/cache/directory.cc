@@ -18,11 +18,28 @@ Directory::erase(Addr line_addr)
 }
 
 void
-Directory::acquire(Addr line_addr, std::function<void()> txn)
+Directory::releaseWaiter(Waiter *w)
 {
-    auto &ctl = _ctl[lineAlign(line_addr)];
+    w->fn = nullptr;
+    _pool.release(w);
+}
+
+void
+Directory::acquire(Addr line_addr, Txn txn)
+{
+    line_addr = lineAlign(line_addr);
+    auto [it, inserted] = _ctl.try_emplace(line_addr);
+    LineCtl &ctl = it->second;
+    if (!inserted && !ctl.busy)
+        --_idleCtl;  // reusing a cached idle block
     if (ctl.busy) {
-        ctl.waiters.push_back(std::move(txn));
+        Waiter *w = _pool.acquire();
+        w->fn = std::move(txn);
+        if (ctl.tail)
+            ctl.tail->next = w;
+        else
+            ctl.head = w;
+        ctl.tail = w;
         return;
     }
     ctl.busy = true;
@@ -37,13 +54,24 @@ Directory::release(Addr line_addr)
     panic_if(it == _ctl.end() || !it->second.busy,
              "release of a line that is not busy");
     auto &ctl = it->second;
-    if (!ctl.waiters.empty()) {
-        auto next = std::move(ctl.waiters.front());
-        ctl.waiters.pop_front();
+    if (ctl.head) {
+        Waiter *w = ctl.head;
+        ctl.head = w->next;
+        if (!ctl.head)
+            ctl.tail = nullptr;
+        Txn next = std::move(w->fn);
+        releaseWaiter(w);
         next();  // stays busy; next transaction owns the line now
         return;
     }
-    _ctl.erase(it);
+    // Cache the idle control block for the next transaction on this
+    // line -- up to the cap, past which cold blocks are dropped.
+    if (_idleCtl < kMaxIdleCtl) {
+        ctl.busy = false;
+        ++_idleCtl;
+    } else {
+        _ctl.erase(it);
+    }
 }
 
 bool
@@ -57,7 +85,16 @@ void
 Directory::clear()
 {
     _entries.clear();
+    for (auto &kv : _ctl) {
+        Waiter *w = kv.second.head;
+        while (w) {
+            Waiter *next = w->next;
+            releaseWaiter(w);
+            w = next;
+        }
+    }
     _ctl.clear();
+    _idleCtl = 0;
 }
 
 } // namespace atomsim

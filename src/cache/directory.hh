@@ -6,16 +6,24 @@
  * per resident line, the owning L1 (Modified/Exclusive holder) and a
  * sharer bitmask. A per-line busy flag serializes coherence
  * transactions; queued requests run in arrival order.
+ *
+ * Transaction waiters are fixed-capacity continuations in pooled
+ * intrusive nodes (no allocation in steady state), and the per-line
+ * control blocks are cached across acquire/release cycles so contending
+ * on a hot line does not churn the map. The idle cache is capped
+ * (kMaxIdleCtl): past it, released control blocks are erased instead,
+ * trading per-transaction map churn on cold lines for bounded memory
+ * on huge footprints.
  */
 
 #ifndef ATOMSIM_CACHE_DIRECTORY_HH
 #define ATOMSIM_CACHE_DIRECTORY_HH
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <unordered_map>
 
+#include "sim/callback.hh"
+#include "sim/pool.hh"
 #include "sim/types.hh"
 
 namespace atomsim
@@ -44,6 +52,15 @@ struct DirEntry
 class Directory
 {
   public:
+    /** Inline capacity of a queued transaction: the flush handler's
+     * this + addr + flags + a 64-byte line. */
+    static constexpr std::size_t kTxnBytes = 104;
+    using Txn = InplaceCallback<kTxnBytes>;
+
+    /** Idle control blocks cached across transactions; covers any hot
+     * working set while bounding memory on huge footprints. */
+    static constexpr std::size_t kMaxIdleCtl = 64 * 1024;
+
     /** Directory entry for @p line_addr (created on demand). */
     DirEntry &entry(Addr line_addr);
 
@@ -54,7 +71,7 @@ class Directory
      * Run @p txn when the line's busy slot frees (immediately if free).
      * The transaction must call release() exactly once when done.
      */
-    void acquire(Addr line_addr, std::function<void()> txn);
+    void acquire(Addr line_addr, Txn txn);
 
     /** Finish the current transaction; starts the next queued one. */
     void release(Addr line_addr);
@@ -66,14 +83,28 @@ class Directory
     void clear();
 
   private:
+    struct Waiter
+    {
+        Waiter *next = nullptr;
+        Txn fn;
+    };
+
     struct LineCtl
     {
         bool busy = false;
-        std::deque<std::function<void()>> waiters;
+        Waiter *head = nullptr;
+        Waiter *tail = nullptr;
     };
 
+    void releaseWaiter(Waiter *w);
+
     std::unordered_map<Addr, DirEntry> _entries;
+    /** Cached across acquire/release (busy=false when idle) so hot
+     * lines don't churn map nodes; bounded by kMaxIdleCtl. */
     std::unordered_map<Addr, LineCtl> _ctl;
+    std::size_t _idleCtl = 0;
+
+    FreeListPool<Waiter> _pool;
 };
 
 } // namespace atomsim

@@ -33,11 +33,13 @@ L1Cache::L1Cache(CoreId core, EventQueue &eq, const SystemConfig &cfg,
 {
 }
 
+L1Cache::~L1Cache() = default;
+
 void
-L1Cache::after(Cycles delay, std::function<void()> fn)
+L1Cache::after(Cycles delay, EventQueue::Callback fn)
 {
     // Dynamic continuation (several can be in flight per cache): carried
-    // by a pooled one-shot event.
+    // by a pooled one-shot event with inline (non-allocating) storage.
     _eq.postIn(delay, std::move(fn));
 }
 
@@ -53,6 +55,49 @@ L1Cache::myNode() const
     return _mesh.coreNode(_core);
 }
 
+L1Cache::PendingStore *
+L1Cache::acquireStore()
+{
+    PendingStore *ps = _storePool.acquire();
+    ps->activeNext = _storeActive;
+    _storeActive = ps;
+    return ps;
+}
+
+void
+L1Cache::releaseStore(PendingStore *ps)
+{
+    // Unlink from the in-flight list (a handful of entries at most:
+    // bounded by the SQ drain width plus logger overlap).
+    PendingStore *prev = nullptr;
+    PendingStore *cur = _storeActive;
+    while (cur && cur != ps) {
+        prev = cur;
+        cur = cur->activeNext;
+    }
+    panic_if(!cur, "releasing a PendingStore that is not in flight");
+    if (prev)
+        prev->activeNext = ps->activeNext;
+    else
+        _storeActive = ps->activeNext;
+    ps->activeNext = nullptr;
+    ps->done = nullptr;
+    _storePool.release(ps);
+}
+
+L1Cache::PendingFlush *
+L1Cache::acquireFlush()
+{
+    return _flushPool.acquire();
+}
+
+void
+L1Cache::releaseFlush(PendingFlush *pf)
+{
+    pf->done = nullptr;
+    _flushPool.release(pf);
+}
+
 void
 L1Cache::evictFrame(CacheLineState *frame)
 {
@@ -65,7 +110,8 @@ L1Cache::evictFrame(CacheLineState *frame)
         _statWritebacks.inc();
         const std::uint32_t home = homeTileOf(vaddr);
         _tiles[home]->putMSync(_core, vaddr, frame->data);
-        _mesh.send(myNode(), _mesh.tileNode(home), MsgType::PutM, [] {});
+        _mesh.send(myNode(), _mesh.tileNode(home), MsgType::PutM,
+                   MeshCallback{});
     }
     // Clean lines drop silently; the log bit is volatile and is lost
     // with the line (the paper re-logs on the next write; recovery
@@ -74,7 +120,8 @@ L1Cache::evictFrame(CacheLineState *frame)
 }
 
 void
-L1Cache::startMiss(Addr addr, bool exclusive, Callback retry)
+L1Cache::startMiss(Addr addr, bool exclusive,
+                   MshrTable::Continuation retry)
 {
     const Addr line = lineAlign(addr);
     if (_mshrs.has(line)) {
@@ -92,9 +139,6 @@ L1Cache::startMiss(Addr addr, bool exclusive, Callback retry)
 
     const std::uint32_t home = homeTileOf(line);
     const bool in_atomic = _logger && _logger->inAtomic(_core);
-    auto on_fill = [this, line](const FillResult &res) {
-        fillArrived(line, res);
-    };
 
     // Upgrade when we already hold the line Shared.
     CacheLineState *frame = _array.find(line);
@@ -104,20 +148,32 @@ L1Cache::startMiss(Addr addr, bool exclusive, Callback retry)
 
     MsgType req = exclusive ? (upgrade ? MsgType::Upgrade : MsgType::GetX)
                             : MsgType::GetS;
-    L2Tile *tile = _tiles[home].get();
-    _mesh.send(myNode(), _mesh.tileNode(home), req,
-               [tile, this, line, exclusive, upgrade, in_atomic,
-                on_fill = std::move(on_fill)]() mutable {
-                   if (!exclusive) {
-                       tile->handleGetS(_core, line, std::move(on_fill));
-                   } else if (upgrade) {
-                       tile->handleUpgrade(_core, line, in_atomic,
-                                           std::move(on_fill));
-                   } else {
-                       tile->handleGetX(_core, line, in_atomic,
-                                        std::move(on_fill));
-                   }
-               });
+    Packet &p = _mesh.make(req);
+    p.receiver = _tiles[home].get();
+    p.core = _core;
+    p.addr = line;
+    p.flag = in_atomic;
+    _mesh.send(myNode(), _mesh.tileNode(home), p);
+}
+
+void
+L1Cache::meshDeliver(Packet &pkt)
+{
+    switch (pkt.type) {
+      case MsgType::Data:
+      case MsgType::DataExcl:
+      case MsgType::DataLogged: {
+        const FillResult result{pkt.data, pkt.grant, pkt.logged};
+        fillArrived(pkt.addr, result);
+        return;
+      }
+      case MsgType::FlushAck:
+        flushAcked(pkt.addr);
+        return;
+      default:
+        panic("L1 %u: unexpected mesh message %s", _core,
+              msgName(pkt.type));
+    }
 }
 
 void
@@ -143,8 +199,8 @@ L1Cache::fillArrived(Addr addr, const FillResult &result)
     if (result.logged)
         frame->logBit = true;
 
-    for (auto &w : _mshrs.complete(line))
-        w();
+    for (MshrTable::Waiter *w = _mshrs.complete(line); w;)
+        w = _mshrs.runAndPop(w);
 }
 
 void
@@ -180,56 +236,28 @@ L1Cache::store(Addr addr, const std::uint8_t *bytes, std::uint32_t size,
     panic_if(lineAlign(addr) != lineAlign(addr + size - 1),
              "store spans a line boundary (addr %llx size %u)",
              (unsigned long long)addr, size);
+    panic_if(size > kLineBytes, "store larger than a line");
     _statStores.inc();
-    std::vector<std::uint8_t> payload(bytes, bytes + size);
-    after(_cfg.l1Latency,
-          [this, addr, payload = std::move(payload),
-           done = std::move(done)]() mutable {
-              finishStore(addr, payload.data(),
-                          std::uint32_t(payload.size()), std::move(done));
-          });
+    PendingStore *ps = acquireStore();
+    ps->addr = addr;
+    ps->size = size;
+    std::memcpy(ps->bytes.data(), bytes, size);
+    ps->done = std::move(done);
+    after(_cfg.l1Latency, [this, ps, epoch = _epoch] {
+        if (epoch == _epoch)
+            finishStore(ps);
+    });
 }
 
 void
-L1Cache::finishStore(Addr addr, const std::uint8_t *bytes,
-                     std::uint32_t size, Callback done)
+L1Cache::finishStore(PendingStore *ps)
 {
-    CacheLineState *frame = _array.touch(addr);
+    CacheLineState *frame = _array.touch(ps->addr);
     if (!frame || !frame->valid || !frame->writable()) {
         _statStoreMisses.inc();
-        std::vector<std::uint8_t> payload(bytes, bytes + size);
-        startMiss(addr, true,
-                  [this, addr, payload = std::move(payload),
-                   done = std::move(done)]() mutable {
-                      finishStore(addr, payload.data(),
-                                  std::uint32_t(payload.size()),
-                                  std::move(done));
-                  });
+        startMiss(ps->addr, true, [this, ps] { finishStore(ps); });
         return;
     }
-
-    auto apply = [this, addr, frame,
-                  payload = std::vector<std::uint8_t>(bytes, bytes + size),
-                  done = std::move(done)](bool set_log_bit) mutable {
-        // Re-find: the frame may have moved/evicted while logging.
-        CacheLineState *fr = _array.find(addr);
-        if (!fr || !fr->valid || !fr->writable()) {
-            // Lost permission while waiting on the logger (rare): the
-            // log entry exists, so redo the access; the fresh log
-            // request that may result is harmless (duplicate undo).
-            finishStore(addr, payload.data(),
-                        std::uint32_t(payload.size()), std::move(done));
-            return;
-        }
-        const std::size_t off = addr - fr->tag;
-        std::memcpy(fr->data.data() + off, payload.data(),
-                    payload.size());
-        fr->state = CoherenceState::Modified;
-        fr->dirty = true;
-        if (set_log_bit)
-            fr->logBit = true;
-        done();
-    };
 
     if (_logger) {
         const auto mode = _logger->mode();
@@ -243,34 +271,66 @@ L1Cache::finishStore(Addr addr, const std::uint8_t *bytes,
             _statLogRequests.inc();
             frame->pinned = true;
             const Line old_value = frame->data;
-            const Addr line = lineAlign(addr);
-            _logger->onFirstWrite(
-                _core, line, old_value,
-                [this, line, apply = std::move(apply)]() mutable {
-                    if (CacheLineState *fr = _array.find(line))
-                        fr->pinned = false;
-                    apply(true);
-                    // The store has applied: run any coherence action
-                    // (forward/invalidation) deferred by the pin.
-                    auto it = _unpinWaiters.find(line);
-                    if (it != _unpinWaiters.end()) {
-                        auto waiters = std::move(it->second);
-                        _unpinWaiters.erase(it);
-                        for (auto &w : waiters)
-                            w();
-                    }
-                });
+            const Addr line = lineAlign(ps->addr);
+            _logger->onFirstWrite(_core, line, old_value,
+                                  [this, ps, epoch = _epoch] {
+                                      if (epoch == _epoch)
+                                          storeLogged(ps);
+                                  });
             return;
         }
         if (mode == StoreLogger::Mode::Redo && _logger->inAtomic(_core)) {
             _statLogRequests.inc();
-            _logger->onStore(
-                _core, lineAlign(addr),
-                [apply = std::move(apply)]() mutable { apply(false); });
+            _logger->onStore(_core, lineAlign(ps->addr),
+                             [this, ps, epoch = _epoch] {
+                                 if (epoch == _epoch)
+                                     applyStore(ps, false);
+                             });
             return;
         }
     }
-    apply(false);
+    applyStore(ps, false);
+}
+
+void
+L1Cache::storeLogged(PendingStore *ps)
+{
+    const Addr line = lineAlign(ps->addr);
+    if (CacheLineState *fr = _array.find(line))
+        fr->pinned = false;
+    applyStore(ps, true);
+    // The store has applied: run any coherence action
+    // (forward/invalidation) deferred by the pin.
+    auto it = _unpinWaiters.find(line);
+    if (it != _unpinWaiters.end()) {
+        auto waiters = std::move(it->second);
+        _unpinWaiters.erase(it);
+        for (auto &w : waiters)
+            w();
+    }
+}
+
+void
+L1Cache::applyStore(PendingStore *ps, bool set_log_bit)
+{
+    // Re-find: the frame may have moved/evicted while logging.
+    CacheLineState *fr = _array.find(ps->addr);
+    if (!fr || !fr->valid || !fr->writable()) {
+        // Lost permission while waiting on the logger (rare): the
+        // log entry exists, so redo the access; the fresh log
+        // request that may result is harmless (duplicate undo).
+        finishStore(ps);
+        return;
+    }
+    const std::size_t off = ps->addr - fr->tag;
+    std::memcpy(fr->data.data() + off, ps->bytes.data(), ps->size);
+    fr->state = CoherenceState::Modified;
+    fr->dirty = true;
+    if (set_log_bit)
+        fr->logBit = true;
+    Callback done = std::move(ps->done);
+    releaseStore(ps);
+    done();
 }
 
 void
@@ -289,16 +349,48 @@ L1Cache::flush(Addr addr, Callback done)
         } else if (frame && frame->valid) {
             frame->logBit = false;
         }
+        // Park the completion; the home tile's FlushAck resumes it.
+        PendingFlush *pf = acquireFlush();
+        pf->line = line;
+        pf->done = std::move(done);
+        pf->next = nullptr;
+        if (_flushTail)
+            _flushTail->next = pf;
+        else
+            _flushHead = pf;
+        _flushTail = pf;
+
         const std::uint32_t home = homeTileOf(line);
-        L2Tile *tile = _tiles[home].get();
-        _mesh.send(myNode(), _mesh.tileNode(home),
-                   has_data ? MsgType::FlushReq : MsgType::Ctrl,
-                   [tile, this, line, has_data, data,
-                    done = std::move(done)]() mutable {
-                       tile->handleFlush(_core, line, has_data, data,
-                                         std::move(done));
-                   });
+        Packet &p = _mesh.make(has_data ? MsgType::FlushReq
+                                        : MsgType::Ctrl);
+        p.receiver = _tiles[home].get();
+        p.core = _core;
+        p.addr = line;
+        p.flag = has_data;
+        p.data = data;
+        _mesh.send(myNode(), _mesh.tileNode(home), p);
     });
+}
+
+void
+L1Cache::flushAcked(Addr line)
+{
+    PendingFlush *prev = nullptr;
+    PendingFlush *pf = _flushHead;
+    while (pf && pf->line != line) {
+        prev = pf;
+        pf = pf->next;
+    }
+    panic_if(!pf, "FlushAck for a line with no outstanding flush");
+    if (prev)
+        prev->next = pf->next;
+    else
+        _flushHead = pf->next;
+    if (_flushTail == pf)
+        _flushTail = prev;
+    Callback done = std::move(pf->done);
+    releaseFlush(pf);
+    done();
 }
 
 void
@@ -352,8 +444,27 @@ L1Cache::invalidateLine(Addr addr)
 void
 L1Cache::powerFail()
 {
+    ++_epoch;  // strand any still-queued slot-holding continuation
     _array.invalidateAll();
     _mshrs.clear();
+    // The continuations that would have resumed in-flight stores and
+    // flushes died with the MSHRs or went inert with the epoch bump;
+    // the accesses are lost (matching Section IV-D), so reclaim their
+    // pooled transaction state.
+    while (_storeActive) {
+        PendingStore *ps = _storeActive;
+        _storeActive = ps->activeNext;
+        ps->activeNext = nullptr;
+        ps->done = nullptr;
+        _storePool.release(ps);
+    }
+    while (_flushHead) {
+        PendingFlush *pf = _flushHead;
+        _flushHead = pf->next;
+        releaseFlush(pf);
+    }
+    _flushTail = nullptr;
+    _unpinWaiters.clear();
 }
 
 } // namespace atomsim

@@ -6,13 +6,23 @@
  * an atomic region consult the installed StoreLogger (the ATOM LogI
  * module or the REDO front end) before modifying a line, implementing
  * Invariant 1: a store does not complete until its undo entry exists.
+ *
+ * The miss path is allocation-free in steady state: completion
+ * callbacks are fixed-capacity continuations, miss waiters live in the
+ * MSHR table's pooled nodes, and a store's in-flight state (payload
+ * bytes + completion) lives in a pooled PendingStore slot that follows
+ * the store from first miss through logging to apply -- the
+ * continuation is owned by the transaction, not by heap closures.
+ * Mesh messages are typed packets (mem/packet.hh): the L1 is the
+ * MeshSink for its fill responses and flush acks.
  */
 
 #ifndef ATOMSIM_CACHE_L1_CACHE_HH
 #define ATOMSIM_CACHE_L1_CACHE_HH
 
+#include <array>
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -21,8 +31,10 @@
 #include "cache/mshr.hh"
 #include "mem/address_map.hh"
 #include "net/mesh.hh"
+#include "sim/callback.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/pool.hh"
 #include "sim/stats.hh"
 
 namespace atomsim
@@ -30,6 +42,11 @@ namespace atomsim
 
 class L2Tile;
 struct FillResult;
+
+/** Completion callback handed into the L1 by the core / store queue /
+ * commit protocol. Fixed capacity: no heap, enforced at compile time. */
+static constexpr std::size_t kCacheCallbackBytes = 40;
+using CacheCallback = InplaceCallback<kCacheCallbackBytes>;
 
 /**
  * Hook consulted on the store path. Implemented by the ATOM LogI
@@ -60,25 +77,25 @@ class StoreLogger
      */
     virtual void onFirstWrite(CoreId core, Addr addr,
                               const Line &old_value,
-                              std::function<void()> done) = 0;
+                              CacheCallback done) = 0;
 
     /**
      * REDO: every store produces a redo entry. Call @p done once the
      * entry is accepted (possibly stalling on a full combine buffer).
      */
-    virtual void onStore(CoreId core, Addr addr,
-                         std::function<void()> done) = 0;
+    virtual void onStore(CoreId core, Addr addr, CacheCallback done) = 0;
 };
 
 /** One private L1 data cache. */
-class L1Cache
+class L1Cache : public MeshSink
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = CacheCallback;
 
     L1Cache(CoreId core, EventQueue &eq, const SystemConfig &cfg,
             Mesh &mesh, const AddressMap &amap,
             std::vector<std::unique_ptr<L2Tile>> &tiles, StatSet &stats);
+    ~L1Cache();
 
     CoreId coreId() const { return _core; }
 
@@ -108,6 +125,10 @@ class L1Cache
      */
     void flush(Addr addr, Callback done);
 
+    // --- Mesh delivery (fill responses, flush acks) --------------------
+
+    void meshDeliver(Packet &pkt) override;
+
     // --- Home-tile-facing operations (synchronous state changes) ------
 
     /** M/E -> I; returns the data (and dirtiness) if present. */
@@ -136,25 +157,77 @@ class L1Cache
     const CacheArray &array() const { return _array; }
     CacheArray &arrayForTest() { return _array; }
     std::size_t outstandingMisses() const { return _mshrs.active(); }
+    const MshrTable &mshrs() const { return _mshrs; }
+
+    /** PendingStore slots ever allocated (pool high-water mark). */
+    std::size_t storePoolAllocated() const
+    {
+        return _storePool.allocated();
+    }
+
+    /** PendingStore slots currently idle (pool reuse proof). */
+    std::size_t storePoolFree() const { return _storePool.idle(); }
 
   private:
-    void after(Cycles delay, std::function<void()> fn);
+    /**
+     * In-flight state of one store, pooled and reused: the payload
+     * bytes, the core's completion, and (implicitly, by being pointed
+     * at from MSHR waiters / logger acks) the store's continuation.
+     * Live slots are additionally chained into _storeActive so a power
+     * failure can reclaim stores whose continuations died with the
+     * MSHRs.
+     */
+    struct PendingStore
+    {
+        PendingStore *next = nullptr;       //!< pool free-list link
+        PendingStore *activeNext = nullptr; //!< in-flight list link
+        Addr addr = 0;
+        std::uint32_t size = 0;
+        std::array<std::uint8_t, kLineBytes> bytes{};
+        Callback done;
+    };
+
+    /** One outstanding flush, parked until its FlushAck returns. */
+    struct PendingFlush
+    {
+        PendingFlush *next = nullptr;
+        Addr line = 0;
+        Callback done;
+    };
+
+    void after(Cycles delay, EventQueue::Callback fn);
 
     std::uint32_t homeTileOf(Addr addr) const;
     std::uint32_t myNode() const;
 
     /** Begin a miss (GetS/GetX/Upgrade); merges into an existing MSHR. */
-    void startMiss(Addr addr, bool exclusive, Callback retry);
+    void startMiss(Addr addr, bool exclusive,
+                   MshrTable::Continuation retry);
 
     /** Fill arrived: install (evicting as needed) and wake waiters. */
     void fillArrived(Addr addr, const FillResult &result);
 
+    /** FlushAck arrived: resume the oldest flush of this line. */
+    void flushAcked(Addr line);
+
     /** Evict a victim frame to make room (dirty -> PutM). */
     void evictFrame(CacheLineState *frame);
 
-    /** Store continuation once the line is writable. */
-    void finishStore(Addr addr, const std::uint8_t *bytes,
-                     std::uint32_t size, Callback done);
+    /** Store protocol once the L1 access latency has elapsed; re-run
+     * on retry after a miss fill or a lost race. */
+    void finishStore(PendingStore *ps);
+
+    /** Log ack for @p ps's line: unpin, apply, release deferred
+     * coherence actions. */
+    void storeLogged(PendingStore *ps);
+
+    /** Write the bytes, set dirty/log bits, complete and recycle. */
+    void applyStore(PendingStore *ps, bool set_log_bit);
+
+    PendingStore *acquireStore();
+    void releaseStore(PendingStore *ps);
+    PendingFlush *acquireFlush();
+    void releaseFlush(PendingFlush *pf);
 
     CoreId _core;
     EventQueue &_eq;
@@ -168,6 +241,17 @@ class L1Cache
     StoreLogger *_logger = nullptr;
     /** Deferred coherence actions on pinned lines (see whenUnpinned). */
     std::unordered_map<Addr, std::vector<Callback>> _unpinWaiters;
+
+    FreeListPool<PendingStore> _storePool;
+    PendingStore *_storeActive = nullptr;  //!< in-flight stores
+    /** Bumped on powerFail: continuations holding a PendingStore
+     * pointer carry their epoch and go inert when it goes stale, so a
+     * queue pumped after a crash can never touch a recycled slot
+     * (same pattern as the memory controller's completion epoch). */
+    std::uint64_t _epoch = 0;
+    FreeListPool<PendingFlush> _flushPool;
+    PendingFlush *_flushHead = nullptr;  //!< outstanding flushes (FIFO)
+    PendingFlush *_flushTail = nullptr;
 
     Counter &_statLoads;
     Counter &_statStores;

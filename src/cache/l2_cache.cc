@@ -8,14 +8,12 @@ namespace atomsim
 
 L2Tile::L2Tile(std::uint32_t tile_id, EventQueue &eq,
                const SystemConfig &cfg, Mesh &mesh, const AddressMap &amap,
-               std::vector<std::unique_ptr<MemoryController>> &mcs,
                StatSet &stats)
     : _tileId(tile_id),
       _eq(eq),
       _cfg(cfg),
       _mesh(mesh),
       _amap(amap),
-      _mcs(mcs),
       _stats(stats),
       _array(cfg.l2TileBytes, cfg.l2Assoc, cfg.l2Tiles),
       _statHits(stats.counter("l2t" + std::to_string(tile_id), "hits")),
@@ -30,19 +28,77 @@ L2Tile::L2Tile(std::uint32_t tile_id, EventQueue &eq,
 {
 }
 
+L2Tile::~L2Tile() = default;
+
 void
-L2Tile::after(Cycles delay, std::function<void()> fn)
+L2Tile::after(Cycles delay, EventQueue::Callback fn)
 {
     _eq.postIn(delay, std::move(fn));
 }
 
 void
-L2Tile::respondFill(CoreId core, MsgType type, FillResult result,
-                    FillCallback respond)
+L2Tile::meshDeliver(Packet &pkt)
 {
-    _mesh.send(_mesh.tileNode(_tileId), _mesh.coreNode(core), type,
-               [result = std::move(result),
-                respond = std::move(respond)] { respond(result); });
+    switch (pkt.type) {
+      case MsgType::GetS:
+        handleGetS(pkt.core, pkt.addr);
+        return;
+      case MsgType::GetX:
+        handleGetX(pkt.core, pkt.addr, pkt.flag);
+        return;
+      case MsgType::Upgrade:
+        handleUpgrade(pkt.core, pkt.addr, pkt.flag);
+        return;
+      case MsgType::FlushReq:
+      case MsgType::Ctrl:
+        handleFlush(pkt.core, pkt.addr, pkt.flag, pkt.data);
+        return;
+      case MsgType::FwdGetS:
+        onFwdGetS(pkt.core, pkt.addr, CoreId(pkt.arg));
+        return;
+      case MsgType::FwdGetX:
+        onFwdGetX(pkt.core, pkt.addr, CoreId(pkt.arg));
+        return;
+      case MsgType::Inv:
+        onInv(pkt.addr, CoreId(pkt.arg));
+        return;
+      case MsgType::InvAck:
+        onInvAck(pkt.addr);
+        return;
+      case MsgType::Data:
+      case MsgType::DataExcl:
+      case MsgType::DataLogged:
+        // Memory fill response from an MC port.
+        onMemFill(pkt.core, pkt.addr, pkt.data, pkt.logged, pkt.flag);
+        return;
+      default:
+        panic("L2 tile %u: unexpected mesh message %s", _tileId,
+              msgName(pkt.type));
+    }
+}
+
+void
+L2Tile::respondFill(CoreId core, Addr line, MsgType type,
+                    const FillResult &result)
+{
+    Packet &p = _mesh.make(type);
+    p.receiver = _l1s[core];
+    p.core = core;
+    p.addr = line;
+    p.data = result.data;
+    p.grant = result.grant;
+    p.logged = result.logged;
+    _mesh.send(_mesh.tileNode(_tileId), _mesh.coreNode(core), p);
+}
+
+void
+L2Tile::sendFlushAck(CoreId core, Addr line)
+{
+    Packet &p = _mesh.make(MsgType::FlushAck);
+    p.receiver = _l1s[core];
+    p.core = core;
+    p.addr = line;
+    _mesh.send(_mesh.tileNode(_tileId), _mesh.coreNode(core), p);
 }
 
 void
@@ -50,12 +106,13 @@ L2Tile::writeThrough(Addr addr, const Line &data, WriteKind kind,
                      AckCallback on_durable)
 {
     const McId mc = _amap.memCtrl(addr);
-    _mesh.send(_mesh.tileNode(_tileId), _mesh.mcNode(mc), MsgType::MemWrite,
-               [this, mc, addr, data, kind,
-                on_durable = std::move(on_durable)]() mutable {
-                   _mcs[mc]->writeLine(addr, data, kind,
-                                       std::move(on_durable));
-               });
+    Packet &p = _mesh.make(MsgType::MemWrite);
+    p.receiver = _mcPorts[mc];
+    p.addr = addr;
+    p.arg = std::uint32_t(kind);
+    p.data = data;
+    p.cb = std::move(on_durable);
+    _mesh.send(_mesh.tileNode(_tileId), _mesh.mcNode(mc), p);
 }
 
 void
@@ -108,60 +165,124 @@ L2Tile::insertLine(Addr addr, const Line &data, bool dirty)
 
 void
 L2Tile::missToMemory(CoreId core, Addr addr, bool exclusive,
-                     bool in_atomic,
-                     std::function<void(const Line &, bool)> k)
+                     bool in_atomic)
 {
     // REDO keeps dirty evictions out of NVM in an (infinite) victim
     // cache; fills must consult it before reading stale NVM data.
     if (_victims) {
         if (const Line *v = _victims->find(addr)) {
             _statVictimHits.inc();
-            Line data = *v;
-            after(_cfg.l2Latency, [k = std::move(k),
-                                   data = std::move(data)] {
-                k(data, false);
+            const Line data = *v;
+            after(_cfg.l2Latency, [this, core, addr, exclusive, data] {
+                onMemFill(core, addr, data, false, exclusive);
             });
             return;
         }
     }
 
     const McId mc = _amap.memCtrl(addr);
-    const std::uint32_t tile_node = _mesh.tileNode(_tileId);
-    const std::uint32_t mc_node = _mesh.mcNode(mc);
-    _mesh.send(tile_node, mc_node, exclusive ? MsgType::GetX : MsgType::GetS,
-               [this, core, addr, exclusive, in_atomic, mc, mc_node,
-                tile_node, k = std::move(k)]() mutable {
-        _mcs[mc]->readLine(addr, ReadKind::Demand,
-            [this, core, addr, exclusive, in_atomic, mc, mc_node,
-             tile_node, k = std::move(k)](const Line &data) mutable {
-            bool logged = false;
-            // Source-logging (Section III-D): the controller has just
-            // read the pre-transaction value of the line; log it here
-            // and return the data with the log bit set.
-            if (exclusive && in_atomic && mc < _sourceLoggers.size() &&
-                _sourceLoggers[mc]) {
-                logged = _sourceLoggers[mc]->sourceLogFill(core, addr,
-                                                           data);
-            }
-            const MsgType resp =
-                logged ? MsgType::DataLogged
-                       : (exclusive ? MsgType::DataExcl : MsgType::Data);
-            _mesh.send(mc_node, tile_node, resp,
-                       [data, logged, k = std::move(k)] {
-                           k(data, logged);
-                       });
-        });
-    });
+    Packet &p = _mesh.make(exclusive ? MsgType::GetX : MsgType::GetS);
+    p.receiver = _mcPorts[mc];
+    p.core = core;
+    p.addr = addr;
+    p.flag = in_atomic;
+    p.arg = _tileId;
+    _mesh.send(_mesh.tileNode(_tileId), _mesh.mcNode(mc), p);
 }
 
 void
-L2Tile::handleGetS(CoreId core, Addr addr, FillCallback respond)
+L2Tile::onMemFill(CoreId core, Addr addr, const Line &data, bool logged,
+                  bool exclusive)
 {
     const Addr line = lineAlign(addr);
-    after(_cfg.l2Latency, [this, core, line,
-                           respond = std::move(respond)]() mutable {
-        _dir.acquire(line, [this, core, line,
-                            respond = std::move(respond)]() mutable {
+    insertLine(line, data, false);
+    DirEntry &dir = _dir.entry(line);
+    dir.owner = core;
+    if (exclusive)
+        dir.sharers = 0;
+    const MsgType resp =
+        exclusive ? (logged ? MsgType::DataLogged : MsgType::DataExcl)
+                  : MsgType::Data;
+    const CoherenceState grant = exclusive ? CoherenceState::Modified
+                                           : CoherenceState::Exclusive;
+    respondFill(core, line, resp, FillResult{data, grant, logged});
+    _dir.release(line);
+}
+
+void
+L2Tile::grantExclusive(CoreId requester, Addr line)
+{
+    CacheLineState *fr = _array.find(line);
+    panic_if(!fr, "L2 lost line during busy txn");
+    respondFill(requester, line, MsgType::DataExcl,
+                FillResult{fr->data, CoherenceState::Modified, false});
+    _dir.release(line);
+}
+
+void
+L2Tile::invalidateSharers(CoreId requester, Addr line,
+                          std::uint64_t mask)
+{
+    if (mask == 0) {
+        grantExclusive(requester, line);
+        return;
+    }
+    InvJoin *join = _joinPool.acquire();
+    join->line = line;
+    join->requester = requester;
+    join->remaining = std::uint32_t(__builtin_popcountll(mask));
+    join->next = _joinActive;
+    _joinActive = join;
+
+    for (CoreId c = 0; c < _l1s.size(); ++c) {
+        if (!(mask & (std::uint64_t(1) << c)))
+            continue;
+        Packet &p = _mesh.make(MsgType::Inv);
+        p.receiver = this;
+        p.addr = line;
+        p.arg = c;
+        _mesh.send(_mesh.tileNode(_tileId), _mesh.coreNode(c), p);
+    }
+}
+
+void
+L2Tile::onInv(Addr line, CoreId target)
+{
+    // Executes at the sharer's node: drop the copy, ack back home.
+    _l1s[target]->invalidateLine(line);
+    Packet &p = _mesh.make(MsgType::InvAck);
+    p.receiver = this;
+    p.addr = line;
+    _mesh.send(_mesh.coreNode(target), _mesh.tileNode(_tileId), p);
+}
+
+void
+L2Tile::onInvAck(Addr line)
+{
+    InvJoin *prev = nullptr;
+    InvJoin *join = _joinActive;
+    while (join && join->line != line) {
+        prev = join;
+        join = join->next;
+    }
+    panic_if(!join, "InvAck with no invalidation round in flight");
+    if (--join->remaining != 0)
+        return;
+    if (prev)
+        prev->next = join->next;
+    else
+        _joinActive = join->next;
+    const CoreId requester = join->requester;
+    _joinPool.release(join);
+    grantExclusive(requester, line);
+}
+
+void
+L2Tile::handleGetS(CoreId core, Addr addr)
+{
+    const Addr line = lineAlign(addr);
+    after(_cfg.l2Latency, [this, core, line] {
+        _dir.acquire(line, Directory::Txn([this, core, line] {
             CacheLineState *frame = _array.touch(line);
             if (frame) {
                 _statHits.inc();
@@ -170,31 +291,13 @@ L2Tile::handleGetS(CoreId core, Addr addr, FillCallback respond)
                     // 3-hop read: forward to the owner, who downgrades
                     // to Shared and supplies the freshest data.
                     const CoreId owner = dir.owner;
-                    const std::uint32_t owner_node = _mesh.coreNode(owner);
-                    _mesh.send(_mesh.tileNode(_tileId), owner_node,
-                               MsgType::FwdGetS,
-                               [this, core, line, owner, owner_node,
-                                respond = std::move(respond)]() mutable {
-                        CacheLineState *fr = _array.find(line);
-                        panic_if(!fr, "L2 lost line during busy txn");
-                        if (auto d = _l1s[owner]->downgradeLine(line)) {
-                            fr->data = *d;
-                            fr->dirty = true;
-                        }
-                        DirEntry &dir2 = _dir.entry(line);
-                        dir2.owner = kNoCore;
-                        dir2.sharers |= std::uint64_t(1) << owner;
-                        dir2.sharers |= std::uint64_t(1) << core;
-                        FillResult res{fr->data, CoherenceState::Shared,
-                                       false};
-                        _mesh.send(owner_node, _mesh.coreNode(core),
-                                   MsgType::Data,
-                                   [res = std::move(res),
-                                    respond = std::move(respond)] {
-                                       respond(res);
-                                   });
-                        _dir.release(line);
-                    });
+                    Packet &p = _mesh.make(MsgType::FwdGetS);
+                    p.receiver = this;
+                    p.core = core;
+                    p.addr = line;
+                    p.arg = owner;
+                    _mesh.send(_mesh.tileNode(_tileId),
+                               _mesh.coreNode(owner), p);
                     return;
                 }
                 // Plain hit: grant E if nobody shares, else S (MESI).
@@ -207,40 +310,49 @@ L2Tile::handleGetS(CoreId core, Addr addr, FillCallback respond)
                     dir.owner = core;
                 else
                     dir.sharers |= std::uint64_t(1) << core;
-                respondFill(core, MsgType::Data,
-                            FillResult{frame->data, grant, false},
-                            std::move(respond));
+                respondFill(core, line, MsgType::Data,
+                            FillResult{frame->data, grant, false});
                 _dir.release(line);
                 return;
             }
 
             // L2 miss: fetch from memory, install, grant Exclusive.
             _statMisses.inc();
-            missToMemory(core, line, false, false,
-                         [this, core, line, respond = std::move(respond)](
-                             const Line &data, bool) mutable {
-                insertLine(line, data, false);
-                DirEntry &dir = _dir.entry(line);
-                dir.owner = core;
-                respondFill(core, MsgType::Data,
-                            FillResult{data, CoherenceState::Exclusive,
-                                       false},
-                            std::move(respond));
-                _dir.release(line);
-            });
-        });
+            missToMemory(core, line, false, false);
+        }));
     });
 }
 
 void
-L2Tile::handleGetX(CoreId core, Addr addr, bool in_atomic,
-                   FillCallback respond)
+L2Tile::onFwdGetS(CoreId requester, Addr line, CoreId owner)
+{
+    // Executes at the owner's node.
+    CacheLineState *fr = _array.find(line);
+    panic_if(!fr, "L2 lost line during busy txn");
+    if (auto d = _l1s[owner]->downgradeLine(line)) {
+        fr->data = *d;
+        fr->dirty = true;
+    }
+    DirEntry &dir = _dir.entry(line);
+    dir.owner = kNoCore;
+    dir.sharers |= std::uint64_t(1) << owner;
+    dir.sharers |= std::uint64_t(1) << requester;
+    Packet &p = _mesh.make(MsgType::Data);
+    p.receiver = _l1s[requester];
+    p.core = requester;
+    p.addr = line;
+    p.data = fr->data;
+    p.grant = CoherenceState::Shared;
+    _mesh.send(_mesh.coreNode(owner), _mesh.coreNode(requester), p);
+    _dir.release(line);
+}
+
+void
+L2Tile::handleGetX(CoreId core, Addr addr, bool in_atomic)
 {
     const Addr line = lineAlign(addr);
-    after(_cfg.l2Latency, [this, core, line, in_atomic,
-                           respond = std::move(respond)]() mutable {
-        _dir.acquire(line, [this, core, line, in_atomic,
-                            respond = std::move(respond)]() mutable {
+    after(_cfg.l2Latency, [this, core, line, in_atomic] {
+        _dir.acquire(line, Directory::Txn([this, core, line, in_atomic] {
             CacheLineState *frame = _array.touch(line);
             if (frame) {
                 _statHits.inc();
@@ -248,11 +360,10 @@ L2Tile::handleGetX(CoreId core, Addr addr, bool in_atomic,
                 if (dir.owner == core) {
                     // The "owner" silently dropped a clean Exclusive
                     // copy and re-missed: re-grant from the L2 copy.
-                    respondFill(core, MsgType::DataExcl,
+                    respondFill(core, line, MsgType::DataExcl,
                                 FillResult{frame->data,
                                            CoherenceState::Modified,
-                                           false},
-                                std::move(respond));
+                                           false});
                     _dir.release(line);
                     return;
                 }
@@ -261,129 +372,73 @@ L2Tile::handleGetX(CoreId core, Addr addr, bool in_atomic,
                     // Forward to the owner; ownership moves to the
                     // requester with the freshest data.
                     const CoreId owner = dir.owner;
-                    const std::uint32_t owner_node = _mesh.coreNode(owner);
-                    _mesh.send(_mesh.tileNode(_tileId), owner_node,
-                               MsgType::FwdGetX,
-                               [this, core, line, owner, owner_node,
-                                respond = std::move(respond)]() mutable {
-                        // Defer while the owner has an outstanding log
-                        // request for the line (a real controller NACKs
-                        // the forward; stealing mid-log forces re-logs
-                        // that convoy on contended lines).
-                        _l1s[owner]->whenUnpinned(line, [this, core,
-                                                         line, owner,
-                                                         owner_node,
-                                                         respond =
-                                                             std::move(
-                                                                 respond)]() mutable {
-                            CacheLineState *fr = _array.find(line);
-                            panic_if(!fr, "L2 lost line during busy txn");
-                            if (auto got =
-                                    _l1s[owner]->surrenderLine(line)) {
-                                if (got->second) {
-                                    fr->data = got->first;
-                                    fr->dirty = true;
-                                }
-                            }
-                            DirEntry &dir2 = _dir.entry(line);
-                            dir2.owner = core;
-                            dir2.sharers = 0;
-                            FillResult res{fr->data,
-                                           CoherenceState::Modified,
-                                           false};
-                            _mesh.send(owner_node, _mesh.coreNode(core),
-                                       MsgType::DataExcl,
-                                       [res = std::move(res),
-                                        respond = std::move(respond)] {
-                                           respond(res);
-                                       });
-                            _dir.release(line);
-                        });
-                    });
+                    Packet &p = _mesh.make(MsgType::FwdGetX);
+                    p.receiver = this;
+                    p.core = core;
+                    p.addr = line;
+                    p.arg = owner;
+                    _mesh.send(_mesh.tileNode(_tileId),
+                               _mesh.coreNode(owner), p);
                     return;
                 }
 
                 // Invalidate every sharer except the requester, then
                 // grant Modified.
-                std::vector<CoreId> to_inv;
-                for (CoreId c = 0; c < _l1s.size(); ++c) {
-                    if (c != core &&
-                        (dir.sharers & (std::uint64_t(1) << c))) {
-                        to_inv.push_back(c);
-                    }
-                }
+                const std::uint64_t mask =
+                    dir.sharers & ~(std::uint64_t(1) << core);
                 dir.owner = core;
                 dir.sharers = 0;
-
-                auto grant = [this, core, line,
-                              respond = std::move(respond)]() mutable {
-                    CacheLineState *fr = _array.find(line);
-                    panic_if(!fr, "L2 lost line during busy txn");
-                    respondFill(core, MsgType::DataExcl,
-                                FillResult{fr->data,
-                                           CoherenceState::Modified,
-                                           false},
-                                std::move(respond));
-                    _dir.release(line);
-                };
-
-                if (to_inv.empty()) {
-                    grant();
-                    return;
-                }
-                auto pending = std::make_shared<std::size_t>(to_inv.size());
-                auto grant_shared =
-                    std::make_shared<decltype(grant)>(std::move(grant));
-                for (CoreId c : to_inv) {
-                    const std::uint32_t c_node = _mesh.coreNode(c);
-                    _mesh.send(_mesh.tileNode(_tileId), c_node,
-                               MsgType::Inv,
-                               [this, c, c_node, line, pending,
-                                grant_shared] {
-                        _l1s[c]->invalidateLine(line);
-                        _mesh.send(c_node, _mesh.tileNode(_tileId),
-                                   MsgType::InvAck,
-                                   [pending, grant_shared] {
-                                       if (--*pending == 0)
-                                           (*grant_shared)();
-                                   });
-                    });
-                }
+                invalidateSharers(core, line, mask);
                 return;
             }
 
             // L2 miss: fetch (source-logging eligible), install, grant.
             _statMisses.inc();
-            missToMemory(core, line, true, in_atomic,
-                         [this, core, line, respond = std::move(respond)](
-                             const Line &data, bool logged) mutable {
-                insertLine(line, data, false);
-                DirEntry &dir = _dir.entry(line);
-                dir.owner = core;
-                dir.sharers = 0;
-                respondFill(core,
-                            logged ? MsgType::DataLogged
-                                   : MsgType::DataExcl,
-                            FillResult{data, CoherenceState::Modified,
-                                       logged},
-                            std::move(respond));
-                _dir.release(line);
-            });
-        });
+            missToMemory(core, line, true, in_atomic);
+        }));
     });
 }
 
 void
-L2Tile::handleUpgrade(CoreId core, Addr addr, bool in_atomic,
-                      FillCallback respond)
+L2Tile::onFwdGetX(CoreId requester, Addr line, CoreId owner)
+{
+    // Executes at the owner's node. Defer while the owner has an
+    // outstanding log request for the line (a real controller NACKs
+    // the forward; stealing mid-log forces re-logs that convoy on
+    // contended lines).
+    _l1s[owner]->whenUnpinned(
+        line, [this, requester, line, owner] {
+            CacheLineState *fr = _array.find(line);
+            panic_if(!fr, "L2 lost line during busy txn");
+            if (auto got = _l1s[owner]->surrenderLine(line)) {
+                if (got->second) {
+                    fr->data = got->first;
+                    fr->dirty = true;
+                }
+            }
+            DirEntry &dir = _dir.entry(line);
+            dir.owner = requester;
+            dir.sharers = 0;
+            Packet &p = _mesh.make(MsgType::DataExcl);
+            p.receiver = _l1s[requester];
+            p.core = requester;
+            p.addr = line;
+            p.data = fr->data;
+            p.grant = CoherenceState::Modified;
+            _mesh.send(_mesh.coreNode(owner),
+                       _mesh.coreNode(requester), p);
+            _dir.release(line);
+        });
+}
+
+void
+L2Tile::handleUpgrade(CoreId core, Addr addr, bool in_atomic)
 {
     const Addr line = lineAlign(addr);
-    after(_cfg.l2Latency, [this, core, line, in_atomic,
-                           respond = std::move(respond)]() mutable {
-        _dir.acquire(line, [this, core, line, in_atomic,
-                            respond = std::move(respond)]() mutable {
+    after(_cfg.l2Latency, [this, core, line, in_atomic] {
+        _dir.acquire(line, Directory::Txn([this, core, line, in_atomic] {
             CacheLineState *frame = _array.touch(line);
-            DirEntry &dir = frame ? _dir.entry(line) : _dir.entry(line);
+            DirEntry &dir = _dir.entry(line);
             const bool still_sharer =
                 frame && (dir.sharers & (std::uint64_t(1) << core));
             if (!still_sharer) {
@@ -391,50 +446,16 @@ L2Tile::handleUpgrade(CoreId core, Addr addr, bool in_atomic,
                 // evicted it): morph into a full GetX. Release first;
                 // handleGetX re-acquires.
                 _dir.release(line);
-                handleGetX(core, line, in_atomic, std::move(respond));
+                handleGetX(core, line, in_atomic);
                 return;
             }
 
-            std::vector<CoreId> to_inv;
-            for (CoreId c = 0; c < _l1s.size(); ++c) {
-                if (c != core && (dir.sharers & (std::uint64_t(1) << c)))
-                    to_inv.push_back(c);
-            }
+            const std::uint64_t mask =
+                dir.sharers & ~(std::uint64_t(1) << core);
             dir.owner = core;
             dir.sharers = 0;
-
-            auto grant = [this, core, line,
-                          respond = std::move(respond)]() mutable {
-                CacheLineState *fr = _array.find(line);
-                panic_if(!fr, "L2 lost line during busy txn");
-                respondFill(core, MsgType::DataExcl,
-                            FillResult{fr->data, CoherenceState::Modified,
-                                       false},
-                            std::move(respond));
-                _dir.release(line);
-            };
-            if (to_inv.empty()) {
-                grant();
-                return;
-            }
-            auto pending = std::make_shared<std::size_t>(to_inv.size());
-            auto grant_shared =
-                std::make_shared<decltype(grant)>(std::move(grant));
-            for (CoreId c : to_inv) {
-                const std::uint32_t c_node = _mesh.coreNode(c);
-                _mesh.send(_mesh.tileNode(_tileId), c_node, MsgType::Inv,
-                           [this, c, c_node, line, pending,
-                            grant_shared] {
-                    _l1s[c]->invalidateLine(line);
-                    _mesh.send(c_node, _mesh.tileNode(_tileId),
-                               MsgType::InvAck,
-                               [pending, grant_shared] {
-                                   if (--*pending == 0)
-                                       (*grant_shared)();
-                               });
-                });
-            }
-        });
+            invalidateSharers(core, line, mask);
+        }));
     });
 }
 
@@ -459,13 +480,12 @@ L2Tile::putMSync(CoreId core, Addr addr, const Line &data)
 
 void
 L2Tile::handleFlush(CoreId core, Addr addr, bool has_data,
-                    const Line &data, AckCallback respond)
+                    const Line &data)
 {
     const Addr line = lineAlign(addr);
-    after(_cfg.l2Latency, [this, core, line, has_data, data,
-                           respond = std::move(respond)]() mutable {
-        _dir.acquire(line, [this, core, line, has_data, data,
-                            respond = std::move(respond)]() mutable {
+    after(_cfg.l2Latency, [this, core, line, has_data, data] {
+        _dir.acquire(line,
+                     Directory::Txn([this, core, line, has_data, data] {
             CacheLineState *frame = _array.find(line);
             DirEntry &dir = _dir.entry(line);
 
@@ -481,34 +501,29 @@ L2Tile::handleFlush(CoreId core, Addr addr, bool has_data,
             if (!to_write && frame && frame->dirty)
                 to_write = &frame->data;
 
-            const McId mc = _amap.memCtrl(line);
-            const std::uint32_t tile_node = _mesh.tileNode(_tileId);
-            const std::uint32_t core_node = _mesh.coreNode(core);
-            auto ack_back = [this, tile_node, core_node,
-                             respond = std::move(respond)]() mutable {
-                _mesh.send(tile_node, core_node, MsgType::FlushAck,
-                           std::move(respond));
-            };
-
             if (to_write) {
                 if (frame) {
                     frame->data = *to_write;
                     frame->dirty = false;  // NVM copy now matches
                 }
                 writeThrough(line, *to_write, WriteKind::Flush,
-                             std::move(ack_back));
+                             [this, core, line] {
+                                 sendFlushAck(core, line);
+                             });
             } else {
                 // Nothing dirty anywhere: only wait out any write to
                 // this line still queued in the controller.
-                _mesh.send(tile_node, _mesh.mcNode(mc), MsgType::FlushReq,
-                           [this, mc, line,
-                            ack_back = std::move(ack_back)]() mutable {
-                               _mcs[mc]->whenLineDurable(
-                                   line, std::move(ack_back));
-                           });
+                const McId mc = _amap.memCtrl(line);
+                Packet &p = _mesh.make(MsgType::FlushReq);
+                p.receiver = _mcPorts[mc];
+                p.addr = line;
+                p.cb = MeshCallback([this, core, line] {
+                    sendFlushAck(core, line);
+                });
+                _mesh.send(_mesh.tileNode(_tileId), _mesh.mcNode(mc), p);
             }
             _dir.release(line);
-        });
+        }));
     });
 }
 
@@ -517,6 +532,11 @@ L2Tile::powerFail()
 {
     _array.invalidateAll();
     _dir.clear();
+    while (_joinActive) {
+        InvJoin *j = _joinActive;
+        _joinActive = j->next;
+        _joinPool.release(j);
+    }
 }
 
 } // namespace atomsim

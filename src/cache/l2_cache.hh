@@ -11,13 +11,19 @@
  * applied synchronously inside delivered events while message latencies
  * shape request completion times; combined with per-line busy
  * serialization this makes the protocol race-free by construction.
+ *
+ * The tile is a MeshSink: requests, forwards, invalidation acks and
+ * memory fills all arrive as typed packets, and responses leave as
+ * typed packets addressed to the requesting L1 (or this tile itself,
+ * for protocol legs that logically execute at a remote node). Fan-in
+ * joins (invalidation acks) are tracked in pooled InvJoin records
+ * keyed by line -- no closures, no allocation in steady state.
  */
 
 #ifndef ATOMSIM_CACHE_L2_CACHE_HH
 #define ATOMSIM_CACHE_L2_CACHE_HH
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -26,10 +32,13 @@
 #include "cache/directory.hh"
 #include "mem/address_map.hh"
 #include "mem/memory_controller.hh"
+#include "mem/packet.hh"
 #include "mem/phys_mem.hh"
 #include "net/mesh.hh"
+#include "sim/callback.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/pool.hh"
 #include "sim/stats.hh"
 
 namespace atomsim
@@ -93,25 +102,25 @@ struct FillResult
 };
 
 /** One L2 tile (home node + directory + data bank). */
-class L2Tile
+class L2Tile : public MeshSink
 {
   public:
-    using FillCallback = std::function<void(const FillResult &)>;
-    using AckCallback = std::function<void()>;
+    /** Durable-write completion; same capacity as a packet's rider so
+     * it moves through the mesh without re-wrapping. */
+    using AckCallback = MeshCallback;
 
     L2Tile(std::uint32_t tile_id, EventQueue &eq, const SystemConfig &cfg,
-           Mesh &mesh, const AddressMap &amap,
-           std::vector<std::unique_ptr<MemoryController>> &mcs,
-           StatSet &stats);
+           Mesh &mesh, const AddressMap &amap, StatSet &stats);
+    ~L2Tile();
 
     /** Wire the L1s (for recalls / forwards / invalidations). */
     void setL1s(std::vector<L1Cache *> l1s) { _l1s = std::move(l1s); }
 
-    /** Wire per-MC source loggers (ATOM-OPT only; else nullptrs). */
+    /** Wire the per-MC mesh ports (fill reads, durable writes). */
     void
-    setSourceLoggers(std::vector<SourceLogger *> loggers)
+    setMcPorts(std::vector<MeshSink *> ports)
     {
-        _sourceLoggers = std::move(loggers);
+        _mcPorts = std::move(ports);
     }
 
     /** Wire the shared victim cache (REDO only; else nullptr). */
@@ -119,21 +128,23 @@ class L2Tile
 
     std::uint32_t tileId() const { return _tileId; }
 
+    // --- Mesh delivery -------------------------------------------------
+
+    void meshDeliver(Packet &pkt) override;
+
     // --- Handlers invoked at this tile (already mesh-delivered) -------
 
-    /** Load miss from @p core. */
-    void handleGetS(CoreId core, Addr addr, FillCallback respond);
+    /** Load miss from @p core. Responds with a typed Data packet. */
+    void handleGetS(CoreId core, Addr addr);
 
     /**
      * Store miss from @p core. @p in_atomic enables source logging at
      * the memory controller when the fill reaches it.
      */
-    void handleGetX(CoreId core, Addr addr, bool in_atomic,
-                    FillCallback respond);
+    void handleGetX(CoreId core, Addr addr, bool in_atomic);
 
     /** S->M upgrade; may morph into a data grant if state moved on. */
-    void handleUpgrade(CoreId core, Addr addr, bool in_atomic,
-                       FillCallback respond);
+    void handleUpgrade(CoreId core, Addr addr, bool in_atomic);
 
     /**
      * Dirty writeback from an L1. State applies synchronously (see file
@@ -143,10 +154,11 @@ class L2Tile
 
     /**
      * Durable flush (clwb-like). @p has_data carries the L1's dirty
-     * copy if it had one. Acks once the line is durable in NVM.
+     * copy if it had one. Sends a FlushAck to @p core's L1 once the
+     * line is durable in NVM.
      */
     void handleFlush(CoreId core, Addr addr, bool has_data,
-                     const Line &data, AckCallback respond);
+                     const Line &data);
 
     /** Power failure: all cached state vanishes. */
     void powerFail();
@@ -156,16 +168,46 @@ class L2Tile
     Directory &directory() { return _dir; }
 
   private:
-    void after(Cycles delay, std::function<void()> fn);
+    /** Pooled fan-in record for an invalidation round. */
+    struct InvJoin
+    {
+        InvJoin *next = nullptr;
+        Addr line = 0;
+        CoreId requester = 0;
+        std::uint32_t remaining = 0;
+    };
+
+    void after(Cycles delay, EventQueue::Callback fn);
 
     /** Respond to a requester core through the mesh. */
-    void respondFill(CoreId core, MsgType type, FillResult result,
-                     FillCallback respond);
+    void respondFill(CoreId core, Addr line, MsgType type,
+                     const FillResult &result);
 
-    /** Read the line from NVM (or victim cache), then continue. */
+    /** FlushAck back to the flushing core's L1. */
+    void sendFlushAck(CoreId core, Addr line);
+
+    /** Read the line from NVM (or victim cache); the fill resumes in
+     * onMemFill(). */
     void missToMemory(CoreId core, Addr addr, bool exclusive,
-                      bool in_atomic,
-                      std::function<void(const Line &, bool logged)> k);
+                      bool in_atomic);
+
+    /** Memory fill arrived: install, update the directory, grant. */
+    void onMemFill(CoreId core, Addr addr, const Line &data, bool logged,
+                   bool exclusive);
+
+    // Protocol legs executing at remote nodes (typed to this tile).
+    void onFwdGetS(CoreId requester, Addr line, CoreId owner);
+    void onFwdGetX(CoreId requester, Addr line, CoreId owner);
+    void onInv(Addr line, CoreId target);
+    void onInvAck(Addr line);
+
+    /** Invalidate every sharer in @p mask, granting to @p requester
+     * once all acks return (immediately if the mask is empty). */
+    void invalidateSharers(CoreId requester, Addr line,
+                           std::uint64_t mask);
+
+    /** Grant Modified to @p requester from the L2 copy and release. */
+    void grantExclusive(CoreId requester, Addr line);
 
     /**
      * Install @p addr with @p data into the array, evicting (and
@@ -185,14 +227,16 @@ class L2Tile
     const SystemConfig &_cfg;
     Mesh &_mesh;
     const AddressMap &_amap;
-    std::vector<std::unique_ptr<MemoryController>> &_mcs;
     StatSet &_stats;
 
     CacheArray _array;
     Directory _dir;
     std::vector<L1Cache *> _l1s;
-    std::vector<SourceLogger *> _sourceLoggers;
+    std::vector<MeshSink *> _mcPorts;
     VictimCache *_victims = nullptr;
+
+    FreeListPool<InvJoin> _joinPool;
+    InvJoin *_joinActive = nullptr;
 
     Counter &_statHits;
     Counter &_statMisses;

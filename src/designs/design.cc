@@ -115,36 +115,32 @@ DesignContext::flushLines(CoreId core, std::vector<Addr> lines,
         return;
     }
     // Flush with a bounded issue window (the L1 MSHR count), like a
-    // clwb loop with limited outstanding misses.
-    struct FlushState
-    {
-        std::vector<Addr> lines;
-        std::size_t next = 0;
-        std::size_t pending = 0;
-        std::function<void()> done;
-    };
+    // clwb loop with limited outstanding misses. The state is kept
+    // alive by the outstanding flush acks alone (no self-referential
+    // closure), so it is freed when the last ack lands.
     auto st = std::make_shared<FlushState>();
     st->lines = std::move(lines);
     st->done = std::move(done);
+    pumpFlushes(core, st);
+}
 
-    auto pump = std::make_shared<std::function<void()>>();
-    *pump = [this, core, st, pump] {
-        while (st->next < st->lines.size() &&
-               st->pending < _cfg.mshrs) {
-            const Addr line = st->lines[st->next++];
-            ++st->pending;
-            _statFlushes.inc();
-            _l1s[core]->flush(line, [st, pump] {
-                --st->pending;
-                if (st->next < st->lines.size()) {
-                    (*pump)();
-                } else if (st->pending == 0) {
-                    st->done();
-                }
-            });
-        }
-    };
-    (*pump)();
+void
+DesignContext::pumpFlushes(CoreId core,
+                           const std::shared_ptr<FlushState> &st)
+{
+    while (st->next < st->lines.size() && st->pending < _cfg.mshrs) {
+        const Addr line = st->lines[st->next++];
+        ++st->pending;
+        _statFlushes.inc();
+        _l1s[core]->flush(line, [this, core, st] {
+            --st->pending;
+            if (st->next < st->lines.size()) {
+                pumpFlushes(core, st);
+            } else if (st->pending == 0) {
+                st->done();
+            }
+        });
+    }
 }
 
 void

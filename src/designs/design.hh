@@ -91,9 +91,22 @@ class DesignContext : public DesignHooks
                    std::function<void()> done) override;
 
   private:
+    /** In-flight state of one commit's flush loop (shared by the
+     * outstanding flush acks; freed when the last one completes). */
+    struct FlushState
+    {
+        std::vector<Addr> lines;
+        std::size_t next = 0;
+        std::size_t pending = 0;
+        std::function<void()> done;
+    };
+
     /** Flush @p lines durably with a bounded issue window. */
     void flushLines(CoreId core, std::vector<Addr> lines,
                     std::function<void()> done);
+
+    /** Issue flushes up to the window (the L1 MSHR count). */
+    void pumpFlushes(CoreId core, const std::shared_ptr<FlushState> &st);
 
     /** Truncate @p core's AUS at every controller, then release it. */
     void truncateAll(CoreId core, std::function<void()> done);

@@ -89,7 +89,7 @@ RedoEngine::inAtomic(CoreId core) const
 }
 
 void
-RedoEngine::onFirstWrite(CoreId, Addr, const Line &, std::function<void()>)
+RedoEngine::onFirstWrite(CoreId, Addr, const Line &, CacheCallback)
 {
     panic("RedoEngine::onFirstWrite: undo hook on the redo design");
 }
@@ -104,7 +104,7 @@ RedoEngine::beginTxn(CoreId core)
 }
 
 void
-RedoEngine::onStore(CoreId core, Addr addr, std::function<void()> done)
+RedoEngine::onStore(CoreId core, Addr addr, CacheCallback done)
 {
     CoreState &cs = _cores[core];
     panic_if(!cs.active, "redo store outside a txn");

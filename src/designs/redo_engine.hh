@@ -57,9 +57,8 @@ class RedoEngine : public StoreLogger
     Mode mode() const override { return Mode::Redo; }
     bool inAtomic(CoreId core) const override;
     void onFirstWrite(CoreId, Addr, const Line &,
-                      std::function<void()>) override;
-    void onStore(CoreId core, Addr addr,
-                 std::function<void()> done) override;
+                      CacheCallback) override;
+    void onStore(CoreId core, Addr addr, CacheCallback done) override;
 
     // --- Transaction lifecycle ------------------------------------------
 
@@ -110,7 +109,9 @@ class RedoEngine : public StoreLogger
         std::uint64_t txnSeq = 0;
         std::deque<WcbEntry> wcb;
         bool draining = false;
-        std::deque<std::function<void()>> fullWaiters;
+        /** Stores stalled on a full combine buffer; the retry holds
+         * the store's 48-byte completion inline. */
+        std::deque<InplaceCallback<88>> fullWaiters;
         std::function<void()> commitWaiter;
         std::uint32_t entriesInFlight = 0;
         /** Controllers this update logged at (commit slots go to each

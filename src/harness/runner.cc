@@ -1,5 +1,7 @@
 #include "harness/runner.hh"
 
+#include <utility>
+
 #include "sim/logging.hh"
 
 namespace atomsim
@@ -49,8 +51,9 @@ Runner::next(CoreId core)
 bool
 Runner::allDone() const
 {
-    for (CoreId c = 0; c < _system->numCores(); ++c) {
-        if (!const_cast<System &>(*_system).core(c).done())
+    const System &sys = *_system;
+    for (CoreId c = 0; c < sys.numCores(); ++c) {
+        if (!sys.core(c).done())
             return false;
     }
     return true;
@@ -59,16 +62,17 @@ Runner::allDone() const
 std::uint64_t
 Runner::committed() const
 {
+    const System &sys = *_system;
     std::uint64_t total = 0;
-    for (CoreId c = 0; c < _system->numCores(); ++c)
-        total += const_cast<System &>(*_system).core(c).committed();
+    for (CoreId c = 0; c < sys.numCores(); ++c)
+        total += sys.core(c).committed();
     return total;
 }
 
 RunResult
 Runner::collect(Tick start_tick, Tick end_tick) const
 {
-    const auto &stats = const_cast<System &>(*_system).stats();
+    const StatSet &stats = std::as_const(*_system).stats();
     RunResult r;
     r.txns = committed();
     r.cycles = end_tick - start_tick;

@@ -15,12 +15,14 @@ System::System(const SystemConfig &cfg, Addr data_bytes)
     for (McId m = 0; m < _cfg.numMemCtrls; ++m) {
         _mcs.push_back(std::make_unique<MemoryController>(
             m, _eq, _cfg, _nvm, _stats));
+        _mcPorts.push_back(
+            std::make_unique<McPort>(m, *_mesh, *_mcs.back()));
     }
     _logSpace = std::make_unique<LogSpace>(_eq, _cfg, _stats);
 
     for (std::uint32_t t = 0; t < _cfg.l2Tiles; ++t) {
         _tiles.push_back(std::make_unique<L2Tile>(
-            t, _eq, _cfg, *_mesh, _amap, _mcs, _stats));
+            t, _eq, _cfg, *_mesh, _amap, _stats));
     }
     for (CoreId c = 0; c < _cfg.numCores; ++c) {
         _l1s.push_back(std::make_unique<L1Cache>(
@@ -30,8 +32,18 @@ System::System(const SystemConfig &cfg, Addr data_bytes)
     std::vector<L1Cache *> l1_ptrs;
     for (auto &l1 : _l1s)
         l1_ptrs.push_back(l1.get());
+    std::vector<MeshSink *> mc_sinks;
+    for (auto &port : _mcPorts)
+        mc_sinks.push_back(port.get());
+    std::vector<MeshSink *> tile_sinks;
     for (auto &tile : _tiles)
+        tile_sinks.push_back(tile.get());
+    for (auto &tile : _tiles) {
         tile->setL1s(l1_ptrs);
+        tile->setMcPorts(mc_sinks);
+    }
+    for (auto &port : _mcPorts)
+        port->setTileSinks(tile_sinks);
 
     // --- Design-specific wiring ----------------------------------------
     const bool undo_design = _cfg.design == DesignKind::Base ||
@@ -56,13 +68,10 @@ System::System(const SystemConfig &cfg, Addr data_bytes)
             l1->setStoreLogger(_logi.get());
 
         if (_cfg.design == DesignKind::AtomOpt) {
-            std::vector<SourceLogger *> loggers;
-            for (auto &logm : _logms) {
-                logm->setSourceLogging(true);
-                loggers.push_back(logm.get());
+            for (McId m = 0; m < _cfg.numMemCtrls; ++m) {
+                _logms[m]->setSourceLogging(true);
+                _mcPorts[m]->setSourceLogger(_logms[m].get());
             }
-            for (auto &tile : _tiles)
-                tile->setSourceLoggers(loggers);
         }
     } else if (_cfg.design == DesignKind::Redo) {
         _ausPool = std::make_unique<AusPool>(

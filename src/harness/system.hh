@@ -19,6 +19,7 @@
 #include "designs/design.hh"
 #include "designs/redo_engine.hh"
 #include "mem/address_map.hh"
+#include "mem/mc_port.hh"
 #include "mem/memory_controller.hh"
 #include "mem/phys_mem.hh"
 #include "net/mesh.hh"
@@ -47,6 +48,7 @@ class System
 
     EventQueue &eventQueue() { return _eq; }
     StatSet &stats() { return _stats; }
+    const StatSet &stats() const { return _stats; }
     const SystemConfig &config() const { return _cfg; }
     const AddressMap &addressMap() const { return _amap; }
 
@@ -54,6 +56,7 @@ class System
     DataImage &nvmImage() { return _nvm; }
 
     Core &core(CoreId id) { return *_cores[id]; }
+    const Core &core(CoreId id) const { return *_cores[id]; }
     L1Cache &l1(CoreId id) { return *_l1s[id]; }
     L2Tile &l2Tile(std::uint32_t t) { return *_tiles[t]; }
     MemoryController &memCtrl(McId m) { return *_mcs[m]; }
@@ -94,6 +97,7 @@ class System
 
     std::unique_ptr<Mesh> _mesh;
     std::vector<std::unique_ptr<MemoryController>> _mcs;
+    std::vector<std::unique_ptr<McPort>> _mcPorts;
     std::unique_ptr<LogSpace> _logSpace;
     std::vector<std::unique_ptr<L2Tile>> _tiles;
     std::vector<std::unique_ptr<L1Cache>> _l1s;

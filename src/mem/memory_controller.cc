@@ -218,7 +218,7 @@ MemoryController::issueRead(std::uint32_t ch, Request req)
     const std::uint64_t epoch = _epoch;
     auto cb = std::move(req.rcb);
     _eq.post(done, [this, epoch, cb = std::move(cb),
-                    data = std::move(data)] {
+                    data = std::move(data)]() mutable {
         if (epoch != _epoch)
             return;
         --_pendingReads;

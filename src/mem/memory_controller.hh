@@ -30,6 +30,7 @@
 
 #include "mem/nvm_channel.hh"
 #include "mem/phys_mem.hh"
+#include "sim/callback.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
@@ -80,8 +81,14 @@ class WriteGate
 class MemoryController
 {
   public:
-    using ReadCallback = std::function<void(const Line &)>;
-    using WriteCallback = std::function<void()>;
+    /**
+     * Fixed-capacity (non-allocating) completions. WriteCallback's
+     * capacity matches a mesh packet's rider (mem/packet.hh) so acks
+     * arriving by packet move straight into the write queue without
+     * re-wrapping.
+     */
+    using ReadCallback = InplaceFunction<void(const Line &), 96>;
+    using WriteCallback = InplaceCallback<64>;
 
     MemoryController(McId id, EventQueue &eq, const SystemConfig &cfg,
                      DataImage &nvm, StatSet &stats);

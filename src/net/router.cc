@@ -1,8 +1,5 @@
 #include "net/router.hh"
 
-#include <algorithm>
-#include <cstdlib>
-
 namespace atomsim
 {
 
@@ -12,17 +9,6 @@ meshHops(const MeshCoord &a, const MeshCoord &b)
     const auto dr = (a.row > b.row) ? a.row - b.row : b.row - a.row;
     const auto dc = (a.col > b.col) ? a.col - b.col : b.col - a.col;
     return dr + dc;
-}
-
-Tick
-MeshLink::reserve(Tick earliest, Cycles hop_latency, std::uint32_t flits)
-{
-    const Tick start = std::max(earliest, _busyUntil);
-    const Tick head_out = start + hop_latency;
-    // The link stays occupied while the packet's flits stream through.
-    _busyUntil = head_out + flits - 1;
-    _flits += flits;
-    return head_out;
 }
 
 } // namespace atomsim

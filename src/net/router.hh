@@ -8,10 +8,14 @@
 
 #include <cstdint>
 
+#include "sim/event_queue.hh"
 #include "sim/types.hh"
 
 namespace atomsim
 {
+
+class Mesh;
+struct Packet;
 
 /** Integer coordinates of a node in the 2D mesh. */
 struct MeshCoord
@@ -30,26 +34,50 @@ struct MeshCoord
 std::uint32_t meshHops(const MeshCoord &a, const MeshCoord &b);
 
 /**
- * A unidirectional mesh link with a busy-until reservation.
+ * A unidirectional mesh link's intrusive packet delivery queue.
  *
- * Cut-through approximation: the head flit reserves the link until it
- * passes; body flits extend occupancy at the destination only. This
- * captures queuing under load without per-flit events.
+ * A packet whose route *ends* on this link (or, for the per-node
+ * ejection "link", a same-node message) is chained into the link's
+ * queue, ordered by (arrival, seq). One member drain event per link
+ * walks the queue at link rate, delivering each packet in its stamped
+ * FIFO slot -- no per-message event allocation, and the queue depth is
+ * directly observable. With a bounded depth configured, overflowing
+ * packets park in a stall list and are re-admitted as the queue drains
+ * (see Mesh).
+ *
+ * The busy-until *reservation* that models serialization on the link
+ * lives in a compact per-link array inside the Mesh: the routing loop
+ * touches one Tick per hop, not one of these queue objects, keeping
+ * the send path cache-tight.
  */
 class MeshLink
 {
   public:
-    /** Reserve the link starting no earlier than @p earliest.
-     * @return tick at which the head flit has traversed. */
-    Tick reserve(Tick earliest, Cycles hop_latency,
-                 std::uint32_t flits);
+    /** Packets currently queued for delivery on this link. */
+    std::uint32_t queueDepth() const { return _qCount; }
 
-    Tick freeAt() const { return _busyUntil; }
-    std::uint64_t flitsCarried() const { return _flits; }
+    /** Packets parked by bounded-depth backpressure. */
+    std::uint32_t stalledDepth() const { return _ovCount; }
 
   private:
-    Tick _busyUntil = 0;
-    std::uint64_t _flits = 0;
+    friend class Mesh;
+
+    /** Member drain event; delegates to Mesh::drainLink. */
+    struct DrainEvent final : public Event
+    {
+        void process() override;  // defined in mesh.cc
+
+        Mesh *mesh = nullptr;
+        MeshLink *link = nullptr;
+    };
+
+    Packet *_qHead = nullptr;   //!< delivery FIFO, (arrival, seq) order
+    Packet *_qTail = nullptr;
+    std::uint32_t _qCount = 0;
+    Packet *_ovHead = nullptr;  //!< backpressure stall list (FIFO)
+    Packet *_ovTail = nullptr;
+    std::uint32_t _ovCount = 0;
+    DrainEvent _drain;
 };
 
 } // namespace atomsim

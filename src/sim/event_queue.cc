@@ -70,23 +70,69 @@ EventQueue::wheelInsert(Event *ev)
 }
 
 void
-EventQueue::schedule(Event &ev, Tick when)
+EventQueue::wheelInsertSorted(Event *ev)
+{
+    const std::uint32_t bi = std::uint32_t(ev->_when) & kWheelMask;
+    Bucket &b = _wheel[bi];
+    if (!b.tail || b.tail->_seq <= ev->_seq) {
+        // Common case: the stamped seq is still the newest in the
+        // bucket (plain schedule() appends are always monotone).
+        wheelInsert(ev);
+        return;
+    }
+    Event *prev = nullptr;
+    Event *cur = b.head;
+    while (cur && cur->_seq <= ev->_seq) {
+        prev = cur;
+        cur = cur->_next;
+    }
+    ev->_next = cur;
+    if (prev)
+        prev->_next = ev;
+    else
+        b.head = ev;
+    if (!cur)
+        b.tail = ev;
+    _occupied[bi >> 6] |= std::uint64_t(1) << (bi & 63);
+    ++_wheelCount;
+}
+
+void
+EventQueue::enqueue(Event &ev, Tick when, bool sorted)
 {
     panic_if(when < _now, "scheduling into the past: when=%llu now=%llu",
              (unsigned long long)when, (unsigned long long)_now);
     panic_if(ev.scheduled(), "scheduling an already-scheduled event");
     ev._when = when;
-    ev._seq = _seq++;
     ev._queue = this;
     ev._next = nullptr;
     ev._flags |= Event::kScheduled;
     ++_pending;
     if (when - _now < kWheelBuckets) {
-        wheelInsert(&ev);
+        ++_wheelInserts;
+        if (sorted)
+            wheelInsertSorted(&ev);
+        else
+            wheelInsert(&ev);
     } else {
+        ++_spillInserts;
         _spill.push_back(&ev);
         std::push_heap(_spill.begin(), _spill.end(), SpillLater{});
     }
+}
+
+void
+EventQueue::schedule(Event &ev, Tick when)
+{
+    ev._seq = _seq++;
+    enqueue(ev, when, /*sorted=*/false);
+}
+
+void
+EventQueue::scheduleAt(Event &ev, Tick when, std::uint64_t seq)
+{
+    ev._seq = seq;
+    enqueue(ev, when, /*sorted=*/true);
 }
 
 void
@@ -206,7 +252,9 @@ EventQueue::migrate()
         std::pop_heap(_spill.begin(), _spill.end(), SpillLater{});
         Event *ev = _spill.back();
         _spill.pop_back();
-        wheelInsert(ev);
+        // Sorted: a bucket may hold scheduleAt() events whose stamped
+        // seqs straddle the migrating event's.
+        wheelInsertSorted(ev);
     }
 }
 

@@ -64,6 +64,7 @@
 #include <memory>
 #include <vector>
 
+#include "sim/callback.hh"
 #include "sim/types.hh"
 
 namespace atomsim
@@ -151,7 +152,16 @@ using TickEvent = EventFunctionWrapper;
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    /**
+     * Continuation type carried by pooled one-shot events. A fixed
+     * inline capacity (no heap fallback, enforced at compile time)
+     * keeps the post()/postIn() path allocation-free in steady state;
+     * the capacity covers the largest hot-path capture in the tree
+     * (the NVM read completion: a 104-byte read callback plus the
+     * 64-byte line it delivers).
+     */
+    static constexpr std::size_t kCallbackBytes = 192;
+    using Callback = InplaceCallback<kCallbackBytes>;
 
     /** Near-horizon width, in ticks (power of two). */
     static constexpr std::uint32_t kWheelBuckets = 4096;
@@ -187,6 +197,29 @@ class EventQueue
         deschedule(ev);
         schedule(ev, when);
     }
+
+    // --- order-preserving replay (expert API) -------------------------
+
+    /**
+     * Draw a sequence number from the queue's FIFO tie-break counter
+     * without scheduling anything. Pair with scheduleAt(): a component
+     * that batches work behind one member event (e.g. a mesh link's
+     * delivery queue) stamps each item at *submission* time and later
+     * schedules its event into the stamped slot, so the item executes
+     * in exactly the order a per-item event scheduled at submission
+     * time would have -- deterministic replay across refactors.
+     */
+    std::uint64_t allocSeq() { return _seq++; }
+
+    /**
+     * Schedule @p ev at tick @p when occupying the previously-drawn
+     * FIFO slot @p seq (see allocSeq()). Unlike schedule(), the event
+     * is inserted *sorted* into its bucket, so a stale seq lands in
+     * front of later-scheduled same-tick events.
+     *
+     * @pre when >= now(); seq was returned by allocSeq()
+     */
+    void scheduleAt(Event &ev, Tick when, std::uint64_t seq);
 
     // --- pooled one-shot API (dynamic continuations) ------------------
 
@@ -244,6 +277,26 @@ class EventQueue
     /** FuncEvents currently idle on the free list. */
     std::size_t poolFree() const { return _poolFreeCount; }
 
+    // --- calendar-wheel tuning stats ----------------------------------
+
+    /** Schedules that landed in the near-horizon wheel. */
+    std::uint64_t wheelInserts() const { return _wheelInserts; }
+
+    /** Schedules that overflowed to the far-future spill heap. */
+    std::uint64_t spillInserts() const { return _spillInserts; }
+
+    /**
+     * Fraction of schedules that missed the wheel horizon. A high
+     * ratio means kWheelBuckets is too narrow (or bucket granularity
+     * too fine) for the workload's latency mix.
+     */
+    double
+    spillRatio() const
+    {
+        const std::uint64_t total = _wheelInserts + _spillInserts;
+        return total ? double(_spillInserts) / double(total) : 0.0;
+    }
+
   private:
     static constexpr std::uint32_t kWheelMask = kWheelBuckets - 1;
     static constexpr std::uint32_t kBitmapWords = kWheelBuckets / 64;
@@ -269,6 +322,13 @@ class EventQueue
     /** Append to the wheel bucket of ev->_when (must be in-horizon). */
     void wheelInsert(Event *ev);
 
+    /** Insert sorted by seq into the bucket of ev->_when (scheduleAt /
+     * spill migration, where seqs may be stale). */
+    void wheelInsertSorted(Event *ev);
+
+    /** Common bookkeeping for schedule()/scheduleAt(). */
+    void enqueue(Event &ev, Tick when, bool sorted);
+
     /** Tick of the earliest pending event (wheel beats spill). */
     Tick nextEventTick() const;
 
@@ -291,6 +351,8 @@ class EventQueue
     Tick _now = 0;
     std::uint64_t _seq = 0;
     std::uint64_t _executed = 0;
+    std::uint64_t _wheelInserts = 0;
+    std::uint64_t _spillInserts = 0;
     std::size_t _pending = 0;
     std::size_t _wheelCount = 0;
 

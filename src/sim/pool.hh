@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Intrusive free-list pool for hot-path nodes.
+ *
+ * Every allocation-free subsystem (mesh packets, MSHR waiters,
+ * directory waiters, pending stores/flushes, invalidation joins) pools
+ * its nodes the same way: grow to the in-flight high-water mark once,
+ * then recycle forever. This template is that idiom in one place, so
+ * the no-allocation property is auditable centrally.
+ *
+ * T must expose a `T *next` member, used as the free-list link while
+ * the node is idle (subsystems may reuse it for their own chains while
+ * the node is live). Scrubbing node state (destroying callbacks,
+ * clearing payloads) stays the caller's job before release().
+ */
+
+#ifndef ATOMSIM_SIM_POOL_HH
+#define ATOMSIM_SIM_POOL_HH
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace atomsim
+{
+
+template <typename T>
+class FreeListPool
+{
+  public:
+    /** A node with indeterminate (recycled) payload; next == nullptr. */
+    T *
+    acquire()
+    {
+        if (_free) {
+            T *node = _free;
+            _free = node->next;
+            node->next = nullptr;
+            --_freeCount;
+            return node;
+        }
+        _nodes.push_back(std::make_unique<T>());
+        return _nodes.back().get();
+    }
+
+    /** Return a node to the free list (caller has scrubbed it). */
+    void
+    release(T *node)
+    {
+        node->next = _free;
+        _free = node;
+        ++_freeCount;
+    }
+
+    /** Nodes ever allocated (high-water mark). */
+    std::size_t allocated() const { return _nodes.size(); }
+
+    /** Nodes currently idle on the free list. */
+    std::size_t idle() const { return _freeCount; }
+
+  private:
+    std::vector<std::unique_ptr<T>> _nodes;
+    T *_free = nullptr;
+    std::size_t _freeCount = 0;
+};
+
+} // namespace atomsim
+
+#endif // ATOMSIM_SIM_POOL_HH

@@ -71,6 +71,19 @@ TEST(MshrTest, TracksOutstandingMisses)
     EXPECT_TRUE(mshrs.full());
 }
 
+namespace
+{
+
+/** Run a completed miss's waiter chain to the end. */
+void
+runChain(MshrTable &mshrs, Addr line)
+{
+    for (MshrTable::Waiter *w = mshrs.complete(line); w;)
+        w = mshrs.runAndPop(w);
+}
+
+} // namespace
+
 TEST(MshrTest, WaitersRunOnComplete)
 {
     MshrTable mshrs(2);
@@ -78,8 +91,7 @@ TEST(MshrTest, WaitersRunOnComplete)
     int ran = 0;
     mshrs.addWaiter(0x100, [&] { ++ran; });
     mshrs.addWaiter(0x100, [&] { ++ran; });
-    for (auto &w : mshrs.complete(0x100))
-        w();
+    runChain(mshrs, 0x100);
     EXPECT_EQ(ran, 2);
     EXPECT_FALSE(mshrs.has(0x100));
 }
@@ -91,10 +103,100 @@ TEST(MshrTest, OverflowAdmittedWhenEntryFrees)
     int overflow_ran = 0;
     mshrs.queueForFree([&] { ++overflow_ran; });
     EXPECT_EQ(mshrs.overflowDepth(), 1u);
-    for (auto &w : mshrs.complete(0x100))
-        w();
+    runChain(mshrs, 0x100);
     EXPECT_EQ(overflow_ran, 1);
     EXPECT_EQ(mshrs.overflowDepth(), 0u);
+}
+
+TEST(MshrTest, CoalescedWaitersFireInOrder)
+{
+    MshrTable mshrs(4);
+    mshrs.allocate(0x100);
+    std::vector<int> order;
+    for (int i = 0; i < 6; ++i)
+        mshrs.addWaiter(0x100, [&order, i] { order.push_back(i); });
+    runChain(mshrs, 0x100);
+    ASSERT_EQ(order.size(), 6u);
+    for (int i = 0; i < 6; ++i)
+        EXPECT_EQ(order[i], i);  // strict FIFO
+}
+
+// The continuation is a fixed-capacity inline callable: captures that
+// outgrow it fail to compile, so the miss path can never fall back to
+// heap allocation. Pin the budget here.
+static_assert(MshrTable::kContinuationBytes == 72,
+              "MSHR continuation capacity changed: re-audit miss-path "
+              "captures and the waiter-node budget");
+static_assert(sizeof(MshrTable::Continuation) <=
+                  MshrTable::kContinuationBytes + 2 * sizeof(void *),
+              "MSHR continuation carries unexpected overhead");
+
+TEST(MshrTest, ContinuationPoolReusedWithoutAllocation)
+{
+    MshrTable mshrs(4);
+
+    // Warm up: establish the pool high-water mark.
+    for (int round = 0; round < 4; ++round) {
+        mshrs.allocate(0x100);
+        for (int i = 0; i < 8; ++i)
+            mshrs.addWaiter(0x100, [] {});
+        runChain(mshrs, 0x100);
+    }
+    const std::size_t high_water = mshrs.waiterPoolAllocated();
+    EXPECT_GE(high_water, 8u);
+    EXPECT_EQ(mshrs.waiterPoolFree(), high_water);
+
+    // Churn: repeated allocate/wait/complete cycles (including
+    // overflow admissions) must reuse pooled nodes, never grow.
+    for (int round = 0; round < 1000; ++round) {
+        const Addr line = 0x1000 + Addr(round % 4) * 0x40;
+        mshrs.allocate(line);
+        for (int i = 0; i < 8; ++i)
+            mshrs.addWaiter(line, [] {});
+        runChain(mshrs, line);
+    }
+    EXPECT_EQ(mshrs.waiterPoolAllocated(), high_water);
+    EXPECT_EQ(mshrs.waiterPoolFree(), high_water);
+}
+
+TEST(MshrTest, EntriesReusedAcrossDistinctLines)
+{
+    MshrTable mshrs(2);
+    for (int round = 0; round < 64; ++round) {
+        const Addr a = 0x4000 + Addr(round) * 0x80;
+        const Addr b = a + 0x40;
+        mshrs.allocate(a);
+        mshrs.allocate(b);
+        EXPECT_TRUE(mshrs.full());
+        int ran = 0;
+        mshrs.addWaiter(a, [&] { ++ran; });
+        mshrs.addWaiter(b, [&] { ++ran; });
+        runChain(mshrs, a);
+        runChain(mshrs, b);
+        EXPECT_EQ(ran, 2);
+        EXPECT_EQ(mshrs.active(), 0u);
+    }
+    // Two entries' worth of single waiters: the pool never outgrows
+    // the concurrent peak.
+    EXPECT_LE(mshrs.waiterPoolAllocated(), 2u);
+}
+
+TEST(MshrTest, WaiterMayReallocateSameLineReentrantly)
+{
+    // A waiter that immediately re-misses the same line (the L1 retry
+    // pattern) must see a fresh entry, not the completing one.
+    MshrTable mshrs(2);
+    mshrs.allocate(0x100);
+    bool reallocated = false;
+    mshrs.addWaiter(0x100, [&] {
+        EXPECT_FALSE(mshrs.has(0x100));
+        mshrs.allocate(0x100);
+        mshrs.addWaiter(0x100, [&] { reallocated = true; });
+    });
+    runChain(mshrs, 0x100);
+    EXPECT_TRUE(mshrs.has(0x100));
+    runChain(mshrs, 0x100);
+    EXPECT_TRUE(reallocated);
 }
 
 /** Protocol tests: drive L1s directly inside a small system. */
@@ -314,6 +416,24 @@ TEST_F(ProtocolTest, EvictionWritesBackThroughL2)
     std::uint64_t back;
     std::memcpy(&back, line->data.data(), 8);
     EXPECT_EQ(back, 100u);
+}
+
+TEST_F(ProtocolTest, PowerFailReclaimsInFlightStoreState)
+{
+    // Leave a store mid-miss (its continuation lives in an MSHR
+    // waiter pointing at a pooled PendingStore slot), then pull the
+    // plug: the slot must return to the pool, not strand.
+    const std::uint64_t value = 1;
+    sys.l1(0).store(kAddr, reinterpret_cast<const std::uint8_t *>(&value),
+                    8, [] {});
+    sys.eventQueue().run(sys.eventQueue().now() + 5);
+    EXPECT_EQ(sys.l1(0).outstandingMisses(), 1u);
+    EXPECT_EQ(sys.l1(0).storePoolAllocated(), 1u);
+    EXPECT_EQ(sys.l1(0).storePoolFree(), 0u);
+
+    sys.powerFail();
+    EXPECT_EQ(sys.l1(0).outstandingMisses(), 0u);
+    EXPECT_EQ(sys.l1(0).storePoolFree(), sys.l1(0).storePoolAllocated());
 }
 
 TEST_F(ProtocolTest, MshrMergesConcurrentAccessesToOneLine)

@@ -261,6 +261,50 @@ TEST(EventQueueTest, RunLimitJumpKeepsSpillOrdering)
     EXPECT_EQ(eq.now(), a_tick + 500);
 }
 
+// The wheel/spill insert counters drive the spill-ratio tuning stat
+// printed by bench/kernel_events.cc.
+TEST(EventQueueTest, SpillRatioStatCountsInserts)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.spillRatio(), 0.0);
+
+    TickEvent near1([] {}, "near1");
+    TickEvent near2([] {}, "near2");
+    TickEvent far1([] {}, "far1");
+    eq.schedule(near1, 10);
+    eq.schedule(near2, EventQueue::kWheelBuckets - 1);
+    eq.schedule(far1, Tick(EventQueue::kWheelBuckets) + 10);
+
+    EXPECT_EQ(eq.wheelInserts(), 2u);
+    EXPECT_EQ(eq.spillInserts(), 1u);
+    EXPECT_DOUBLE_EQ(eq.spillRatio(), 1.0 / 3.0);
+
+    // Migration from the spill heap into the wheel is not a fresh
+    // insert; the ratio reflects schedule-time placement only.
+    eq.run();
+    EXPECT_EQ(eq.wheelInserts(), 2u);
+    EXPECT_EQ(eq.spillInserts(), 1u);
+}
+
+// scheduleAt() places an event into a previously-drawn FIFO slot: it
+// must run *before* same-tick events whose seqs were drawn later, even
+// though it was scheduled after them (the mesh drain-event pattern).
+TEST(EventQueueTest, ScheduleAtReplaysStampedFifoSlot)
+{
+    EventQueue eq;
+    std::vector<int> order;
+
+    const std::uint64_t early_slot = eq.allocSeq();
+    eq.post(50, [&] { order.push_back(1); });
+    eq.post(50, [&] { order.push_back(2); });
+
+    TickEvent stamped([&] { order.push_back(0); }, "stamped");
+    eq.scheduleAt(stamped, 50, early_slot);
+
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
 // --- determinism --------------------------------------------------------
 
 namespace
