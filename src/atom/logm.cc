@@ -74,7 +74,7 @@ LogM::lineLocked(Addr line_addr) const
 }
 
 bool
-LogM::tryAcquire(Addr line_addr, std::function<void()> on_unlock)
+LogM::tryAcquire(Addr line_addr, UnlockCallback on_unlock)
 {
     const Addr line = lineAlign(line_addr);
     auto it = _locks.find(line);

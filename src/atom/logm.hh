@@ -87,8 +87,7 @@ class LogM : public WriteGate, public SourceLogger
 
     // --- WriteGate (log -> data ordering, Section III-C) ---------------
 
-    bool tryAcquire(Addr line_addr,
-                    std::function<void()> on_unlock) override;
+    bool tryAcquire(Addr line_addr, UnlockCallback on_unlock) override;
 
     // --- Power failure ----------------------------------------------------
 
@@ -147,7 +146,7 @@ class LogM : public WriteGate, public SourceLogger
     struct LockState
     {
         std::uint32_t count = 0;
-        std::vector<std::function<void()>> waiters;
+        std::vector<UnlockCallback> waiters;
     };
     std::unordered_map<Addr, LockState> _locks;
 

@@ -78,6 +78,54 @@ DesignContext::DesignContext(EventQueue &eq, const SystemConfig &cfg,
 }
 
 void
+DesignContext::setSharded(std::vector<SimDomain *> domains)
+{
+    _domains = std::move(domains);
+    _truncPending.assign(_cfg.numCores, 0);
+    _truncDone.resize(_cfg.numCores);
+}
+
+void
+DesignContext::shardedBegin(CoreId core, std::function<void()> done)
+{
+    _pool.acquire(core, [this, done = std::move(done)](
+                            std::uint32_t slot) mutable {
+        // Leader context: every LogM's domain is parked at the
+        // barrier, so arming the AUS registers directly is safe.
+        for (auto &logm : _logms)
+            logm->beginUpdate(slot);
+        _eq.postIn(1, std::move(done));
+    });
+}
+
+void
+DesignContext::shardedTruncate(CoreId core, std::function<void()> done)
+{
+    const int slot = _pool.slotOf(core);
+    panic_if(slot < 0, "truncate without an AUS (core %u)", core);
+    _truncPending[core] = std::uint32_t(_logms.size());
+    _truncDone[core] = std::move(done);
+
+    for (std::uint32_t m = 0; m < _logms.size(); ++m) {
+        // Execute each LogM's truncate in its own domain scope: the
+        // completion (inline when quiesced, or later on the MC's
+        // worker) hops back to the control plane under the canonical
+        // key (tick, core, mc).
+        SimDomain::Scope scope(_domains[1 + m]);
+        _logms[m]->truncate(std::uint32_t(slot), [this, core, m] {
+            SimDomain::current()->submitControl(
+                core, m, InplaceCallback<64>([this, core] {
+                    if (--_truncPending[core] != 0)
+                        return;
+                    _pool.release(core);
+                    _statCommits.inc();
+                    _eq.postIn(1, std::move(_truncDone[core]));
+                }));
+        });
+    }
+}
+
+void
 DesignContext::atomicBegin(CoreId core, std::function<void()> done)
 {
     switch (_cfg.design) {
@@ -93,6 +141,15 @@ DesignContext::atomicBegin(CoreId core, std::function<void()> done)
       case DesignKind::Base:
       case DesignKind::Atom:
       case DesignKind::AtomOpt:
+        if (!_domains.empty()) {
+            SimDomain::current()->submitControl(
+                core, kSubBegin,
+                InplaceCallback<64>(
+                    [this, core, done = std::move(done)]() mutable {
+                        shardedBegin(core, std::move(done));
+                    }));
+            return;
+        }
         _pool.acquire(core, [this, done = std::move(done)](
                                 std::uint32_t slot) mutable {
             // Arm the AUS at every controller: entries of one update
@@ -187,6 +244,19 @@ DesignContext::atomicEnd(CoreId core,
       case DesignKind::AtomOpt:
         flushLines(core, modified_lines,
                    [this, core, done = std::move(done)]() mutable {
+                       if (!_domains.empty()) {
+                           // Flushes completed on the cache-complex
+                           // domain; hand the cross-domain truncate to
+                           // the barrier leader.
+                           SimDomain::current()->submitControl(
+                               core, kSubTruncate,
+                               InplaceCallback<64>([this, core,
+                                                    done = std::move(
+                                                        done)]() mutable {
+                                   shardedTruncate(core, std::move(done));
+                               }));
+                           return;
+                       }
                        truncateAll(core, std::move(done));
                    });
         return;

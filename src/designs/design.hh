@@ -24,6 +24,7 @@
 #include "cpu/core.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/shard.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -90,7 +91,27 @@ class DesignContext : public DesignHooks
     void atomicEnd(CoreId core, const std::vector<Addr> &modified_lines,
                    std::function<void()> done) override;
 
+    /**
+     * Sharded runs: AUS acquisition and log-manager arm/truncate are
+     * zero-latency cross-domain register operations, so they cannot
+     * run mid-window -- they are queued as control ops and executed by
+     * the barrier leader in canonical (tick, core) order. @p domains
+     * is the full domain list (domain 1+m owns LogM m).
+     */
+    void setSharded(std::vector<SimDomain *> domains);
+
   private:
+    /** Control-op sub-keys (disambiguate same-(tick, core) ops; mc
+     * completions use their mc id, well below these). */
+    static constexpr std::uint32_t kSubBegin = 250;
+    static constexpr std::uint32_t kSubTruncate = 251;
+
+    /** Leader-executed: acquire an AUS + arm every LogM. */
+    void shardedBegin(CoreId core, std::function<void()> done);
+
+    /** Leader-executed: truncate @p core's AUS at every controller;
+     * per-MC completions hop back through the control plane. */
+    void shardedTruncate(CoreId core, std::function<void()> done);
     /** In-flight state of one commit's flush loop (shared by the
      * outstanding flush acks; freed when the last one completes). */
     struct FlushState
@@ -117,6 +138,11 @@ class DesignContext : public DesignHooks
     std::vector<L1Cache *> _l1s;
     AusPool &_pool;
     RedoEngine *_redo;
+
+    // --- sharded-mode state (leader-only) ----------------------------
+    std::vector<SimDomain *> _domains;       //!< empty when sequential
+    std::vector<std::uint32_t> _truncPending; //!< per core, MCs left
+    std::vector<std::function<void()>> _truncDone;  //!< per core
 
     Counter &_statFlushes;
     Counter &_statCommits;

@@ -1,8 +1,11 @@
 #include "harness/runner.hh"
 
+#include <algorithm>
+#include <thread>
 #include <utility>
 
 #include "sim/logging.hh"
+#include "sim/shard.hh"
 
 namespace atomsim
 {
@@ -94,17 +97,116 @@ Runner::collect(Tick start_tick, Tick end_tick) const
 RunResult
 Runner::run(Tick limit)
 {
-    EventQueue &eq = _system->eventQueue();
-    const Tick start = eq.now();
-    eq.runUntil([this] { return allDone(); }, limit);
+    const Tick start = _system->eventQueue().now();
+    advanceTo(limit);
     fatal_if(!allDone(), "simulation hit the tick limit before "
                          "completing (deadlock or limit too small)");
-    return collect(start, eq.now());
+    return collect(start, _system->eventQueue().now());
+}
+
+void
+Runner::advanceTo(Tick limit)
+{
+    if (_system->sharded()) {
+        runSharded(limit);
+        return;
+    }
+    _system->eventQueue().runUntil([this] { return allDone(); }, limit);
+}
+
+void
+Runner::runSharded(Tick limit)
+{
+    System &sys = *_system;
+    const ShardLayout &layout = sys.shardLayout();
+    const std::uint32_t workers = layout.workers;
+    const SystemConfig &cfg = sys.config();
+    const Tick window = cfg.windowTicks ? cfg.windowTicks
+                                        : cfg.hopLatency;
+
+    // Domains each worker drives, in domain-id order (worker 0, the
+    // leader, always owns the cache complex).
+    std::vector<std::vector<SimDomain *>> owned(workers);
+    std::vector<SimDomain *> domains;
+    for (std::uint32_t d = 0; d < sys.numDomains(); ++d) {
+        owned[layout.workerOfDomain(d)].push_back(&sys.domain(d));
+        domains.push_back(&sys.domain(d));
+    }
+
+    // Published by the leader under the barrier's release; read by
+    // workers after their matching acquire.
+    struct Shared
+    {
+        Tick windowEnd = 0;
+        bool stop = false;
+    } shared;
+
+    WindowBarrier barrier(workers - 1);
+
+    auto run_window = [](std::vector<SimDomain *> &doms, Tick w_end) {
+        // Run each owned domain's window with the domain published as
+        // the thread's execution scope (the mesh and the control plane
+        // attribute sends/ops to it).
+        for (SimDomain *d : doms) {
+            SimDomain::Scope scope(d);
+            d->queue().run(w_end - 1);
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(workers - 1);
+    for (std::uint32_t w = 1; w < workers; ++w) {
+        threads.emplace_back([&shared, &barrier, &owned, &run_window,
+                              w] {
+            for (;;) {
+                barrier.workerArrive();
+                if (shared.stop)
+                    return;
+                run_window(owned[w], shared.windowEnd);
+            }
+        });
+    }
+
+    Mesh &mesh = sys.mesh();
+    std::vector<SimDomain::ControlOp> ctrl_scratch;
+    for (;;) {
+        barrier.leaderWait();  // every domain parked: exclusive access
+
+        // Merge + route last window's sends, run the control plane,
+        // then flush again: control ops (truncate completions, AUS
+        // grants) may themselves emit mesh traffic whose deliveries
+        // must be queued before the next window is chosen.
+        mesh.shardFlush();
+        drainControlOps(domains, ctrl_scratch);
+        mesh.shardFlush();
+
+        Tick next = kTickNever;
+        for (SimDomain *d : domains)
+            next = std::min(next, d->queue().nextTick());
+
+        if (allDone() || next == kTickNever || next > limit) {
+            shared.stop = true;
+            barrier.leaderRelease();
+            break;
+        }
+        // Shrinking a window is always conservative; clamp to the
+        // caller's limit so no event past it executes (matching the
+        // sequential kernel's strict limit semantics).
+        const Tick cap = limit == kTickNever ? kTickNever : limit + 1;
+        shared.windowEnd = std::min(next + window, cap);
+        barrier.leaderRelease();
+        run_window(owned[0], shared.windowEnd);
+    }
+    for (auto &t : threads)
+        t.join();
 }
 
 Tick
 Runner::runUntilCrash(double fraction, std::uint64_t crash_seed)
 {
+    fatal_if(_system->sharded(),
+             "crash injection requires the sequential kernel "
+             "(numShards = 0)");
     EventQueue &eq = _system->eventQueue();
     const std::uint64_t target = std::uint64_t(
         fraction * double(_txnsPerCore) * _system->numCores());

@@ -59,6 +59,14 @@ class Runner : public TransactionSource
     RunResult run(Tick limit = kTickNever);
 
     /**
+     * Advance the simulation until all cores are done or simulated
+     * time reaches @p limit, whichever comes first (no failure on an
+     * unfinished run -- the slicing primitive for benches). Sharded
+     * runs spawn their worker threads per call.
+     */
+    void advanceTo(Tick limit);
+
+    /**
      * Run until roughly @p fraction of the work is done, then cut
      * power mid-flight. Returns the tick of the crash.
      */
@@ -79,6 +87,9 @@ class Runner : public TransactionSource
 
   private:
     bool allDone() const;
+
+    /** Conservative-window parallel run loop (cfg.numShards > 0). */
+    void runSharded(Tick limit);
 
     std::unique_ptr<System> _system;
     Workload &_workload;

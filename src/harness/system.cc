@@ -10,23 +10,45 @@ System::System(const SystemConfig &cfg, Addr data_bytes)
 {
     _cfg.validate();
 
-    _mesh = std::make_unique<Mesh>(_eq, _cfg, _stats);
+    // Simulation domains. Sequential runs use one queue for the whole
+    // machine; sharded runs give every domain its own queue *even when
+    // domains share a worker*, so per-domain event order is identical
+    // for every shard count (see sim/shard.hh).
+    _layout = ShardLayout::make(_cfg.numShards, _cfg.numMemCtrls);
+    const std::uint32_t ndomains = _layout.sharded() ? _layout.domains()
+                                                     : 1;
+    for (std::uint32_t d = 0; d < ndomains; ++d)
+        _domains.push_back(
+            std::make_unique<SimDomain>(d, _cfg.wheelBuckets));
+
+    EventQueue &eq0 = _domains[0]->queue();
+    auto mc_queue = [this, &eq0](McId m) -> EventQueue & {
+        return _layout.sharded() ? _domains[1 + m]->queue() : eq0;
+    };
+
+    _mesh = std::make_unique<Mesh>(eq0, _cfg, _stats);
 
     for (McId m = 0; m < _cfg.numMemCtrls; ++m) {
         _mcs.push_back(std::make_unique<MemoryController>(
-            m, _eq, _cfg, _nvm, _stats));
+            m, mc_queue(m), _cfg, _nvm, _stats));
         _mcPorts.push_back(
             std::make_unique<McPort>(m, *_mesh, *_mcs.back()));
     }
-    _logSpace = std::make_unique<LogSpace>(_eq, _cfg, _stats);
+    {
+        std::vector<EventQueue *> os_queues;
+        for (McId m = 0; m < _cfg.numMemCtrls; ++m)
+            os_queues.push_back(&mc_queue(m));
+        _logSpace = std::make_unique<LogSpace>(std::move(os_queues),
+                                               _cfg, _stats);
+    }
 
     for (std::uint32_t t = 0; t < _cfg.l2Tiles; ++t) {
         _tiles.push_back(std::make_unique<L2Tile>(
-            t, _eq, _cfg, *_mesh, _amap, _stats));
+            t, eq0, _cfg, *_mesh, _amap, _stats));
     }
     for (CoreId c = 0; c < _cfg.numCores; ++c) {
         _l1s.push_back(std::make_unique<L1Cache>(
-            c, _eq, _cfg, *_mesh, _amap, _tiles, _stats));
+            c, eq0, _cfg, *_mesh, _amap, _tiles, _stats));
     }
 
     std::vector<L1Cache *> l1_ptrs;
@@ -52,17 +74,17 @@ System::System(const SystemConfig &cfg, Addr data_bytes)
 
     if (undo_design) {
         _ausPool = std::make_unique<AusPool>(
-            _eq, _cfg.ausPerMc, _cfg.numCores, _stats);
+            eq0, _cfg.ausPerMc, _cfg.numCores, _stats);
         auto resolve = [this](CoreId core) {
             return _ausPool->slotOf(core);
         };
         for (McId m = 0; m < _cfg.numMemCtrls; ++m) {
             _logms.push_back(std::make_unique<LogM>(
-                m, _eq, _cfg, _amap, *_mcs[m], *_logSpace, _stats,
-                resolve));
+                m, mc_queue(m), _cfg, _amap, *_mcs[m], *_logSpace,
+                _stats, resolve));
         }
         const bool posted = _cfg.design != DesignKind::Base;
-        _logi = std::make_unique<LogI>(_eq, _cfg, *_mesh, _amap, _logms,
+        _logi = std::make_unique<LogI>(eq0, _cfg, *_mesh, _amap, _logms,
                                        posted, resolve, _stats);
         for (auto &l1 : _l1s)
             l1->setStoreLogger(_logi.get());
@@ -75,8 +97,8 @@ System::System(const SystemConfig &cfg, Addr data_bytes)
         }
     } else if (_cfg.design == DesignKind::Redo) {
         _ausPool = std::make_unique<AusPool>(
-            _eq, _cfg.numCores, _cfg.numCores, _stats);
-        _redo = std::make_unique<RedoEngine>(_eq, _cfg, _amap, _mcs,
+            eq0, _cfg.numCores, _cfg.numCores, _stats);
+        _redo = std::make_unique<RedoEngine>(eq0, _cfg, _amap, _mcs,
                                              _stats);
         _redo->setSnapshot([this](CoreId core, Addr line) -> Line {
             // Coherent snapshot: L1 -> home L2 -> victim cache -> NVM.
@@ -98,16 +120,37 @@ System::System(const SystemConfig &cfg, Addr data_bytes)
     } else {
         // NON-ATOMIC: no logger, no AUS.
         _ausPool = std::make_unique<AusPool>(
-            _eq, _cfg.numCores, _cfg.numCores, _stats);
+            eq0, _cfg.numCores, _cfg.numCores, _stats);
     }
 
     _design = std::make_unique<DesignContext>(
-        _eq, _cfg, _logms, l1_ptrs, *_ausPool, _redo.get(), _stats);
+        eq0, _cfg, _logms, l1_ptrs, *_ausPool, _redo.get(), _stats);
 
     for (CoreId c = 0; c < _cfg.numCores; ++c) {
         _cores.push_back(
-            std::make_unique<Core>(c, _eq, _cfg, *_l1s[c], _stats));
+            std::make_unique<Core>(c, eq0, _cfg, *_l1s[c], _stats));
         _cores.back()->setHooks(_design.get());
+    }
+
+    if (_layout.sharded()) {
+        std::vector<SimDomain *> domains;
+        for (auto &d : _domains)
+            domains.push_back(d.get());
+        // Deliveries execute on the receiver's domain: MC ports and
+        // the controller-side LogWrite front end belong to their MC;
+        // everything else (tiles, L1s, cb-only acks) is cache complex.
+        _mesh->shardAttach(domains, [this](const Packet &p) {
+            if (p.receiver) {
+                for (McId m = 0; m < _mcPorts.size(); ++m) {
+                    if (p.receiver == _mcPorts[m].get())
+                        return std::uint32_t(1 + m);
+                }
+                if (_logi && p.receiver == _logi.get())
+                    return std::uint32_t(1 + _amap.memCtrl(p.addr));
+            }
+            return std::uint32_t(0);
+        });
+        _design->setSharded(std::move(domains));
     }
 }
 

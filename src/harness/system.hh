@@ -26,6 +26,7 @@
 #include "os/log_space.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/shard.hh"
 #include "sim/stats.hh"
 
 namespace atomsim
@@ -46,7 +47,22 @@ class System
     System(const System &) = delete;
     System &operator=(const System &) = delete;
 
-    EventQueue &eventQueue() { return _eq; }
+    /** The cache-complex domain's queue (the only queue when the run
+     * is sequential); carries the cores, so its clock is the one
+     * transaction timing is measured against. */
+    EventQueue &eventQueue() { return _domains[0]->queue(); }
+
+    // --- sharding -----------------------------------------------------
+
+    /** True when built with cfg.numShards > 0. */
+    bool sharded() const { return _layout.sharded(); }
+    const ShardLayout &shardLayout() const { return _layout; }
+    std::uint32_t numDomains() const
+    {
+        return std::uint32_t(_domains.size());
+    }
+    SimDomain &domain(std::uint32_t d) { return *_domains[d]; }
+
     StatSet &stats() { return _stats; }
     const StatSet &stats() const { return _stats; }
     const SystemConfig &config() const { return _cfg; }
@@ -89,7 +105,11 @@ class System
 
   private:
     SystemConfig _cfg;
-    EventQueue _eq;
+    ShardLayout _layout;
+    /** One SimDomain (event queue + shard mailboxes) per simulation
+     * domain; a single entry when sequential. Domain 0 is the cache
+     * complex, domain 1+m is memory controller m. */
+    std::vector<std::unique_ptr<SimDomain>> _domains;
     StatSet _stats;
     AddressMap _amap;
     DataImage _arch;

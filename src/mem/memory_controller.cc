@@ -68,6 +68,44 @@ MemoryController::channelFor(bool is_log_traffic) const
     return 0;
 }
 
+MemoryController::Request *
+MemoryController::acquireReq()
+{
+    return _reqPool.acquire();
+}
+
+void
+MemoryController::releaseReq(Request *r)
+{
+    r->rcb = nullptr;
+    r->wcb = nullptr;
+    while (r->extra) {
+        WcbNode *n = r->extra;
+        r->extra = n->next;
+        n->next = nullptr;
+        n->cb = nullptr;
+        _wcbPool.release(n);
+    }
+    _reqPool.release(r);
+}
+
+void
+MemoryController::addWcb(Request *r, WriteCallback cb)
+{
+    if (!r->wcb) {
+        r->wcb = std::move(cb);
+        return;
+    }
+    WcbNode *n = _wcbPool.acquire();
+    n->cb = std::move(cb);
+    // Append so acks fire in registration order.
+    n->next = nullptr;
+    WcbNode **tail = &r->extra;
+    while (*tail)
+        tail = &(*tail)->next;
+    *tail = n;
+}
+
 void
 MemoryController::readLine(Addr addr, ReadKind kind, ReadCallback cb)
 {
@@ -78,13 +116,13 @@ MemoryController::readLine(Addr addr, ReadKind kind, ReadCallback cb)
         _statLogReads.inc();
 
     const std::uint32_t ch = channelFor(kind == ReadKind::LogRead);
-    Request req;
-    req.isWrite = false;
-    req.addr = addr;
-    req.rkind = kind;
-    req.rcb = std::move(cb);
-    req.enqueueTick = _eq.now();
-    _chState[ch].readQ.push_back(std::move(req));
+    Request *req = acquireReq();
+    req->isWrite = false;
+    req->addr = addr;
+    req->rkind = kind;
+    req->rcb = std::move(cb);
+    req->enqueueTick = _eq.now();
+    _chState[ch].readQ.push_back(req);
     ++_pendingReads;
     scheduleKick(ch, _eq.now() + _cfg.mcFrontendLatency);
 }
@@ -104,24 +142,24 @@ MemoryController::writeLine(Addr addr, const Line &data, WriteKind kind,
 
     // Write combining in the controller queue: a newer write to the same
     // line replaces the queued data; durability callbacks accumulate.
-    for (auto &queued : wq) {
-        if (queued.addr == addr && queued.wkind == kind) {
-            queued.data = data;
+    for (Request *queued = wq.head; queued; queued = queued->next) {
+        if (queued->addr == addr && queued->wkind == kind) {
+            queued->data = data;
             if (cb)
-                queued.wcbs.push_back(std::move(cb));
+                addWcb(queued, std::move(cb));
             return;
         }
     }
 
-    Request req;
-    req.isWrite = true;
-    req.addr = addr;
-    req.data = data;
-    req.wkind = kind;
+    Request *req = acquireReq();
+    req->isWrite = true;
+    req->addr = addr;
+    req->data = data;
+    req->wkind = kind;
     if (cb)
-        req.wcbs.push_back(std::move(cb));
-    req.enqueueTick = _eq.now();
-    wq.push_back(std::move(req));
+        req->wcb = std::move(cb);
+    req->enqueueTick = _eq.now();
+    wq.push_back(req);
     ++_pendingWrites;
     ++_inflightWrites[addr];
     scheduleKick(ch, _eq.now() + _cfg.mcFrontendLatency);
@@ -162,61 +200,59 @@ MemoryController::kick(std::uint32_t ch)
 
         // Read-priority arbitration with a write-drain high-water mark.
         const bool drain_writes =
-            st.writeQ.size() >= (3 * std::size_t(_cfg.mcWriteQueue)) / 4;
+            st.writeQ.count >= (3 * std::size_t(_cfg.mcWriteQueue)) / 4;
         const bool pick_read =
             !st.readQ.empty() && (!drain_writes || st.writeQ.empty());
 
         if (pick_read) {
-            Request req = std::move(st.readQ.front());
-            st.readQ.pop_front();
-            issueRead(ch, std::move(req));
+            issueRead(ch, st.readQ.pop_front());
         } else {
-            Request req = std::move(st.writeQ.front());
-            st.writeQ.pop_front();
+            Request *req = st.writeQ.pop_front();
 
-            if (_gate && isGated(req.wkind)) {
+            if (_gate && isGated(req->wkind)) {
                 // Section III-C: consult the log manager when a data
                 // write is scheduled out of the controller. A locked
-                // line waits for its record header to persist.
-                const Addr addr = req.addr;
-                auto blocked = std::make_shared<Request>(std::move(req));
+                // line waits for its record header to persist; the
+                // pooled node itself parks in the unlock continuation.
                 const std::uint64_t epoch = _epoch;
                 const bool free = _gate->tryAcquire(
-                    addr, [this, ch, blocked, epoch] {
-                        if (epoch != _epoch)
+                    req->addr, [this, ch, req, epoch] {
+                        if (epoch != _epoch) {
+                            releaseReq(req);
                             return;
-                        _chState[ch].writeQ.push_front(
-                            std::move(*blocked));
+                        }
+                        _chState[ch].writeQ.push_front(req);
                         scheduleKick(ch, _eq.now());
                     });
                 if (!free) {
                     _statGateBlocks.inc();
                     continue;
                 }
-                req = std::move(*blocked);
             }
-            issueWrite(ch, std::move(req));
+            issueWrite(ch, req);
         }
     }
 }
 
 void
-MemoryController::issueRead(std::uint32_t ch, Request req)
+MemoryController::issueRead(std::uint32_t ch, Request *req)
 {
     // Observe the write queues: forward the newest pending data for the
     // line if a write is still queued (read-after-write correctness).
     const Line *fwd = nullptr;
     for (const auto &chst : _chState) {
-        for (const auto &queued : chst.writeQ) {
-            if (queued.addr == req.addr)
-                fwd = &queued.data;
+        for (const Request *queued = chst.writeQ.head; queued;
+             queued = queued->next) {
+            if (queued->addr == req->addr)
+                fwd = &queued->data;
         }
     }
-    Line data = fwd ? *fwd : _nvm.readLine(req.addr);
+    Line data = fwd ? *fwd : _nvm.readLine(req->addr);
 
     const Tick done = _channels[ch].scheduleRead();
     const std::uint64_t epoch = _epoch;
-    auto cb = std::move(req.rcb);
+    ReadCallback cb = std::move(req->rcb);
+    releaseReq(req);
     _eq.post(done, [this, epoch, cb = std::move(cb),
                     data = std::move(data)]() mutable {
         if (epoch != _epoch)
@@ -227,23 +263,24 @@ MemoryController::issueRead(std::uint32_t ch, Request req)
 }
 
 void
-MemoryController::issueWrite(std::uint32_t ch, Request req)
+MemoryController::issueWrite(std::uint32_t ch, Request *req)
 {
     // The record-header address match costs one cycle on the data-write
     // path (Section V); it is folded into the device write here.
     const Tick done = _channels[ch].scheduleWrite() +
-                      (isGated(req.wkind) ? _cfg.mcAddrMatchLatency : 0);
+                      (isGated(req->wkind) ? _cfg.mcAddrMatchLatency : 0);
     const std::uint64_t epoch = _epoch;
-    auto shared = std::make_shared<Request>(std::move(req));
-    _eq.post(done, [this, epoch, shared] {
-        if (epoch != _epoch)
+    _eq.post(done, [this, epoch, req] {
+        if (epoch != _epoch) {
+            releaseReq(req);
             return;
-        _nvm.writeLine(shared->addr, shared->data);
+        }
+        _nvm.writeLine(req->addr, req->data);
         --_pendingWrites;
-        auto it = _inflightWrites.find(shared->addr);
+        auto it = _inflightWrites.find(req->addr);
         if (it != _inflightWrites.end() && --it->second == 0) {
             _inflightWrites.erase(it);
-            auto wit = _durWaiters.find(shared->addr);
+            auto wit = _durWaiters.find(req->addr);
             if (wit != _durWaiters.end()) {
                 auto waiters = std::move(wit->second);
                 _durWaiters.erase(wit);
@@ -251,8 +288,24 @@ MemoryController::issueWrite(std::uint32_t ch, Request req)
                     w();
             }
         }
-        for (auto &cb : shared->wcbs)
-            cb();
+        // Detach the acks and release the node before firing them, so
+        // an ack may immediately enqueue new controller work.
+        WriteCallback first = std::move(req->wcb);
+        WcbNode *chain = req->extra;
+        req->extra = nullptr;
+        releaseReq(req);
+        if (first)
+            first();
+        while (chain) {
+            WcbNode *n = chain;
+            chain = n->next;
+            WriteCallback cb = std::move(n->cb);
+            n->next = nullptr;
+            n->cb = nullptr;
+            _wcbPool.release(n);
+            if (cb)
+                cb();
+        }
     });
 }
 
@@ -260,11 +313,14 @@ void
 MemoryController::powerFail()
 {
     // Queued and in-flight (not yet completed at the device) work is
-    // lost; epoch bump cancels all scheduled completions.
+    // lost; epoch bump cancels all scheduled completions (which then
+    // just return their pooled nodes).
     ++_epoch;
     for (auto &st : _chState) {
-        st.readQ.clear();
-        st.writeQ.clear();
+        while (!st.readQ.empty())
+            releaseReq(st.readQ.pop_front());
+        while (!st.writeQ.empty())
+            releaseReq(st.writeQ.pop_front());
         _eq.deschedule(*st.kickEvent);
     }
     _inflightWrites.clear();

@@ -21,7 +21,6 @@
 #define ATOMSIM_MEM_MEMORY_CONTROLLER_HH
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -33,6 +32,7 @@
 #include "sim/callback.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/pool.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -64,6 +64,11 @@ enum class WriteKind : std::uint8_t
 class WriteGate
 {
   public:
+    /** Continuation resuming a gated write; sized for the controller's
+     * pooled-request capture, so consulting the gate allocates
+     * nothing. */
+    using UnlockCallback = InplaceCallback<48>;
+
     virtual ~WriteGate() = default;
 
     /**
@@ -73,8 +78,7 @@ class WriteGate
      * @retval false the line is locked; @p on_unlock will be invoked
      *               once the covering record header has persisted.
      */
-    virtual bool tryAcquire(Addr line_addr,
-                            std::function<void()> on_unlock) = 0;
+    virtual bool tryAcquire(Addr line_addr, UnlockCallback on_unlock) = 0;
 };
 
 /** One NVM memory controller. */
@@ -136,22 +140,84 @@ class MemoryController
     const SystemConfig &config() const { return _cfg; }
 
   private:
+    /** Combine-overflow node: extra durability acks beyond the first
+     * accumulated on a queued write (pooled, rare). */
+    struct WcbNode
+    {
+        WcbNode *next = nullptr;
+        WriteCallback cb;
+    };
+
+    /**
+     * One queued request: a pooled intrusive node. The queues chain
+     * requests through the embedded `next` pointer and the gate /
+     * device-completion paths carry the raw node, so the controller's
+     * steady state performs no queue-churn allocations (the old
+     * std::deque chunks, per-request wcbs vector and the write gate's
+     * shared_ptr park are all gone).
+     */
     struct Request
     {
-        bool isWrite;
-        Addr addr;
-        Line data;
-        ReadKind rkind;
-        WriteKind wkind;
+        Request *next = nullptr;
+        bool isWrite = false;
+        Addr addr = 0;
+        Line data{};
+        ReadKind rkind = ReadKind::Demand;
+        WriteKind wkind = WriteKind::DataWb;
         ReadCallback rcb;
-        std::vector<WriteCallback> wcbs;
-        std::uint64_t enqueueTick;
+        WriteCallback wcb;          //!< first durability ack (inline)
+        WcbNode *extra = nullptr;   //!< combine overflow chain
+        std::uint64_t enqueueTick = 0;
+    };
+
+    /** Intrusive FIFO of pooled Requests. */
+    struct ReqQueue
+    {
+        Request *head = nullptr;
+        Request *tail = nullptr;
+        std::size_t count = 0;
+
+        bool empty() const { return head == nullptr; }
+
+        void
+        push_back(Request *r)
+        {
+            r->next = nullptr;
+            if (tail)
+                tail->next = r;
+            else
+                head = r;
+            tail = r;
+            ++count;
+        }
+
+        void
+        push_front(Request *r)
+        {
+            r->next = head;
+            head = r;
+            if (!tail)
+                tail = r;
+            ++count;
+        }
+
+        Request *
+        pop_front()
+        {
+            Request *r = head;
+            head = r->next;
+            if (!head)
+                tail = nullptr;
+            r->next = nullptr;
+            --count;
+            return r;
+        }
     };
 
     struct ChannelState
     {
-        std::deque<Request> readQ;
-        std::deque<Request> writeQ;
+        ReqQueue readQ;
+        ReqQueue writeQ;
         /** Recurring scheduler event; at most one kick pending per
          * channel (kickEvent->scheduled() is the guard). */
         std::unique_ptr<TickEvent> kickEvent;
@@ -163,10 +229,15 @@ class MemoryController
     static bool isLogTraffic(WriteKind kind);
     static bool isGated(WriteKind kind);
 
+    Request *acquireReq();
+    /** Scrub callbacks / overflow chain and return the node. */
+    void releaseReq(Request *r);
+    void addWcb(Request *r, WriteCallback cb);
+
     void kick(std::uint32_t ch);
     void scheduleKick(std::uint32_t ch, Tick when);
-    void issueRead(std::uint32_t ch, Request req);
-    void issueWrite(std::uint32_t ch, Request req);
+    void issueRead(std::uint32_t ch, Request *req);
+    void issueWrite(std::uint32_t ch, Request *req);
 
     const char *statName() const { return _statName.c_str(); }
 
@@ -179,6 +250,8 @@ class MemoryController
 
     std::vector<NvmChannel> _channels;
     std::vector<ChannelState> _chState;
+    FreeListPool<Request> _reqPool;
+    FreeListPool<WcbNode> _wcbPool;
     WriteGate *_gate = nullptr;
 
     /** Writes accepted but not yet durable, by line address. */

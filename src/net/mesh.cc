@@ -1,5 +1,7 @@
 #include "net/mesh.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace atomsim
@@ -104,10 +106,36 @@ Mesh::hops(std::uint32_t src, std::uint32_t dst) const
 Packet &
 Mesh::make(MsgType type)
 {
-    Packet *p = _pool.acquire();
+    Packet *p;
+    if (!_net.empty()) {
+        SimDomain *d = SimDomain::current();
+        panic_if(!d, "mesh make() outside a domain scope (sharded)");
+        p = _net[d->id()].pool.acquire();
+        p->pool = std::uint16_t(d->id());
+    } else {
+        p = _pool.acquire();
+    }
     p->reset();
     p->type = type;
     return *p;
+}
+
+std::size_t
+Mesh::packetPoolAllocated() const
+{
+    std::size_t n = _pool.allocated();
+    for (const auto &net : _net)
+        n += net.pool.allocated();
+    return n;
+}
+
+std::size_t
+Mesh::packetPoolFree() const
+{
+    std::size_t n = _pool.idle();
+    for (const auto &net : _net)
+        n += net.pool.idle();
+    return n;
 }
 
 void
@@ -119,24 +147,19 @@ Mesh::send(std::uint32_t src, std::uint32_t dst, MsgType type,
     send(src, dst, p);
 }
 
-void
-Mesh::send(std::uint32_t src, std::uint32_t dst, Packet &pkt)
+Tick
+Mesh::routeReserve(std::uint32_t src, std::uint32_t dst,
+                   std::uint32_t flits, Tick head,
+                   std::uint32_t &hop_count, std::size_t &last_link)
 {
-    panic_if(src >= numNodes() || dst >= numNodes(),
-             "bad mesh node (%u -> %u)", src, dst);
-
-    const std::uint32_t flits = msgFlits(pkt.type);
-    _messages.inc();
-
     // XY routing: move along the row (X) first, then the column (Y).
     // The loop tracks coordinates incrementally and reserves through
     // the compact busy array: one Tick touched per hop.
     MeshCoord cur = coordOf(src);
     const MeshCoord target = coordOf(dst);
-    Tick head = _eq.now() + _hopLatency;  // source router traversal
 
-    std::uint32_t hop_count = 0;
-    std::size_t last = SIZE_MAX;
+    hop_count = 0;
+    last_link = SIZE_MAX;
     while (!(cur == target)) {
         std::uint32_t dir;  // 0=E, 1=W, 2=S, 3=N
         if (cur.col != target.col) {
@@ -144,10 +167,10 @@ Mesh::send(std::uint32_t src, std::uint32_t dst, Packet &pkt)
         } else {
             dir = (target.row > cur.row) ? 2 : 3;
         }
-        last = std::size_t(nodeOf(cur)) * 4 + dir;
+        last_link = std::size_t(nodeOf(cur)) * 4 + dir;
         // Cut-through reservation: the head flit waits for the link,
         // then the body's flits occupy it behind the head.
-        Tick &busy = _linkBusy[last];
+        Tick &busy = _linkBusy[last_link];
         const Tick start = head > busy ? head : busy;
         head = start + _hopLatency;
         busy = head + flits - 1;
@@ -159,14 +182,141 @@ Mesh::send(std::uint32_t src, std::uint32_t dst, Packet &pkt)
         }
         ++hop_count;
     }
+    return head + flits - 1;
+}
+
+void
+Mesh::send(std::uint32_t src, std::uint32_t dst, Packet &pkt)
+{
+    panic_if(src >= numNodes() || dst >= numNodes(),
+             "bad mesh node (%u -> %u)", src, dst);
 
     pkt.src = src;
     pkt.dst = dst;
-    pkt.arrival = head + flits - 1;
+
+    if (!_net.empty()) {
+        // Sharded: defer routing to the barrier (link reservations are
+        // shared across domains); just record the send in canonical
+        // per-domain FIFO order.
+        shardRecord(pkt);
+        return;
+    }
+
+    const std::uint32_t flits = msgFlits(pkt.type);
+    _messages.inc();
+
+    std::uint32_t hop_count;
+    std::size_t last;
+    pkt.arrival = routeReserve(src, dst, flits, _eq.now() + _hopLatency,
+                               hop_count, last);
     pkt.seq = _eq.allocSeq();
     _flitHops.inc(std::uint64_t(flits) * (hop_count + 1));
 
     enqueue(last != SIZE_MAX ? _links[last] : _eject[dst], &pkt);
+}
+
+void
+Mesh::shardRecord(Packet &pkt)
+{
+    SimDomain *d = SimDomain::current();
+    panic_if(!d, "mesh send() outside a domain scope (sharded)");
+    _net[d->id()].outbox.push(NetDomain::Send{
+        &pkt, d->queue().now(), d->id(), d->nextSendIdx()});
+}
+
+void
+Mesh::shardAttach(std::vector<SimDomain *> domains,
+                  std::function<std::uint32_t(const Packet &)> shard_of)
+{
+    panic_if(!_net.empty(), "mesh already sharded");
+    _domains = std::move(domains);
+    _shardOf = std::move(shard_of);
+    _net = std::vector<NetDomain>(_domains.size());
+}
+
+void
+Mesh::shardFlush()
+{
+    // 1. Canonical merge of every domain's sends. The key is
+    //    shard-count-invariant: each domain always owns its queue and
+    //    FIFO counter no matter how many workers drive it.
+    _merge.clear();
+    for (auto &net : _net) {
+        for (auto &s : net.outbox.items())
+            _merge.push_back(s);
+        net.outbox.clear();
+    }
+    std::sort(_merge.begin(), _merge.end(),
+              [](const NetDomain::Send &a, const NetDomain::Send &b) {
+                  if (a.tick != b.tick)
+                      return a.tick < b.tick;
+                  if (a.domain != b.domain)
+                      return a.domain < b.domain;
+                  return a.idx < b.idx;
+              });
+
+    for (auto &s : _merge) {
+        Packet *pkt = s.pkt;
+        const std::uint32_t flits = msgFlits(pkt->type);
+        _messages.inc();
+
+        std::uint32_t hop_count;
+        std::size_t last;
+        pkt->arrival = routeReserve(pkt->src, pkt->dst, flits,
+                                    s.tick + _hopLatency, hop_count, last);
+        pkt->seq = _canonSeq++;
+        _flitHops.inc(std::uint64_t(flits) * (hop_count + 1));
+
+        const std::uint32_t dom = _shardOf(*pkt);
+        _domains[dom]->queue().post(
+            pkt->arrival,
+            [this, pkt, dom] { shardDeliver(*pkt, dom); });
+    }
+
+    // 2. Route freed packets back to their origin pools.
+    for (auto &net : _net) {
+        for (Packet *p : net.freeBin.items())
+            _net[p->pool].pool.release(p);
+        net.freeBin.clear();
+    }
+
+    // 3. Merge the per-domain trace buffers into the tracer, ordered
+    //    by (tick, canonical delivery sequence).
+    if (_tracer) {
+        _traceMerge.clear();
+        for (auto &net : _net) {
+            for (auto &t : net.trace.items())
+                _traceMerge.push_back(t);
+            net.trace.clear();
+        }
+        std::sort(_traceMerge.begin(), _traceMerge.end(),
+                  [](const NetDomain::TraceRec &a,
+                     const NetDomain::TraceRec &b) {
+                      if (a.tick != b.tick)
+                          return a.tick < b.tick;
+                      return a.seq < b.seq;
+                  });
+        for (const auto &t : _traceMerge)
+            _tracer->onDeliver(t.tick, t.node, t.type);
+    }
+}
+
+void
+Mesh::shardDeliver(Packet &pkt, std::uint32_t domain)
+{
+    NetDomain &net = _net[domain];
+    if (_tracer) {
+        net.trace.push(NetDomain::TraceRec{pkt.arrival, pkt.seq, pkt.dst,
+                                           pkt.type});
+    }
+    if (pkt.receiver) {
+        pkt.receiver->meshDeliver(pkt);
+    } else if (pkt.cb) {
+        MeshCallback cb = std::move(pkt.cb);
+        cb();
+    }
+    pkt.reset();
+    net.freeBin.push(&pkt);
 }
 
 void

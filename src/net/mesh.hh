@@ -32,11 +32,14 @@
 #include <memory>
 #include <vector>
 
+#include <functional>
+
 #include "mem/packet.hh"
 #include "net/router.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/pool.hh"
+#include "sim/shard.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -136,16 +139,86 @@ class Mesh
     }
 
     /** Packet nodes ever allocated (pool high-water mark). */
-    std::size_t packetPoolAllocated() const { return _pool.allocated(); }
+    std::size_t packetPoolAllocated() const;
 
     /** Packet nodes currently idle on the free list. */
-    std::size_t packetPoolFree() const { return _pool.idle(); }
+    std::size_t packetPoolFree() const;
 
     /** Install (or clear) the delivery tracer. */
     void setTracer(Tracer *tracer) { _tracer = tracer; }
 
+    // --- sharded mode -------------------------------------------------
+
+    /**
+     * Switch the mesh into sharded (deferred-send) mode. Each domain
+     * gets its own packet pool and mailboxes; sends record into the
+     * *executing* domain's outbox (SimDomain::current()) instead of
+     * touching link state, and the leader processes them at window
+     * barriers through shardFlush().
+     *
+     * @param domains  all simulation domains, indexed by domain id
+     * @param shard_of maps a routed packet to the domain that must
+     *                 execute its delivery (the receiver's domain)
+     */
+    void shardAttach(std::vector<SimDomain *> domains,
+                     std::function<std::uint32_t(const Packet &)> shard_of);
+
+    /**
+     * Leader barrier phase: canonically merge every domain's send
+     * mailbox (sorted by (send tick, domain, per-domain FIFO index) --
+     * all shard-count-invariant), route and reserve each packet
+     * against the shared link state in that order, and post its
+     * delivery into the receiving domain's queue at the arrival tick.
+     * Also routes freed packets back to their origin pools and drains
+     * the per-domain trace buffers into the tracer in (tick, canonical
+     * sequence) order.
+     */
+    void shardFlush();
+
   private:
     friend struct MeshLink::DrainEvent;
+
+    /** Per-domain mesh state for sharded runs (single-writer; consumed
+     * by the leader at barriers). */
+    struct NetDomain
+    {
+        struct Send
+        {
+            Packet *pkt;
+            Tick tick;           //!< send tick (canonical key, major)
+            std::uint32_t domain;
+            std::uint32_t idx;   //!< per-domain FIFO index
+        };
+        struct TraceRec
+        {
+            Tick tick;
+            std::uint64_t seq;   //!< canonical delivery sequence
+            std::uint32_t node;
+            MsgType type;
+        };
+
+        FreeListPool<Packet> pool;
+        DomainMailbox<Send> outbox;
+        DomainMailbox<Packet *> freeBin;
+        DomainMailbox<TraceRec> trace;
+    };
+
+    /** Record a send into the executing domain's outbox (sharded). */
+    void shardRecord(Packet &pkt);
+
+    /** Execute one delivery on the receiving domain's thread. */
+    void shardDeliver(Packet &pkt, std::uint32_t domain);
+
+    /**
+     * XY route + cut-through reservation from @p src to @p dst:
+     * advances the per-link busy state and returns the tail-flit
+     * arrival tick for a head flit leaving the source router at
+     * @p head. @p last_link receives the final link index (SIZE_MAX
+     * for same-node traffic), @p hop_count the hops taken.
+     */
+    Tick routeReserve(std::uint32_t src, std::uint32_t dst,
+                      std::uint32_t flits, Tick head,
+                      std::uint32_t &hop_count, std::size_t &last_link);
 
     MeshCoord coordOf(std::uint32_t node) const;
     std::uint32_t nodeOf(MeshCoord c) const;
@@ -181,6 +254,14 @@ class Mesh
     std::vector<Tick> _linkBusy;
 
     FreeListPool<Packet> _pool;
+
+    // --- sharded-mode state (empty in sequential runs) ---------------
+    std::vector<SimDomain *> _domains;
+    std::vector<NetDomain> _net;
+    std::function<std::uint32_t(const Packet &)> _shardOf;
+    std::uint64_t _canonSeq = 0;             //!< leader-owned
+    std::vector<NetDomain::Send> _merge;     //!< leader scratch
+    std::vector<NetDomain::TraceRec> _traceMerge;
 
     Counter &_messages;
     Counter &_flitHops;

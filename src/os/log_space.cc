@@ -3,8 +3,9 @@
 namespace atomsim
 {
 
-LogSpace::LogSpace(EventQueue &eq, const SystemConfig &cfg, StatSet &stats)
-    : _eq(eq),
+LogSpace::LogSpace(std::vector<EventQueue *> queues,
+                   const SystemConfig &cfg, StatSet &stats)
+    : _queues(std::move(queues)),
       _latency(cfg.osOverflowLatency),
       _grantSize(std::max<std::uint32_t>(1, cfg.bucketsPerMc / 16)),
       _busy(cfg.numMemCtrls, false),
@@ -25,15 +26,15 @@ LogSpace::requestMoreBuckets(McId mc,
     _pending[mc].push_back(std::move(granted));
     if (_busy[mc])
         return;
-    _busy[mc] = true;
+    _busy[mc] = 1;
     _statInterrupts.inc();
-    _eq.scheduleIn(*_grantEvents[mc], _latency);
+    _queues[mc]->scheduleIn(*_grantEvents[mc], _latency);
 }
 
 void
 LogSpace::grant(McId mc)
 {
-    _busy[mc] = false;
+    _busy[mc] = 0;
     auto waiters = std::move(_pending[mc]);
     _pending[mc].clear();
     for (auto &w : waiters)

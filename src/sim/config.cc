@@ -75,6 +75,32 @@ SystemConfig::validate() const
     fatal_if(bucketsPerMc == 0, "bucketsPerMc must be > 0");
     fatal_if(ausPerMc == 0, "ausPerMc must be > 0");
     fatal_if(meshRows == 0, "meshRows must be > 0");
+    fatal_if(wheelBuckets < 64 ||
+                 (wheelBuckets & (wheelBuckets - 1)) != 0,
+             "wheelBuckets must be a power of two >= 64");
+    if (numShards > 0) {
+        fatal_if(numMemCtrls > 32,
+                 "sharded simulation supports at most 32 memory "
+                 "controllers (DataImage stripe count)");
+        fatal_if(design == DesignKind::Redo,
+                 "sharded simulation does not support the REDO design "
+                 "(its victim cache and snapshot path are global); run "
+                 "REDO with numShards = 0");
+        fatal_if(linkQueueDepth != 0,
+                 "sharded simulation requires unbounded link queues "
+                 "(linkQueueDepth = 0): bounded-depth backpressure "
+                 "re-stamps packets at drain time, which is not "
+                 "shard-invariant");
+        fatal_if(hopLatency == 0,
+                 "sharded simulation requires hopLatency > 0 (the "
+                 "lookahead, and so the window width, would be zero)");
+        fatal_if(windowTicks > hopLatency,
+                 "windowTicks (%llu) exceeds the conservative lookahead "
+                 "(hopLatency = %llu): a packet sent early in a window "
+                 "could demand delivery inside the same window",
+                 (unsigned long long)windowTicks,
+                 (unsigned long long)hopLatency);
+    }
 }
 
 } // namespace atomsim

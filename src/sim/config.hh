@@ -135,6 +135,40 @@ struct SystemConfig
     /** OS interrupt + page-mapping cost on log overflow. */
     Cycles osOverflowLatency = 5000;
 
+    // --- Simulation kernel -------------------------------------------
+    /**
+     * Event-queue shards the simulation runs on.
+     *
+     *  - 0 (default): classic single-queue sequential simulation.
+     *  - N >= 1: sharded mode -- the cache complex (cores, L1s, L2
+     *    tiles) forms one shard and the memory-controller domains
+     *    (MC + LogM + NVM channels) are distributed over the rest,
+     *    each shard free-running on its own calendar queue inside a
+     *    conservative lookahead window and exchanging mesh packets
+     *    through mailboxes at window barriers. Clamped to
+     *    1 + numMemCtrls. Sharded runs are deterministic and
+     *    byte-identical across shard counts (see README, "Parallel
+     *    simulation"); numShards = 1 runs the identical windowed
+     *    semantics on one worker thread.
+     *
+     * Requires linkQueueDepth == 0 and design != Redo.
+     */
+    std::uint32_t numShards = 0;
+    /**
+     * Conservative window width in ticks for sharded runs. Must not
+     * exceed the cross-shard lookahead (hopLatency: the minimum time
+     * between a mesh send and its earliest possible delivery). 0 picks
+     * hopLatency automatically.
+     */
+    Cycles windowTicks = 0;
+    /**
+     * Calendar-wheel width of every event queue, in one-tick buckets
+     * (power of two >= 64). Tune against EventQueue::spillRatio() --
+     * bench/parallel_scaling.cc reports the ratio for TPC-C at full
+     * core count.
+     */
+    std::uint32_t wheelBuckets = 4096;
+
     // --- Design under test -------------------------------------------
     DesignKind design = DesignKind::AtomOpt;
 

@@ -1,7 +1,5 @@
 #include "sim/event_queue.hh"
 
-#include <algorithm>
-
 #include "sim/logging.hh"
 
 namespace atomsim
@@ -32,7 +30,18 @@ Event::~Event()
         _queue->deschedule(*this);
 }
 
-EventQueue::EventQueue() : _wheel(kWheelBuckets) {}
+EventQueue::EventQueue(std::uint32_t wheel_buckets)
+    : _wheelBuckets(wheel_buckets),
+      _wheelMask(wheel_buckets - 1),
+      _bitmapWords(wheel_buckets / 64),
+      _wheel(wheel_buckets),
+      _occupied(wheel_buckets / 64, 0)
+{
+    panic_if(wheel_buckets < 64 ||
+                 (wheel_buckets & (wheel_buckets - 1)) != 0,
+             "wheel width must be a power of two >= 64 (got %u)",
+             wheel_buckets);
+}
 
 EventQueue::~EventQueue()
 {
@@ -50,7 +59,7 @@ EventQueue::~EventQueue()
         b.head = b.tail = nullptr;
     }
     for (Event *e : _spill) {
-        e->_flags &= ~Event::kScheduled;
+        e->_flags &= std::uint16_t(~(Event::kScheduled | Event::kInSpill));
         e->_queue = nullptr;
     }
 }
@@ -58,7 +67,7 @@ EventQueue::~EventQueue()
 void
 EventQueue::wheelInsert(Event *ev)
 {
-    const std::uint32_t bi = std::uint32_t(ev->_when) & kWheelMask;
+    const std::uint32_t bi = std::uint32_t(ev->_when) & _wheelMask;
     Bucket &b = _wheel[bi];
     if (b.tail)
         b.tail->_next = ev;
@@ -72,7 +81,7 @@ EventQueue::wheelInsert(Event *ev)
 void
 EventQueue::wheelInsertSorted(Event *ev)
 {
-    const std::uint32_t bi = std::uint32_t(ev->_when) & kWheelMask;
+    const std::uint32_t bi = std::uint32_t(ev->_when) & _wheelMask;
     Bucket &b = _wheel[bi];
     if (!b.tail || b.tail->_seq <= ev->_seq) {
         // Common case: the stamped seq is still the newest in the
@@ -97,6 +106,90 @@ EventQueue::wheelInsertSorted(Event *ev)
     ++_wheelCount;
 }
 
+// --- indexed spill heap ----------------------------------------------------
+//
+// A plain binary min-heap over (tick, seq), except every resident event
+// records its slot (_spillIdx), so removal from the middle -- the
+// deschedule path -- is a swap with the last slot plus one sift,
+// O(log n), instead of the old linear erase + full re-heapify.
+
+void
+EventQueue::spillSiftUp(std::size_t i)
+{
+    Event *ev = _spill[i];
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        if (!spillBefore(ev, _spill[parent]))
+            break;
+        _spill[i] = _spill[parent];
+        _spill[i]->_spillIdx = std::uint32_t(i);
+        i = parent;
+    }
+    _spill[i] = ev;
+    ev->_spillIdx = std::uint32_t(i);
+}
+
+void
+EventQueue::spillSiftDown(std::size_t i)
+{
+    Event *ev = _spill[i];
+    const std::size_t n = _spill.size();
+    for (;;) {
+        std::size_t child = 2 * i + 1;
+        if (child >= n)
+            break;
+        if (child + 1 < n && spillBefore(_spill[child + 1], _spill[child]))
+            ++child;
+        if (!spillBefore(_spill[child], ev))
+            break;
+        _spill[i] = _spill[child];
+        _spill[i]->_spillIdx = std::uint32_t(i);
+        i = child;
+    }
+    _spill[i] = ev;
+    ev->_spillIdx = std::uint32_t(i);
+}
+
+void
+EventQueue::spillPush(Event *ev)
+{
+    ev->_flags |= Event::kInSpill;
+    _spill.push_back(ev);
+    spillSiftUp(_spill.size() - 1);
+}
+
+Event *
+EventQueue::spillPopMin()
+{
+    Event *min = _spill.front();
+    Event *last = _spill.back();
+    _spill.pop_back();
+    if (!_spill.empty()) {
+        _spill[0] = last;
+        spillSiftDown(0);
+    }
+    min->_flags &= std::uint16_t(~Event::kInSpill);
+    return min;
+}
+
+void
+EventQueue::spillRemove(Event *ev)
+{
+    const std::size_t i = ev->_spillIdx;
+    panic_if(i >= _spill.size() || _spill[i] != ev,
+             "descheduling an event missing from the spill heap");
+    Event *last = _spill.back();
+    _spill.pop_back();
+    if (i < _spill.size()) {
+        _spill[i] = last;
+        // The replacement may need to move either way relative to its
+        // new parent/children.
+        spillSiftDown(i);
+        spillSiftUp(last->_spillIdx);
+    }
+    ev->_flags &= std::uint16_t(~Event::kInSpill);
+}
+
 void
 EventQueue::enqueue(Event &ev, Tick when, bool sorted)
 {
@@ -108,7 +201,7 @@ EventQueue::enqueue(Event &ev, Tick when, bool sorted)
     ev._next = nullptr;
     ev._flags |= Event::kScheduled;
     ++_pending;
-    if (when - _now < kWheelBuckets) {
+    if (when - _now < _wheelBuckets) {
         ++_wheelInserts;
         if (sorted)
             wheelInsertSorted(&ev);
@@ -116,8 +209,7 @@ EventQueue::enqueue(Event &ev, Tick when, bool sorted)
             wheelInsert(&ev);
     } else {
         ++_spillInserts;
-        _spill.push_back(&ev);
-        std::push_heap(_spill.begin(), _spill.end(), SpillLater{});
+        spillPush(&ev);
     }
 }
 
@@ -140,8 +232,10 @@ EventQueue::deschedule(Event &ev)
 {
     if (!ev.scheduled() || ev._queue != this)
         return;
-    if (ev._when - _now < kWheelBuckets) {
-        const std::uint32_t bi = std::uint32_t(ev._when) & kWheelMask;
+    if (ev._flags & Event::kInSpill) {
+        spillRemove(&ev);
+    } else {
+        const std::uint32_t bi = std::uint32_t(ev._when) & _wheelMask;
         Bucket &b = _wheel[bi];
         Event *prev = nullptr;
         Event *cur = b.head;
@@ -159,15 +253,9 @@ EventQueue::deschedule(Event &ev)
         if (!b.head)
             _occupied[bi >> 6] &= ~(std::uint64_t(1) << (bi & 63));
         --_wheelCount;
-    } else {
-        auto it = std::find(_spill.begin(), _spill.end(), &ev);
-        panic_if(it == _spill.end(),
-                 "descheduling an event missing from the spill heap");
-        _spill.erase(it);
-        std::make_heap(_spill.begin(), _spill.end(), SpillLater{});
     }
     ev._next = nullptr;
-    ev._flags &= ~Event::kScheduled;
+    ev._flags &= std::uint16_t(~Event::kScheduled);
     ev._queue = nullptr;
     --_pending;
 }
@@ -207,7 +295,7 @@ EventQueue::post(Tick when, Callback cb)
 Tick
 EventQueue::nextWheelTick() const
 {
-    const std::uint32_t s = std::uint32_t(_now) & kWheelMask;
+    const std::uint32_t s = std::uint32_t(_now) & _wheelMask;
     const std::uint32_t sw = s >> 6;
     const std::uint32_t sb = s & 63;
 
@@ -216,18 +304,18 @@ EventQueue::nextWheelTick() const
     if (word) {
         const std::uint32_t bit =
             sw * 64 + std::uint32_t(__builtin_ctzll(word));
-        return _now + ((bit - s) & kWheelMask);
+        return _now + ((bit - s) & _wheelMask);
     }
     // Remaining words, wrapping; the cursor word's low bits come last.
-    for (std::uint32_t i = 1; i <= kBitmapWords; ++i) {
-        const std::uint32_t wi = (sw + i) & (kBitmapWords - 1);
+    for (std::uint32_t i = 1; i <= _bitmapWords; ++i) {
+        const std::uint32_t wi = (sw + i) & (_bitmapWords - 1);
         word = _occupied[wi];
-        if (i == kBitmapWords)
+        if (i == _bitmapWords)
             word &= (std::uint64_t(1) << sb) - 1;
         if (word) {
             const std::uint32_t bit =
                 wi * 64 + std::uint32_t(__builtin_ctzll(word));
-            return _now + ((bit - s) & kWheelMask);
+            return _now + ((bit - s) & _wheelMask);
         }
     }
     panic("nextWheelTick: occupancy bitmap empty but wheelCount=%llu",
@@ -247,11 +335,9 @@ EventQueue::nextEventTick() const
 void
 EventQueue::migrate()
 {
-    const Tick horizon = _now + kWheelBuckets;
+    const Tick horizon = _now + _wheelBuckets;
     while (!_spill.empty() && _spill.front()->_when < horizon) {
-        std::pop_heap(_spill.begin(), _spill.end(), SpillLater{});
-        Event *ev = _spill.back();
-        _spill.pop_back();
+        Event *ev = spillPopMin();
         // Sorted: a bucket may hold scheduleAt() events whose stamped
         // seqs straddle the migrating event's.
         wheelInsertSorted(ev);
@@ -265,7 +351,7 @@ EventQueue::executeNext(Tick t)
         _now = t;
         migrate();
     }
-    const std::uint32_t bi = std::uint32_t(t) & kWheelMask;
+    const std::uint32_t bi = std::uint32_t(t) & _wheelMask;
     Bucket &b = _wheel[bi];
     Event *ev = b.head;
     b.head = ev->_next;

@@ -2,10 +2,11 @@
  * @file
  * Discrete-event simulation kernel.
  *
- * atomsim is driven by a single global-per-System event queue. Components
- * schedule work at absolute ticks; the queue executes it in
- * (tick, insertion-order) order, which gives deterministic simulation for
- * a fixed configuration and seed.
+ * atomsim is driven by one event queue per *shard* (a single global
+ * queue in sequential runs; see sim/shard.hh for the sharded mode).
+ * Components schedule work at absolute ticks; the queue executes it in
+ * (tick, insertion-order) order, which gives deterministic simulation
+ * for a fixed configuration and seed.
  *
  * Event model
  * -----------
@@ -34,21 +35,28 @@
  * --------------
  * Pending events live in a two-level calendar queue:
  *
- *  - a *timing wheel* of kWheelBuckets (4096) one-tick buckets covering
- *    the near horizon [now(), now() + kWheelBuckets). Each bucket is an
- *    intrusive singly-linked FIFO list; because every schedule() call
- *    appends at the tail with a monotonically increasing global sequence
- *    number, a bucket is always sorted by insertion order. A bitmap
- *    (one bit per bucket) makes "find the next non-empty bucket" a
- *    handful of word scans + ctz;
+ *  - a *timing wheel* of wheelWidth() one-tick buckets covering the
+ *    near horizon [now(), now() + wheelWidth()). The width is a
+ *    construction-time knob (SystemConfig::wheelBuckets; default
+ *    kWheelBuckets = 4096) -- tune it against spillRatio() for
+ *    workloads whose latency mix overflows the horizon. Each bucket is
+ *    an intrusive singly-linked FIFO list; because every schedule()
+ *    call appends at the tail with a monotonically increasing global
+ *    sequence number, a bucket is always sorted by insertion order. A
+ *    bitmap (one bit per bucket) makes "find the next non-empty
+ *    bucket" a handful of word scans + ctz;
  *
- *  - a *spill heap* for far-future events (when >= now() + kWheelBuckets),
- *    ordered by (tick, seq). Whenever now() advances, events whose tick
- *    has come inside the horizon migrate from the heap into their wheel
- *    bucket. Migration pops the heap in (tick, seq) order and the wheel
- *    window invariant guarantees a migrating event can never land in a
- *    bucket that already holds same-tick events, so FIFO order within a
- *    tick is preserved across the two levels.
+ *  - a *spill heap* for far-future events (when >= now() + width),
+ *    ordered by (tick, seq). The heap is *indexed* (each spilled event
+ *    carries its heap slot), so deschedule() on the spill is an
+ *    O(log n) sift instead of the old O(n) erase + re-heapify --
+ *    powerFail-heavy runs deschedule member events that routinely sit
+ *    in the spill. Whenever now() advances, events whose tick has come
+ *    inside the horizon migrate from the heap into their wheel bucket.
+ *    Migration pops the heap in (tick, seq) order and the wheel window
+ *    invariant guarantees a migrating event can never land in a bucket
+ *    that already holds same-tick events, so FIFO order within a tick
+ *    is preserved across the two levels.
  *
  * Schedule/execute are therefore O(1) for the near horizon (the common
  * case: latencies in this machine are 1..~400 cycles) and O(log n) only
@@ -58,7 +66,6 @@
 #ifndef ATOMSIM_SIM_EVENT_QUEUE_HH
 #define ATOMSIM_SIM_EVENT_QUEUE_HH
 
-#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -105,11 +112,13 @@ class Event
 
     static constexpr std::uint16_t kScheduled = 0x1;
     static constexpr std::uint16_t kPooled = 0x2;
+    static constexpr std::uint16_t kInSpill = 0x4;
 
     Event *_next = nullptr;        //!< bucket / free-list link
     EventQueue *_queue = nullptr;  //!< queue we are scheduled on
     Tick _when = 0;
     std::uint64_t _seq = 0;        //!< FIFO tie-breaker within a tick
+    std::uint32_t _spillIdx = 0;   //!< heap slot while kInSpill
     std::uint16_t _flags = 0;
 };
 
@@ -163,16 +172,23 @@ class EventQueue
     static constexpr std::size_t kCallbackBytes = 192;
     using Callback = InplaceCallback<kCallbackBytes>;
 
-    /** Near-horizon width, in ticks (power of two). */
+    /** Default near-horizon width, in ticks (power of two). */
     static constexpr std::uint32_t kWheelBuckets = 4096;
 
-    EventQueue();
+    /**
+     * @param wheel_buckets near-horizon width in one-tick buckets;
+     *                      must be a power of two >= 64
+     */
+    explicit EventQueue(std::uint32_t wheel_buckets = kWheelBuckets);
     ~EventQueue();
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
     /** Current simulated time. */
     Tick now() const { return _now; }
+
+    /** Configured near-horizon width, in ticks. */
+    std::uint32_t wheelWidth() const { return _wheelBuckets; }
 
     // --- intrusive API (component-owned events) -----------------------
 
@@ -242,6 +258,14 @@ class EventQueue
     /** Number of pending events. */
     std::size_t pending() const { return _pending; }
 
+    /** Tick of the earliest pending event; kTickNever when empty.
+     * (The sharded executor uses this to pick the next window.) */
+    Tick
+    nextTick() const
+    {
+        return _pending == 0 ? kTickNever : nextEventTick();
+    }
+
     /**
      * Execute a single event (the earliest). Advances now() to the
      * event's tick.
@@ -287,8 +311,9 @@ class EventQueue
 
     /**
      * Fraction of schedules that missed the wheel horizon. A high
-     * ratio means kWheelBuckets is too narrow (or bucket granularity
-     * too fine) for the workload's latency mix.
+     * ratio means the wheel width is too narrow (or bucket granularity
+     * too fine) for the workload's latency mix; widen it through
+     * SystemConfig::wheelBuckets.
      */
     double
     spillRatio() const
@@ -298,26 +323,20 @@ class EventQueue
     }
 
   private:
-    static constexpr std::uint32_t kWheelMask = kWheelBuckets - 1;
-    static constexpr std::uint32_t kBitmapWords = kWheelBuckets / 64;
-
     struct Bucket
     {
         Event *head = nullptr;
         Event *tail = nullptr;
     };
 
-    /** Min-heap-on-vector comparator: true when a fires *later*. */
-    struct SpillLater
+    /** True when @p a fires strictly before @p b ((tick, seq) order). */
+    static bool
+    spillBefore(const Event *a, const Event *b)
     {
-        bool
-        operator()(const Event *a, const Event *b) const
-        {
-            if (a->_when != b->_when)
-                return a->_when > b->_when;
-            return a->_seq > b->_seq;
-        }
-    };
+        if (a->_when != b->_when)
+            return a->_when < b->_when;
+        return a->_seq < b->_seq;
+    }
 
     /** Append to the wheel bucket of ev->_when (must be in-horizon). */
     void wheelInsert(Event *ev);
@@ -335,6 +354,14 @@ class EventQueue
     /** Earliest non-empty wheel bucket's tick (requires _wheelCount). */
     Tick nextWheelTick() const;
 
+    // --- indexed spill heap (O(log n) removal) ------------------------
+
+    void spillPush(Event *ev);
+    Event *spillPopMin();
+    void spillRemove(Event *ev);
+    void spillSiftUp(std::size_t i);
+    void spillSiftDown(std::size_t i);
+
     /** Pull spill-heap events that entered the horizon into the wheel. */
     void migrate();
 
@@ -344,9 +371,13 @@ class EventQueue
     FuncEvent *acquirePooled();
     void releasePooled(FuncEvent *ev);
 
+    const std::uint32_t _wheelBuckets;
+    const std::uint32_t _wheelMask;
+    const std::uint32_t _bitmapWords;
+
     std::vector<Bucket> _wheel;
-    std::array<std::uint64_t, kBitmapWords> _occupied{};
-    std::vector<Event *> _spill;  //!< heap of far-future events
+    std::vector<std::uint64_t> _occupied;
+    std::vector<Event *> _spill;  //!< indexed min-heap of far events
 
     Tick _now = 0;
     std::uint64_t _seq = 0;

@@ -1,0 +1,40 @@
+#include "sim/shard.hh"
+
+#include <algorithm>
+
+namespace atomsim
+{
+
+void
+drainControlOps(const std::vector<SimDomain *> &domains,
+                std::vector<SimDomain::ControlOp> &scratch)
+{
+    for (;;) {
+        scratch.clear();
+        for (SimDomain *d : domains) {
+            auto &out = d->controlOut();
+            for (auto &op : out.items())
+                scratch.push_back(std::move(op));
+            out.clear();
+        }
+        if (scratch.empty())
+            return;
+        std::sort(scratch.begin(), scratch.end(),
+                  [](const SimDomain::ControlOp &a,
+                     const SimDomain::ControlOp &b) {
+                      if (a.tick != b.tick)
+                          return a.tick < b.tick;
+                      if (a.actor != b.actor)
+                          return a.actor < b.actor;
+                      if (a.sub != b.sub)
+                          return a.sub < b.sub;
+                      if (a.domain != b.domain)
+                          return a.domain < b.domain;
+                      return a.idx < b.idx;
+                  });
+        for (auto &op : scratch)
+            op.fn();
+    }
+}
+
+} // namespace atomsim

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Sharded simulation: domains, mailboxes, window barrier.
+ *
+ * Sharded runs split the System into *simulation domains* that only
+ * interact through the mesh (plus a thin, barrier-synchronized control
+ * plane for transaction-boundary operations):
+ *
+ *  - domain 0: the cache complex -- cores, store queues, L1s, L2
+ *    tiles/directory, LogI, the AUS pool and the design hooks. These
+ *    are internally coupled by synchronous protocol shortcuts, so they
+ *    always stay together;
+ *  - domain 1+m: memory controller m with its NVM channels, mesh port,
+ *    LogM and OS log-space slice.
+ *
+ * Every domain owns its own calendar-queue EventQueue *even when
+ * several domains share a worker thread*: the queue is the domain
+ * identity, so per-domain event order, FIFO sequence numbers and mesh
+ * send counters are independent of how many workers the run uses.
+ * That is what makes an N-shard run byte-identical to a 1-shard run
+ * (see README, "Parallel simulation").
+ *
+ * Execution is conservative-window parallel simulation: workers
+ * free-run their domains' queues inside a lookahead window bounded by
+ * the minimum mesh send-to-delivery latency (hopLatency), then meet at
+ * a window barrier where the leader (worker 0)
+ *
+ *  1. canonically merges the domains' send mailboxes (sorted by
+ *     (send tick, domain, per-domain FIFO index)), routes and reserves
+ *     each packet against the shared link state, and posts its
+ *     delivery into the receiving domain's queue at the stamped tick;
+ *  2. executes queued control operations (AUS acquisition, log-manager
+ *     arm/truncate) in canonical (tick, core) order;
+ *  3. routes freed packets back to their origin pools and merges the
+ *     per-domain trace buffers into the installed tracer;
+ *  4. picks the next window [t, t + W) with t = the minimum pending
+ *     tick across all queues (idle regions are skipped wholesale).
+ *
+ * All cross-domain containers (DomainMailbox) are single-writer and
+ * are only read by the leader between a worker's barrier arrival and
+ * the release, so the barrier's acquire/release pair is the only
+ * synchronization the data path needs.
+ */
+
+#ifndef ATOMSIM_SIM_SHARD_HH
+#define ATOMSIM_SIM_SHARD_HH
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "sim/callback.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace atomsim
+{
+
+/**
+ * A single-producer mailbox handed to the (single) consumer at window
+ * barriers.
+ *
+ * The producing domain appends during its window; the leader drains
+ * between that worker's barrier arrival and the release. Appends
+ * preserve FIFO order, and the storage is reused forever (capacity
+ * grows to the high-water mark once), keeping the steady state
+ * allocation-free.
+ */
+template <typename T>
+class DomainMailbox
+{
+  public:
+    void push(T v) { _items.push_back(std::move(v)); }
+
+    bool empty() const { return _items.empty(); }
+    std::size_t size() const { return _items.size(); }
+
+    /** Consumer side: the queued items, in push order. */
+    std::vector<T> &items() { return _items; }
+
+    /** Consumer side: forget the items, keep the capacity. */
+    void clear() { _items.clear(); }
+
+  private:
+    std::vector<T> _items;
+};
+
+/**
+ * One simulation domain: an event queue plus the domain-scoped
+ * counters and mailboxes the sharded executor needs. The domain that
+ * is currently executing on this thread is published through a
+ * thread-local (current()), so shared front ends (the mesh, LogI) can
+ * attribute work to the right domain without threading a handle
+ * through every call.
+ */
+class SimDomain
+{
+  public:
+    /** A deferred control operation, leader-executed at a barrier. */
+    struct ControlOp
+    {
+        Tick tick;            //!< submission tick (canonical key, major)
+        std::uint32_t actor;  //!< core id (canonical key)
+        std::uint32_t sub;    //!< disambiguator (mc id / op kind)
+        std::uint32_t domain; //!< submitting domain (canonical key)
+        std::uint32_t idx;    //!< per-domain submission index
+        InplaceCallback<64> fn;
+    };
+
+    SimDomain(std::uint32_t id, std::uint32_t wheel_buckets)
+        : _id(id), _queue(wheel_buckets)
+    {
+    }
+
+    std::uint32_t id() const { return _id; }
+    EventQueue &queue() { return _queue; }
+    const EventQueue &queue() const { return _queue; }
+
+    /**
+     * Queue @p fn for the leader's next barrier pass. Canonical
+     * execution order across domains is (tick, actor, sub, domain,
+     * idx) -- all shard-count-invariant.
+     */
+    void
+    submitControl(std::uint32_t actor, std::uint32_t sub,
+                  InplaceCallback<64> fn)
+    {
+        _ctrl.push(ControlOp{_queue.now(), actor, sub, _id, _ctrlIdx++,
+                             std::move(fn)});
+    }
+
+    DomainMailbox<ControlOp> &controlOut() { return _ctrl; }
+
+    /** Next per-domain mesh-send FIFO index (canonical key, minor). */
+    std::uint32_t nextSendIdx() { return _sendIdx++; }
+
+    /** The domain executing on this thread (nullptr outside one). */
+    static SimDomain *current() { return tls(); }
+
+    /** RAII scope marking this thread as executing @p d. */
+    class Scope
+    {
+      public:
+        explicit Scope(SimDomain *d) : _prev(tls()) { tls() = d; }
+        ~Scope() { tls() = _prev; }
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        SimDomain *_prev;
+    };
+
+  private:
+    /** Function-local thread_local (a cross-TU thread_local data
+     * member trips GCC's TLS wrapper under UBSan). */
+    static SimDomain *&
+    tls()
+    {
+        static thread_local SimDomain *cur = nullptr;
+        return cur;
+    }
+
+    std::uint32_t _id;
+    EventQueue _queue;
+    DomainMailbox<ControlOp> _ctrl;
+    std::uint32_t _ctrlIdx = 0;
+    std::uint32_t _sendIdx = 0;
+};
+
+/**
+ * Sense-reversing spin barrier with a distinguished leader.
+ *
+ * Workers arrive and spin until the leader releases the next window;
+ * the leader waits for all workers, performs the barrier work (merge,
+ * control ops, window selection) with exclusive access to every
+ * domain, then releases. The arrive/release pair carries the
+ * acquire/release ordering that publishes each side's writes to the
+ * other.
+ */
+class WindowBarrier
+{
+  public:
+    /** @param workers number of non-leader workers */
+    explicit WindowBarrier(std::uint32_t workers) : _workers(workers) {}
+
+    /** Worker: arrive and block until the leader releases. */
+    void
+    workerArrive()
+    {
+        const std::uint32_t phase = _phase.load(std::memory_order_acquire);
+        _arrived.fetch_add(1, std::memory_order_acq_rel);
+        spinWhile([&] {
+            return _phase.load(std::memory_order_acquire) == phase;
+        });
+    }
+
+    /** Leader: block until every worker has arrived. */
+    void
+    leaderWait()
+    {
+        spinWhile([&] {
+            return _arrived.load(std::memory_order_acquire) != _workers;
+        });
+        _arrived.store(0, std::memory_order_relaxed);
+    }
+
+    /** Leader: open the next window (pairs with workerArrive). */
+    void leaderRelease() { _phase.fetch_add(1, std::memory_order_acq_rel); }
+
+  private:
+    template <typename Pred>
+    void
+    spinWhile(Pred pred)
+    {
+        std::uint32_t spins = 0;
+        while (pred()) {
+            if (++spins < _spinBudget) {
+#if defined(__x86_64__) || defined(__i386__)
+                __builtin_ia32_pause();
+#endif
+            } else {
+                // Oversubscribed (or a long leader phase): hand the
+                // core over instead of burning it.
+                std::this_thread::yield();
+            }
+        }
+    }
+
+    /** Pause-loop iterations before falling back to yield(). On a
+     * machine with fewer cores than workers, spinning only delays the
+     * thread that owns the work. */
+    static std::uint32_t
+    pickSpinBudget()
+    {
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw > 1 ? 4096 : 1;
+    }
+
+    const std::uint32_t _workers;
+    const std::uint32_t _spinBudget = pickSpinBudget();
+    /** The two phases live on separate cache lines: workers hammer
+     * _phase while the leader works, and _arrived is the leader's. */
+    alignas(64) std::atomic<std::uint32_t> _arrived{0};
+    alignas(64) std::atomic<std::uint32_t> _phase{0};
+};
+
+/**
+ * Static domain/worker layout of a sharded run.
+ *
+ * Domain 0 is the cache complex; domain 1+m is memory controller m.
+ * Worker 0 (the leader) always drives domain 0; MC domains are dealt
+ * round-robin over the remaining workers -- or all onto worker 0 for a
+ * single-worker run, which executes the identical windowed semantics
+ * on one thread (the determinism baseline).
+ */
+struct ShardLayout
+{
+    std::uint32_t workers = 0;  //!< 0 = sequential (no sharding)
+    std::uint32_t numMcs = 0;
+
+    static ShardLayout
+    make(std::uint32_t requested_shards, std::uint32_t num_mcs)
+    {
+        ShardLayout l;
+        l.numMcs = num_mcs;
+        l.workers = requested_shards > 1 + num_mcs ? 1 + num_mcs
+                                                   : requested_shards;
+        return l;
+    }
+
+    bool sharded() const { return workers > 0; }
+
+    /** Total simulation domains (cache complex + one per MC). */
+    std::uint32_t domains() const { return 1 + numMcs; }
+
+    /** Domain id of memory controller @p m. */
+    std::uint32_t mcDomain(std::uint32_t m) const { return 1 + m; }
+
+    /** Worker that drives domain @p d. */
+    std::uint32_t
+    workerOfDomain(std::uint32_t d) const
+    {
+        if (d == 0 || workers <= 1)
+            return 0;
+        return 1 + (d - 1) % (workers - 1);
+    }
+};
+
+/**
+ * Leader barrier phase: gather every domain's queued control ops,
+ * execute them in canonical (tick, actor, sub, domain, idx) order, and
+ * repeat for ops submitted *during* execution (e.g. a quiesced LogM
+ * truncate completing inline) until none remain. @p scratch is reused
+ * across barriers so the steady state allocates nothing.
+ */
+void drainControlOps(const std::vector<SimDomain *> &domains,
+                     std::vector<SimDomain::ControlOp> &scratch);
+
+} // namespace atomsim
+
+#endif // ATOMSIM_SIM_SHARD_HH

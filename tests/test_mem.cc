@@ -253,7 +253,7 @@ class TestGate : public WriteGate
 {
   public:
     bool
-    tryAcquire(Addr line, std::function<void()> on_unlock) override
+    tryAcquire(Addr line, UnlockCallback on_unlock) override
     {
         if (line == locked) {
             waiters.push_back(std::move(on_unlock));
@@ -272,7 +272,7 @@ class TestGate : public WriteGate
     }
 
     Addr locked = ~Addr(0);
-    std::vector<std::function<void()>> waiters;
+    std::vector<UnlockCallback> waiters;
 };
 
 TEST_F(MemCtrlTest, GateBlocksDataWriteUntilUnlocked)

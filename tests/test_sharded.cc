@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Sharded-simulation tests: determinism across shard counts, the
+ * window barrier, and the domain mailboxes.
+ *
+ * The contract under test (see README, "Parallel simulation"): for a
+ * fixed configuration and seed, a sharded run's (tick, node, kind)
+ * delivery stream, final stats and committed-transaction count are
+ * byte-identical for *every* shard count and every thread
+ * interleaving. The golden workloads of tests/test_golden_trace.cc are
+ * re-run here at 1, 2 and 4 shards and compared element-wise.
+ *
+ * The windowed kernel's stream is additionally pinned by hash, like
+ * the sequential goldens: regenerate the constants only for
+ * intentional timing changes, taking the "actual" values from the
+ * failure message.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "net/mesh.hh"
+#include "sim/shard.hh"
+#include "workloads/hash_workload.hh"
+#include "workloads/tpcc/tpcc_workload.hh"
+
+namespace atomsim
+{
+namespace
+{
+
+/** Records the full delivery stream (and its FNV-1a hash). */
+class StreamTracer : public Mesh::Tracer
+{
+  public:
+    struct Rec
+    {
+        Tick tick;
+        std::uint32_t node;
+        MsgType type;
+
+        bool
+        operator==(const Rec &o) const
+        {
+            return tick == o.tick && node == o.node && type == o.type;
+        }
+    };
+
+    void
+    onDeliver(Tick tick, std::uint32_t node, MsgType type) override
+    {
+        stream.push_back(Rec{tick, node, type});
+        mix(tick);
+        mix(node);
+        mix(std::uint64_t(type));
+    }
+
+    std::vector<Rec> stream;
+    std::uint64_t hash = 14695981039346656037ull;
+
+  private:
+    void
+    mix(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            hash ^= (v >> (8 * i)) & 0xff;
+            hash *= 1099511628211ull;
+        }
+    }
+};
+
+struct ShardedResult
+{
+    std::vector<StreamTracer::Rec> stream;
+    std::uint64_t hash;
+    std::vector<std::pair<std::string, std::uint64_t>> stats;
+    std::uint64_t txns;
+    Tick cycles;
+};
+
+/** The quickstart-sized golden workload at @p shards shards. */
+ShardedResult
+runQuickstartSized(std::uint32_t shards)
+{
+    SystemConfig cfg;
+    cfg.numCores = 8;
+    cfg.l2Tiles = 8;
+    cfg.meshRows = 2;
+    cfg.ausPerMc = 8;
+    cfg.design = DesignKind::AtomOpt;
+    cfg.numShards = shards;
+
+    MicroParams params;
+    params.entryBytes = 256;
+    params.initialItems = 24;
+    params.txnsPerCore = 6;
+
+    HashWorkload workload(params);
+    Runner runner(cfg, workload, params.txnsPerCore);
+    StreamTracer tracer;
+    runner.system().mesh().setTracer(&tracer);
+    runner.setUp();
+    const RunResult result = runner.run();
+    return ShardedResult{std::move(tracer.stream), tracer.hash,
+                         std::as_const(runner.system()).stats().dump(),
+                         result.txns, result.cycles};
+}
+
+/** The tpcc-sized golden workload at @p shards shards. */
+ShardedResult
+runTpccSized(std::uint32_t shards)
+{
+    SystemConfig cfg;
+    cfg.numCores = 4;
+    cfg.l2Tiles = 4;
+    cfg.meshRows = 2;
+    cfg.ausPerMc = 4;
+    cfg.design = DesignKind::Atom;
+    cfg.numShards = shards;
+
+    tpcc::ScaleParams scale;
+    scale.customersPerDistrict = 8;
+    scale.items = 128;
+    TpccWorkload workload(scale);
+
+    Runner runner(cfg, workload, /*txns_per_core=*/4,
+                  Addr(128) * 1024 * 1024);
+    StreamTracer tracer;
+    runner.system().mesh().setTracer(&tracer);
+    runner.setUp();
+    const RunResult result = runner.run();
+    return ShardedResult{std::move(tracer.stream), tracer.hash,
+                         std::as_const(runner.system()).stats().dump(),
+                         result.txns, result.cycles};
+}
+
+void
+expectIdentical(const ShardedResult &a, const ShardedResult &b,
+                const char *what)
+{
+    EXPECT_EQ(a.txns, b.txns) << what;
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.hash, b.hash) << what;
+    ASSERT_EQ(a.stream.size(), b.stream.size()) << what;
+    for (std::size_t i = 0; i < a.stream.size(); ++i) {
+        ASSERT_TRUE(a.stream[i] == b.stream[i])
+            << what << ": delivery " << i << " diverges (tick "
+            << a.stream[i].tick << " vs " << b.stream[i].tick << ")";
+    }
+    EXPECT_EQ(a.stats, b.stats) << what;
+}
+
+// Windowed-kernel goldens. These pin the *sharded* semantics the same
+// way test_golden_trace.cc pins the sequential kernel; every shard
+// count must reproduce them.
+constexpr std::uint64_t kWindowedQuickstartHash = 0xdfae2ae65f9923c3ull;
+constexpr std::uint64_t kWindowedTpccHash = 0xd6009b4dbf9220e7ull;
+
+TEST(ShardedDeterminismTest, QuickstartSizedByteIdenticalAcrossShards)
+{
+    const ShardedResult one = runQuickstartSized(1);
+    const ShardedResult two = runQuickstartSized(2);
+    const ShardedResult four = runQuickstartSized(4);
+    EXPECT_EQ(one.txns, 8u * 6u);
+    expectIdentical(one, two, "1 vs 2 shards");
+    expectIdentical(one, four, "1 vs 4 shards");
+    EXPECT_EQ(one.hash, kWindowedQuickstartHash)
+        << "actual hash: 0x" << std::hex << one.hash;
+}
+
+TEST(ShardedDeterminismTest, TpccSizedByteIdenticalAcrossShards)
+{
+    const ShardedResult one = runTpccSized(1);
+    const ShardedResult two = runTpccSized(2);
+    const ShardedResult four = runTpccSized(4);
+    EXPECT_EQ(one.txns, 4u * 4u);
+    expectIdentical(one, two, "1 vs 2 shards");
+    expectIdentical(one, four, "1 vs 4 shards");
+    EXPECT_EQ(one.hash, kWindowedTpccHash)
+        << "actual hash: 0x" << std::hex << one.hash;
+}
+
+// Thread-schedule independence: the same threaded shard count twice.
+TEST(ShardedDeterminismTest, BackToBackThreadedRunsAreIdentical)
+{
+    const ShardedResult a = runQuickstartSized(2);
+    const ShardedResult b = runQuickstartSized(2);
+    expectIdentical(a, b, "threaded run-to-run");
+}
+
+// The sharded run must agree with the sequential kernel on everything
+// order-insensitive: work done, protocol traffic, committed txns.
+TEST(ShardedDeterminismTest, ShardedMatchesSequentialWork)
+{
+    const ShardedResult seq = runQuickstartSized(0);
+    const ShardedResult sharded = runQuickstartSized(2);
+    EXPECT_EQ(seq.txns, sharded.txns);
+    EXPECT_EQ(seq.stream.size(), sharded.stream.size());
+    // Transaction-boundary control ops quantize to window barriers, so
+    // end-to-end cycles may shift by a few windows -- but not by more
+    // than a fraction of a percent on these runs.
+    const double drift =
+        double(sharded.cycles) - double(seq.cycles);
+    EXPECT_LT(drift / double(seq.cycles), 0.01);
+    EXPECT_GE(drift, 0.0);
+}
+
+TEST(ShardLayoutTest, DomainToWorkerMapping)
+{
+    // 4 MCs, 3 workers: cache complex on the leader, MCs round-robin
+    // over workers 1..2.
+    ShardLayout l = ShardLayout::make(3, 4);
+    EXPECT_EQ(l.workers, 3u);
+    EXPECT_EQ(l.domains(), 5u);
+    EXPECT_EQ(l.workerOfDomain(0), 0u);
+    EXPECT_EQ(l.workerOfDomain(l.mcDomain(0)), 1u);
+    EXPECT_EQ(l.workerOfDomain(l.mcDomain(1)), 2u);
+    EXPECT_EQ(l.workerOfDomain(l.mcDomain(2)), 1u);
+    EXPECT_EQ(l.workerOfDomain(l.mcDomain(3)), 2u);
+
+    // Requests beyond 1 + numMcs clamp.
+    EXPECT_EQ(ShardLayout::make(64, 4).workers, 5u);
+
+    // Single worker drives everything.
+    ShardLayout one = ShardLayout::make(1, 4);
+    for (std::uint32_t d = 0; d < one.domains(); ++d)
+        EXPECT_EQ(one.workerOfDomain(d), 0u);
+}
+
+TEST(DomainMailboxTest, PreservesFifoOrder)
+{
+    DomainMailbox<int> box;
+    for (int i = 0; i < 1000; ++i)
+        box.push(i);
+    ASSERT_EQ(box.size(), 1000u);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(box.items()[i], i);
+    box.clear();
+    EXPECT_TRUE(box.empty());
+}
+
+// The real cross-thread contract: a producer worker fills its mailbox
+// inside windows; the leader drains between that worker's barrier
+// arrival and the release. FIFO order and item integrity must hold
+// under actual threading.
+TEST(DomainMailboxTest, CrossThreadHandoffThroughBarrierKeepsFifo)
+{
+    constexpr int kWindows = 200;
+    constexpr int kPerWindow = 7;
+
+    WindowBarrier barrier(1);
+    DomainMailbox<int> box;
+    std::atomic<bool> stop{false};
+
+    std::thread producer([&] {
+        int next = 0;
+        for (;;) {
+            barrier.workerArrive();
+            if (stop.load(std::memory_order_acquire))
+                return;
+            for (int i = 0; i < kPerWindow; ++i)
+                box.push(next++);
+        }
+    });
+
+    std::vector<int> drained;
+    for (int w = 0; w < kWindows; ++w) {
+        barrier.leaderWait();
+        for (int v : box.items())
+            drained.push_back(v);
+        box.clear();
+        barrier.leaderRelease();
+    }
+    barrier.leaderWait();
+    for (int v : box.items())
+        drained.push_back(v);
+    box.clear();
+    stop.store(true, std::memory_order_release);
+    barrier.leaderRelease();
+    producer.join();
+
+    ASSERT_EQ(drained.size(), std::size_t(kWindows) * kPerWindow);
+    for (int i = 0; i < int(drained.size()); ++i)
+        EXPECT_EQ(drained[i], i);
+}
+
+TEST(WindowBarrierTest, LeaderSeesAllWorkerWritesEachPhase)
+{
+    constexpr int kPhases = 500;
+    constexpr int kWorkers = 3;
+
+    WindowBarrier barrier(kWorkers);
+    std::atomic<bool> stop{false};
+    // Plain (non-atomic) per-worker counters: the barrier's
+    // acquire/release pairs are the only synchronization, which is
+    // exactly what the sharded data path relies on (TSan checks this).
+    std::vector<std::uint64_t> counts(kWorkers, 0);
+
+    std::vector<std::thread> workers;
+    for (int w = 0; w < kWorkers; ++w) {
+        workers.emplace_back([&, w] {
+            for (;;) {
+                barrier.workerArrive();
+                if (stop.load(std::memory_order_acquire))
+                    return;
+                ++counts[w];
+            }
+        });
+    }
+
+    for (int p = 1; p <= kPhases; ++p) {
+        barrier.leaderWait();
+        if (p > 1) {
+            for (int w = 0; w < kWorkers; ++w)
+                ASSERT_EQ(counts[w], std::uint64_t(p - 1));
+        }
+        barrier.leaderRelease();
+    }
+    barrier.leaderWait();
+    stop.store(true, std::memory_order_release);
+    barrier.leaderRelease();
+    for (auto &t : workers)
+        t.join();
+}
+
+} // namespace
+} // namespace atomsim

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "sim/config.hh"
@@ -537,6 +538,116 @@ TEST(ConfigDeathTest, RejectsOversizedRecord)
     SystemConfig cfg;
     cfg.recordEntries = 8;
     EXPECT_DEATH({ cfg.validate(); }, "recordEntries");
+}
+
+TEST(ConfigDeathTest, RejectsShardedRedo)
+{
+    SystemConfig cfg;
+    cfg.numShards = 2;
+    cfg.design = DesignKind::Redo;
+    EXPECT_DEATH({ cfg.validate(); }, "REDO");
+}
+
+TEST(ConfigDeathTest, RejectsWindowBeyondLookahead)
+{
+    SystemConfig cfg;
+    cfg.numShards = 2;
+    cfg.windowTicks = cfg.hopLatency + 1;
+    EXPECT_DEATH({ cfg.validate(); }, "lookahead");
+}
+
+// --- spill-heap deschedule (indexed heap) ------------------------------
+
+// Descheduling from the middle of the spill heap (the powerFail
+// pattern: member events parked thousands of ticks out) must keep the
+// heap consistent: remaining events still run in (tick, seq) order and
+// the descheduled event is rescheduleable.
+TEST(EventQueueTest, DescheduleFromSpillHeapMiddle)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    const Tick base = Tick(EventQueue::kWheelBuckets) + 1000;
+
+    std::vector<std::unique_ptr<TickEvent>> evs;
+    for (int i = 0; i < 32; ++i) {
+        evs.push_back(std::make_unique<TickEvent>(
+            [&order, i] { order.push_back(i); }, "spill"));
+        // Interleaved ticks so heap order != insertion order.
+        eq.schedule(*evs.back(), base + Tick((i * 7) % 32));
+    }
+    // Remove every third event, from the middle of the heap.
+    for (int i = 0; i < 32; i += 3)
+        eq.deschedule(*evs[std::size_t(i)]);
+    // One of them comes back at a different (earlier spill) tick.
+    eq.schedule(*evs[3], base + 200);
+
+    eq.run();
+
+    std::vector<int> expect;
+    for (int t = 0; t < 32; ++t) {
+        // order of execution follows tick = base + (i*7)%32
+        for (int i = 0; i < 32; ++i) {
+            if (i % 3 == 0)
+                continue;
+            if ((i * 7) % 32 == t)
+                expect.push_back(i);
+        }
+    }
+    expect.push_back(3);  // rescheduled to base + 200
+    EXPECT_EQ(order, expect);
+}
+
+// A descheduled-from-spill event must not leave stale heap state
+// behind: destroying it afterwards (the Event dtor path) and churning
+// the heap further must stay consistent.
+TEST(EventQueueTest, SpillHeapSurvivesDescheduleAndDestroy)
+{
+    EventQueue eq;
+    int fired = 0;
+    const Tick base = Tick(EventQueue::kWheelBuckets) + 50;
+    {
+        TickEvent doomed([&] { ++fired; }, "doomed");
+        eq.schedule(doomed, base + 7);
+        TickEvent other([&] { ++fired; }, "other");
+        eq.schedule(other, base + 9);
+        eq.deschedule(doomed);
+        eq.deschedule(other);
+    }  // both destroyed while unscheduled
+    TickEvent keeper([&] { ++fired; }, "keeper");
+    eq.schedule(keeper, base + 3);
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), base + 3);
+}
+
+// --- configurable wheel width ------------------------------------------
+
+// A narrow wheel pushes more schedules through the spill heap; the
+// execution order must not change, only the spill ratio.
+TEST(EventQueueTest, NarrowWheelKeepsOrderRaisesSpillRatio)
+{
+    EventQueue wide(4096);
+    EventQueue narrow(64);
+    EXPECT_EQ(wide.wheelWidth(), 4096u);
+    EXPECT_EQ(narrow.wheelWidth(), 64u);
+
+    std::vector<int> wide_order, narrow_order;
+    for (auto *p : {&wide, &narrow}) {
+        auto &order = p == &wide ? wide_order : narrow_order;
+        for (int i = 0; i < 200; ++i)
+            p->post(Tick((i * 37) % 500), [&order, i] {
+                order.push_back(i);
+            });
+        p->run();
+    }
+    EXPECT_EQ(wide_order, narrow_order);
+    EXPECT_EQ(wide.spillRatio(), 0.0);
+    EXPECT_GT(narrow.spillRatio(), 0.5);
+}
+
+TEST(EventQueueDeathTest, RejectsNonPowerOfTwoWheel)
+{
+    EXPECT_DEATH({ EventQueue eq(100); }, "power of two");
 }
 
 } // namespace
