@@ -49,13 +49,18 @@ LogI::meshDeliver(Packet &pkt)
     panic_if(pkt.type != MsgType::LogWrite,
              "LogI: unexpected mesh message %s", msgName(pkt.type));
     const McId mc = _amap.memCtrl(pkt.addr);
-    const std::uint32_t core_node = _mesh.coreNode(pkt.core);
+    const CoreId core = pkt.core;
     const std::uint32_t mc_node = _mesh.mcNode(mc);
     _logms[mc]->postLogEntry(
         pkt.arg, pkt.addr, pkt.data, _posted,
-        [this, core_node, mc_node, done = std::move(pkt.cb)]() mutable {
-            _mesh.send(mc_node, core_node, MsgType::LogAck,
-                       std::move(done));
+        [this, core, mc_node, done = std::move(pkt.cb)]() mutable {
+            // The ack rides the store path's continuation back to the
+            // core; stamping the core lets the sharded mesh deliver it
+            // in the core's own domain.
+            Packet &p = _mesh.make(MsgType::LogAck);
+            p.core = core;
+            p.cb = std::move(done);
+            _mesh.send(mc_node, _mesh.coreNode(core), p);
         });
 }
 

@@ -30,6 +30,10 @@ Directory::acquire(Addr line_addr, Txn txn)
     line_addr = lineAlign(line_addr);
     auto [it, inserted] = _ctl.try_emplace(line_addr);
     LineCtl &ctl = it->second;
+    if (inserted && _liveHw && _ctl.size() > _liveHwSeen) {
+        _liveHwSeen = _ctl.size();
+        _liveHw->set(_liveHwSeen);
+    }
     if (!inserted && !ctl.busy)
         --_idleCtl;  // reusing a cached idle block
     if (ctl.busy) {

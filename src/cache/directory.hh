@@ -24,6 +24,7 @@
 
 #include "sim/callback.hh"
 #include "sim/pool.hh"
+#include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace atomsim
@@ -60,6 +61,17 @@ class Directory
     /** Idle control blocks cached across transactions; covers any hot
      * working set while bounding memory on huge footprints. */
     static constexpr std::size_t kMaxIdleCtl = 64 * 1024;
+
+    /**
+     * Publish the live control-block high-water mark into @p live_hw
+     * (stat "dirN.ctrl_blocks_live"). Live = busy + cached-idle blocks;
+     * the cap above bounds it near kMaxIdleCtl, which this stat makes
+     * observable (ROADMAP: watch it as L2 working sets grow).
+     */
+    void attachStats(Counter *live_hw) { _liveHw = live_hw; }
+
+    /** Current live control blocks (tests). */
+    std::size_t liveCtl() const { return _ctl.size(); }
 
     /** Directory entry for @p line_addr (created on demand). */
     DirEntry &entry(Addr line_addr);
@@ -103,6 +115,8 @@ class Directory
      * lines don't churn map nodes; bounded by kMaxIdleCtl. */
     std::unordered_map<Addr, LineCtl> _ctl;
     std::size_t _idleCtl = 0;
+    Counter *_liveHw = nullptr;  //!< optional occupancy high-water
+    std::size_t _liveHwSeen = 0;
 
     FreeListPool<Waiter> _pool;
 };

@@ -105,18 +105,72 @@ L1Cache::evictFrame(CacheLineState *frame)
         return;
     const Addr vaddr = frame->tag;
     if (frame->dirty) {
-        // Synchronous directory/data update; the message below only
-        // charges network bandwidth (see DESIGN.md protocol note).
+        // Split-phase writeback: park the data in the writeback buffer
+        // (freed by the home's WbAck) and ship a real PutM through the
+        // mesh. Point-to-point FIFO ordering guarantees the PutM
+        // reaches the home before any later request we send for the
+        // same line; a recall crossing it in the other direction is
+        // served from the buffer and the stale PutM dropped at home.
         _statWritebacks.inc();
+        PendingPutM *wb = _wbPool.acquire();
+        wb->line = vaddr;
+        wb->data = frame->data;
+        wb->next = nullptr;
+        if (_wbTail)
+            _wbTail->next = wb;
+        else
+            _wbHead = wb;
+        _wbTail = wb;
+        ++_wbCount;
+
         const std::uint32_t home = homeTileOf(vaddr);
-        _tiles[home]->putMSync(_core, vaddr, frame->data);
-        _mesh.send(myNode(), _mesh.tileNode(home), MsgType::PutM,
-                   MeshCallback{});
+        Packet &p = _mesh.make(MsgType::PutM);
+        p.receiver = _tiles[home].get();
+        p.core = _core;
+        p.addr = vaddr;
+        p.data = frame->data;
+        _mesh.send(myNode(), _mesh.tileNode(home), p);
     }
     // Clean lines drop silently; the log bit is volatile and is lost
     // with the line (the paper re-logs on the next write; recovery
     // applies undo records newest-first so duplicates are safe).
     frame->reset();
+}
+
+L1Cache::PendingPutM *
+L1Cache::findWb(Addr line)
+{
+    // Newest entry wins: with two writebacks of the same line in
+    // flight, only the younger one carries current data.
+    PendingPutM *hit = nullptr;
+    for (PendingPutM *wb = _wbHead; wb; wb = wb->next) {
+        if (wb->line == line)
+            hit = wb;
+    }
+    return hit;
+}
+
+void
+L1Cache::wbAcked(Addr line)
+{
+    // Free the *oldest* matching entry: WbAcks return in PutM order
+    // (per-line FIFO through the home tile).
+    PendingPutM *prev = nullptr;
+    PendingPutM *wb = _wbHead;
+    while (wb && wb->line != line) {
+        prev = wb;
+        wb = wb->next;
+    }
+    panic_if(!wb, "WbAck for a line with no writeback in flight");
+    if (prev)
+        prev->next = wb->next;
+    else
+        _wbHead = wb->next;
+    if (_wbTail == wb)
+        _wbTail = prev;
+    --_wbCount;
+    wb->next = nullptr;
+    _wbPool.release(wb);
 }
 
 void
@@ -170,10 +224,124 @@ L1Cache::meshDeliver(Packet &pkt)
       case MsgType::FlushAck:
         flushAcked(pkt.addr);
         return;
+      case MsgType::Inv:
+        handleInv(pkt.addr);
+        return;
+      case MsgType::Recall:
+        handleRecall(pkt.addr);
+        return;
+      case MsgType::FwdGetS:
+        handleFwdGetS(pkt.core, pkt.addr);
+        return;
+      case MsgType::FwdGetX:
+        handleFwdGetX(pkt.core, pkt.addr);
+        return;
+      case MsgType::WbAck:
+        wbAcked(pkt.addr);
+        return;
       default:
         panic("L1 %u: unexpected mesh message %s", _core,
               msgName(pkt.type));
     }
+}
+
+void
+L1Cache::handleInv(Addr line)
+{
+    invalidateLine(line);
+    const std::uint32_t home = homeTileOf(line);
+    Packet &p = _mesh.make(MsgType::InvAck);
+    p.receiver = _tiles[home].get();
+    p.core = _core;
+    p.addr = line;
+    _mesh.send(myNode(), _mesh.tileNode(home), p);
+}
+
+void
+L1Cache::handleRecall(Addr line)
+{
+    const std::uint32_t home = homeTileOf(line);
+    Packet &p = _mesh.make(MsgType::RecallAck);
+    p.receiver = _tiles[home].get();
+    p.core = _core;
+    p.addr = line;
+    if (auto got = surrenderLine(line)) {
+        p.flag = true;
+        p.dirty = got->second;
+        p.data = got->first;
+    }
+    _mesh.send(myNode(), _mesh.tileNode(home), p);
+}
+
+void
+L1Cache::handleFwdGetS(CoreId requester, Addr line)
+{
+    // Downgrade our copy in place (log bit survives: the line is still
+    // logged for this atomic update even if another core reads it)
+    // and ship whatever we had back home. The *home* grants the
+    // requester: every grant and every revocation for a line then
+    // travels on the single home->L1 pair, whose point-to-point FIFO
+    // makes a revocation overtaking an in-flight grant impossible --
+    // with owner->requester direct data there is no such ordering.
+    bool has = false;
+    bool was_dirty = false;
+    Line data{};
+    if (CacheLineState *frame = _array.find(line);
+        frame && frame->valid) {
+        has = true;
+        was_dirty = frame->dirty;
+        data = frame->data;
+        frame->state = CoherenceState::Shared;
+        frame->dirty = false;
+    } else if (PendingPutM *wb = findWb(line)) {
+        // Our PutM is still in flight; answer from the buffer (the
+        // home drops the stale PutM when it lands).
+        has = true;
+        was_dirty = true;
+        data = wb->data;
+    }
+
+    const std::uint32_t home = homeTileOf(line);
+    Packet &a = _mesh.make(MsgType::FwdAckS);
+    a.receiver = _tiles[home].get();
+    a.core = requester;
+    a.arg = _core;  // the (former) owner
+    a.addr = line;
+    a.flag = has;
+    a.dirty = was_dirty;
+    a.data = data;
+    _mesh.send(myNode(), _mesh.tileNode(home), a);
+}
+
+void
+L1Cache::handleFwdGetX(CoreId requester, Addr line)
+{
+    // Defer while we have an outstanding log request for the line (a
+    // real controller NACKs the forward; stealing mid-log forces
+    // re-logs that convoy on contended lines). As with FwdGetS, the
+    // surrendered copy goes home and the home grants the requester
+    // (see handleFwdGetS for why).
+    whenUnpinned(line, [this, requester, line] {
+        bool has = false;
+        bool was_dirty = false;
+        Line data{};
+        if (auto got = surrenderLine(line)) {
+            has = true;
+            was_dirty = got->second;
+            data = got->first;
+        }
+
+        const std::uint32_t home = homeTileOf(line);
+        Packet &a = _mesh.make(MsgType::FwdAckX);
+        a.receiver = _tiles[home].get();
+        a.core = requester;
+        a.arg = _core;
+        a.addr = line;
+        a.flag = has;
+        a.dirty = was_dirty;
+        a.data = data;
+        _mesh.send(myNode(), _mesh.tileNode(home), a);
+    });
 }
 
 void
@@ -409,27 +577,16 @@ std::optional<std::pair<Line, bool>>
 L1Cache::surrenderLine(Addr addr)
 {
     CacheLineState *frame = _array.find(addr);
-    if (!frame || !frame->valid)
-        return std::nullopt;
-    auto result = std::make_pair(frame->data, frame->dirty);
-    frame->reset();
-    return result;
-}
-
-std::optional<Line>
-L1Cache::downgradeLine(Addr addr)
-{
-    CacheLineState *frame = _array.find(addr);
-    if (!frame || !frame->valid)
-        return std::nullopt;
-    const bool was_dirty = frame->dirty;
-    Line data = frame->data;
-    frame->state = CoherenceState::Shared;
-    frame->dirty = false;
-    // The log bit survives a downgrade: the line is still logged for
-    // this atomic update even if another core reads it.
-    if (was_dirty)
-        return data;
+    if (frame && frame->valid) {
+        auto result = std::make_pair(frame->data, frame->dirty);
+        frame->reset();
+        return result;
+    }
+    // Not resident -- but a writeback of it may still be in flight, in
+    // which case the buffered copy is the authoritative one (the home
+    // will drop the stale PutM when it lands).
+    if (PendingPutM *wb = findWb(addr))
+        return std::make_pair(wb->data, true);
     return std::nullopt;
 }
 
@@ -464,6 +621,19 @@ L1Cache::powerFail()
         releaseFlush(pf);
     }
     _flushTail = nullptr;
+    // In-flight writebacks die with the rest of the volatile machine:
+    // the PutM packets still in the mesh will never be acked, so
+    // reclaim their buffer slots here (the home-side stale check makes
+    // a post-crash delivery harmless anyway -- nothing runs after
+    // powerFail).
+    while (_wbHead) {
+        PendingPutM *wb = _wbHead;
+        _wbHead = wb->next;
+        wb->next = nullptr;
+        _wbPool.release(wb);
+    }
+    _wbTail = nullptr;
+    _wbCount = 0;
     _unpinWaiters.clear();
 }
 

@@ -14,7 +14,19 @@
  * the store from first miss through logging to apply -- the
  * continuation is owned by the transaction, not by heap closures.
  * Mesh messages are typed packets (mem/packet.hh): the L1 is the
- * MeshSink for its fill responses and flush acks.
+ * MeshSink for its fill responses, flush acks, and -- since the
+ * split-phase coherence rework -- every inbound protocol leg
+ * (Inv / Recall / FwdGetS / FwdGetX / WbAck). The home tile never
+ * calls into the L1 directly; all L1<->L2 interaction is real mesh
+ * traffic, which is what lets each core+L1 pair live in its own
+ * simulation domain (see sim/shard.hh).
+ *
+ * Dirty evictions are split-phase too: the line parks in a pooled
+ * writeback buffer entry while its PutM travels to the home tile, and
+ * the entry is freed by the home's WbAck. A Recall / FwdGetX that
+ * crosses an in-flight PutM is answered from the writeback buffer;
+ * the home detects the resulting stale PutM by its directory owner
+ * field and drops it (see l2_cache.hh).
  */
 
 #ifndef ATOMSIM_CACHE_L1_CACHE_HH
@@ -125,30 +137,9 @@ class L1Cache : public MeshSink
      */
     void flush(Addr addr, Callback done);
 
-    // --- Mesh delivery (fill responses, flush acks) --------------------
+    // --- Mesh delivery (fills, acks, inbound protocol legs) -----------
 
     void meshDeliver(Packet &pkt) override;
-
-    // --- Home-tile-facing operations (synchronous state changes) ------
-
-    /** M/E -> I; returns the data (and dirtiness) if present. */
-    std::optional<std::pair<Line, bool>> surrenderLine(Addr addr);
-
-    /**
-     * Run @p action once the line is not pinned by an outstanding log
-     * request (immediately if unpinned). A real cache controller NACKs
-     * or defers incoming forwards/invalidations for a line with an
-     * active store-logging transaction; stealing the line mid-wait
-     * would force a refetch + duplicate log entry on every theft --
-     * on contended lines that convoy livelocks the update.
-     */
-    void whenUnpinned(Addr addr, Callback action);
-
-    /** M/E -> S; returns dirty data if it must update the L2 copy. */
-    std::optional<Line> downgradeLine(Addr addr);
-
-    /** Any -> I (invalidation; no data transfer). */
-    void invalidateLine(Addr addr);
 
     /** Power failure: everything volatile vanishes. */
     void powerFail();
@@ -167,6 +158,15 @@ class L1Cache : public MeshSink
 
     /** PendingStore slots currently idle (pool reuse proof). */
     std::size_t storePoolFree() const { return _storePool.idle(); }
+
+    /** Writeback-buffer entries ever allocated (pool high-water). */
+    std::size_t wbPoolAllocated() const { return _wbPool.allocated(); }
+
+    /** Writeback-buffer entries currently idle (pool reuse proof). */
+    std::size_t wbPoolFree() const { return _wbPool.idle(); }
+
+    /** PutM writebacks currently awaiting their WbAck. */
+    std::size_t outstandingWritebacks() const { return _wbCount; }
 
   private:
     /**
@@ -195,7 +195,60 @@ class L1Cache : public MeshSink
         Callback done;
     };
 
+    /**
+     * One dirty eviction in flight: the line's data parks here while
+     * the PutM travels to the home tile, and the entry frees when the
+     * WbAck returns. A Recall / FwdGetX that crosses the PutM in the
+     * mesh is answered from this buffer (the home then drops the stale
+     * PutM by its directory owner check).
+     */
+    struct PendingPutM
+    {
+        PendingPutM *next = nullptr;
+        Addr line = 0;
+        Line data{};
+    };
+
     void after(Cycles delay, EventQueue::Callback fn);
+
+    // --- Inbound protocol legs (mesh-delivered) -----------------------
+
+    /** Home invalidates our (shared) copy; ack back home. */
+    void handleInv(Addr line);
+
+    /** Home recalls the line (inclusion eviction / flush): surrender
+     * our copy -- from the array or the writeback buffer -- and reply
+     * with a RecallAck carrying whatever we had. */
+    void handleRecall(Addr line);
+
+    /** Forwarded read: downgrade to Shared and ship our copy home
+     * (FwdAckS); the home grants @p requester. */
+    void handleFwdGetS(CoreId requester, Addr line);
+
+    /** Forwarded write: once unpinned, surrender the line home
+     * (FwdAckX); the home grants @p requester Modified. */
+    void handleFwdGetX(CoreId requester, Addr line);
+
+    /** WbAck from the home: free the oldest matching writeback-buffer
+     * entry. */
+    void wbAcked(Addr line);
+
+    /**
+     * Run @p action once the line is not pinned by an outstanding log
+     * request (immediately if unpinned). A real cache controller NACKs
+     * or defers incoming forwards/invalidations for a line with an
+     * active store-logging transaction; stealing the line mid-wait
+     * would force a refetch + duplicate log entry on every theft --
+     * on contended lines that convoy livelocks the update.
+     */
+    void whenUnpinned(Addr addr, Callback action);
+
+    /** M/E -> I; returns the data (and dirtiness) if present in the
+     * array, else the newest writeback-buffer copy, else nothing. */
+    std::optional<std::pair<Line, bool>> surrenderLine(Addr addr);
+
+    /** Any -> I (invalidation; no data transfer). */
+    void invalidateLine(Addr addr);
 
     std::uint32_t homeTileOf(Addr addr) const;
     std::uint32_t myNode() const;
@@ -229,6 +282,9 @@ class L1Cache : public MeshSink
     PendingFlush *acquireFlush();
     void releaseFlush(PendingFlush *pf);
 
+    /** Newest in-flight writeback of @p line (nullptr if none). */
+    PendingPutM *findWb(Addr line);
+
     CoreId _core;
     EventQueue &_eq;
     const SystemConfig &_cfg;
@@ -252,6 +308,10 @@ class L1Cache : public MeshSink
     FreeListPool<PendingFlush> _flushPool;
     PendingFlush *_flushHead = nullptr;  //!< outstanding flushes (FIFO)
     PendingFlush *_flushTail = nullptr;
+    FreeListPool<PendingPutM> _wbPool;
+    PendingPutM *_wbHead = nullptr;  //!< in-flight writebacks (FIFO)
+    PendingPutM *_wbTail = nullptr;
+    std::size_t _wbCount = 0;
 
     Counter &_statLoads;
     Counter &_statStores;

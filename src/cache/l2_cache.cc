@@ -26,6 +26,11 @@ L2Tile::L2Tile(std::uint32_t tile_id, EventQueue &eq,
       _statVictimHits(stats.counter("l2t" + std::to_string(tile_id),
                                     "victim_hits"))
 {
+    // Directory control-block occupancy (ROADMAP follow-up): high-water
+    // mark of live per-line control blocks, capped at kMaxIdleCtl.
+    _dir.attachStats(
+        &stats.counter("dir" + std::to_string(tile_id),
+                       "ctrl_blocks_live"));
 }
 
 L2Tile::~L2Tile() = default;
@@ -49,21 +54,24 @@ L2Tile::meshDeliver(Packet &pkt)
       case MsgType::Upgrade:
         handleUpgrade(pkt.core, pkt.addr, pkt.flag);
         return;
+      case MsgType::PutM:
+        handlePutM(pkt.core, pkt.addr, pkt.data);
+        return;
       case MsgType::FlushReq:
       case MsgType::Ctrl:
         handleFlush(pkt.core, pkt.addr, pkt.flag, pkt.data);
         return;
-      case MsgType::FwdGetS:
-        onFwdGetS(pkt.core, pkt.addr, CoreId(pkt.arg));
+      case MsgType::FwdAckS:
+        onFwdAckS(pkt);
         return;
-      case MsgType::FwdGetX:
-        onFwdGetX(pkt.core, pkt.addr, CoreId(pkt.arg));
-        return;
-      case MsgType::Inv:
-        onInv(pkt.addr, CoreId(pkt.arg));
+      case MsgType::FwdAckX:
+        onFwdAckX(pkt);
         return;
       case MsgType::InvAck:
-        onInvAck(pkt.addr);
+        roundAck(pkt.addr, false, false, pkt.data);
+        return;
+      case MsgType::RecallAck:
+        roundAck(pkt.addr, pkt.flag, pkt.dirty, pkt.data);
         return;
       case MsgType::Data:
       case MsgType::DataExcl:
@@ -115,52 +123,183 @@ L2Tile::writeThrough(Addr addr, const Line &data, WriteKind kind,
     _mesh.send(_mesh.tileNode(_tileId), _mesh.mcNode(mc), p);
 }
 
-void
-L2Tile::recallOwner(Addr addr, DirEntry &dir, CacheLineState *frame)
+L2Tile::PendingFill *
+L2Tile::acquireFill()
 {
-    if (dir.owner == kNoCore)
-        return;
-    if (auto got = _l1s[dir.owner]->surrenderLine(addr);
-        frame != nullptr && got.has_value() && got->second) {
-        frame->data = got->first;
-        frame->dirty = true;
-    }
-    dir.owner = kNoCore;
-    _statRecalls.inc();
+    PendingFill *pf = _fillPool.acquire();
+    pf->activeNext = _fillActive;
+    _fillActive = pf;
+    return pf;
 }
 
-CacheLineState *
-L2Tile::insertLine(Addr addr, const Line &data, bool dirty)
+void
+L2Tile::releaseFill(PendingFill *pf)
 {
-    CacheLineState *frame = _array.victim(addr);
-    if (frame->valid) {
-        // Inclusion: recall every L1 copy of the victim before it
-        // leaves the L2. Synchronous, see file header.
-        const Addr vaddr = frame->tag;
-        DirEntry &vdir = _dir.entry(vaddr);
-        recallOwner(vaddr, vdir, frame);
-        for (CoreId c = 0; c < _l1s.size(); ++c) {
-            if (vdir.sharers & (std::uint64_t(1) << c))
-                _l1s[c]->invalidateLine(vaddr);
-        }
-        _dir.erase(vaddr);
-        _statEvictions.inc();
+    PendingFill *prev = nullptr;
+    PendingFill *cur = _fillActive;
+    while (cur && cur != pf) {
+        prev = cur;
+        cur = cur->activeNext;
+    }
+    panic_if(!cur, "releasing a PendingFill that is not in flight");
+    if (prev)
+        prev->activeNext = pf->activeNext;
+    else
+        _fillActive = pf->activeNext;
+    pf->activeNext = nullptr;
+    pf->next = nullptr;
+    _fillPool.release(pf);
+}
 
-        if (frame->dirty) {
-            if (_victims) {
-                // REDO: dirty evictions park in the victim cache so
-                // NVM in-place data stays pristine until applied.
-                _victims->put(vaddr, frame->data);
-            } else {
-                writeThrough(vaddr, frame->data, WriteKind::DataWb,
-                             AckCallback{});
-            }
+void
+L2Tile::startRound(Addr line, CoreId owner, std::uint64_t sharers,
+                   RoundCallback done)
+{
+    const std::uint32_t remaining =
+        (owner != kNoCore ? 1 : 0) +
+        std::uint32_t(__builtin_popcountll(sharers));
+    if (remaining == 0) {
+        Round scratch;  // nothing to collect
+        done(scratch);
+        return;
+    }
+
+    Round *round = _roundPool.acquire();
+    round->line = line;
+    round->remaining = remaining;
+    round->gotData = false;
+    round->gotDirty = false;
+    round->done = std::move(done);
+    round->next = _roundActive;
+    _roundActive = round;
+
+    if (owner != kNoCore) {
+        Packet &p = _mesh.make(MsgType::Recall);
+        p.receiver = _l1s[owner];
+        p.core = owner;
+        p.addr = line;
+        _mesh.send(_mesh.tileNode(_tileId), _mesh.coreNode(owner), p);
+    }
+    for (CoreId c = 0; c < _l1s.size(); ++c) {
+        if (!(sharers & (std::uint64_t(1) << c)))
+            continue;
+        Packet &p = _mesh.make(MsgType::Inv);
+        p.receiver = _l1s[c];
+        p.core = c;
+        p.addr = line;
+        _mesh.send(_mesh.tileNode(_tileId), _mesh.coreNode(c), p);
+    }
+}
+
+void
+L2Tile::roundAck(Addr line, bool has_data, bool dirty, const Line &data)
+{
+    Round *prev = nullptr;
+    Round *round = _roundActive;
+    while (round && round->line != line) {
+        prev = round;
+        round = round->next;
+    }
+    panic_if(!round, "protocol ack for a line with no round in flight");
+    if (has_data) {
+        round->gotData = true;
+        if (dirty) {
+            round->gotDirty = true;
+            round->data = data;
         }
     }
-    _array.install(frame, addr);
-    frame->data = data;
-    frame->dirty = dirty;
-    return frame;
+    if (--round->remaining != 0)
+        return;
+    if (prev)
+        prev->next = round->next;
+    else
+        _roundActive = round->next;
+    // Run the continuation with the round detached but alive (it may
+    // start new rounds; the pool will not hand this node out until
+    // the release below).
+    RoundCallback done = std::move(round->done);
+    done(*round);
+    round->done = nullptr;
+    round->next = nullptr;
+    _roundPool.release(round);
+}
+
+void
+L2Tile::evictThen(CacheLineState *frame, PendingFill *pf)
+{
+    // Inclusion: recall every L1 copy of the victim before it leaves
+    // the L2 -- a split-phase round under the victim's busy bit. The
+    // frame is pinned so concurrent fills to the set pick other ways
+    // (or park until this eviction completes).
+    const Addr vaddr = frame->tag;
+    frame->pinned = true;
+    _dir.acquire(vaddr, Directory::Txn([this, frame, vaddr, pf] {
+        DirEntry &vdir = _dir.entry(vaddr);
+        const CoreId owner = vdir.owner;
+        const std::uint64_t sharers = vdir.sharers;
+        vdir.owner = kNoCore;
+        vdir.sharers = 0;
+        if (owner != kNoCore)
+            _statRecalls.inc();
+        startRound(vaddr, owner, sharers,
+                   [this, frame, vaddr, pf](Round &r) {
+            if (r.gotDirty) {
+                frame->data = r.data;
+                frame->dirty = true;
+            }
+            _statEvictions.inc();
+            if (frame->dirty) {
+                if (_victims) {
+                    // REDO: dirty evictions park in the victim cache
+                    // so NVM in-place data stays pristine until
+                    // applied.
+                    _victims->put(vaddr, frame->data);
+                } else {
+                    writeThrough(vaddr, frame->data, WriteKind::DataWb,
+                                 AckCallback{});
+                }
+            }
+            _dir.erase(vaddr);
+            frame->pinned = false;
+
+            const CoreId core = pf->core;
+            const Addr line = pf->line;
+            const Line data = pf->data;
+            const bool logged = pf->logged;
+            const bool exclusive = pf->exclusive;
+            releaseFill(pf);
+            // Install the fill into the frame *before* releasing the
+            // victim's busy bit: Directory::release runs the next
+            // queued transaction synchronously, and a demand access
+            // to the victim queued during the round must find the
+            // frame re-tagged (a clean miss), not be granted the
+            // stale still-valid copy the L2 is about to drop.
+            finishFill(frame, core, line, data, logged, exclusive);
+            _dir.release(vaddr);
+            retryStalledFills();
+        });
+    }));
+}
+
+void
+L2Tile::retryStalledFills()
+{
+    if (!_stallHead)
+        return;
+    PendingFill *head = _stallHead;
+    _stallHead = _stallTail = nullptr;
+    while (head) {
+        PendingFill *pf = head;
+        head = pf->next;
+        pf->next = nullptr;
+        const CoreId core = pf->core;
+        const Addr line = pf->line;
+        const Line data = pf->data;
+        const bool logged = pf->logged;
+        const bool exclusive = pf->exclusive;
+        releaseFill(pf);
+        onMemFill(core, line, data, logged, exclusive);
+    }
 }
 
 void
@@ -195,7 +334,40 @@ L2Tile::onMemFill(CoreId core, Addr addr, const Line &data, bool logged,
                   bool exclusive)
 {
     const Addr line = lineAlign(addr);
-    insertLine(line, data, false);
+    CacheLineState *frame = _array.victim(line);
+    if (!frame->valid) {
+        finishFill(frame, core, line, data, logged, exclusive);
+        return;
+    }
+
+    PendingFill *pf = acquireFill();
+    pf->core = core;
+    pf->line = line;
+    pf->data = data;
+    pf->logged = logged;
+    pf->exclusive = exclusive;
+
+    if (frame->pinned) {
+        // Every unpinned way of the set is mid-eviction; park until
+        // one completes (bounded: rounds always finish).
+        pf->next = nullptr;
+        if (_stallTail)
+            _stallTail->next = pf;
+        else
+            _stallHead = pf;
+        _stallTail = pf;
+        return;
+    }
+    evictThen(frame, pf);
+}
+
+void
+L2Tile::finishFill(CacheLineState *frame, CoreId core, Addr line,
+                   const Line &data, bool logged, bool exclusive)
+{
+    _array.install(frame, line);
+    frame->data = data;
+    frame->dirty = false;
     DirEntry &dir = _dir.entry(line);
     dir.owner = core;
     if (exclusive)
@@ -223,58 +395,9 @@ void
 L2Tile::invalidateSharers(CoreId requester, Addr line,
                           std::uint64_t mask)
 {
-    if (mask == 0) {
+    startRound(line, kNoCore, mask, [this, requester, line](Round &) {
         grantExclusive(requester, line);
-        return;
-    }
-    InvJoin *join = _joinPool.acquire();
-    join->line = line;
-    join->requester = requester;
-    join->remaining = std::uint32_t(__builtin_popcountll(mask));
-    join->next = _joinActive;
-    _joinActive = join;
-
-    for (CoreId c = 0; c < _l1s.size(); ++c) {
-        if (!(mask & (std::uint64_t(1) << c)))
-            continue;
-        Packet &p = _mesh.make(MsgType::Inv);
-        p.receiver = this;
-        p.addr = line;
-        p.arg = c;
-        _mesh.send(_mesh.tileNode(_tileId), _mesh.coreNode(c), p);
-    }
-}
-
-void
-L2Tile::onInv(Addr line, CoreId target)
-{
-    // Executes at the sharer's node: drop the copy, ack back home.
-    _l1s[target]->invalidateLine(line);
-    Packet &p = _mesh.make(MsgType::InvAck);
-    p.receiver = this;
-    p.addr = line;
-    _mesh.send(_mesh.coreNode(target), _mesh.tileNode(_tileId), p);
-}
-
-void
-L2Tile::onInvAck(Addr line)
-{
-    InvJoin *prev = nullptr;
-    InvJoin *join = _joinActive;
-    while (join && join->line != line) {
-        prev = join;
-        join = join->next;
-    }
-    panic_if(!join, "InvAck with no invalidation round in flight");
-    if (--join->remaining != 0)
-        return;
-    if (prev)
-        prev->next = join->next;
-    else
-        _joinActive = join->next;
-    const CoreId requester = join->requester;
-    _joinPool.release(join);
-    grantExclusive(requester, line);
+    });
 }
 
 void
@@ -288,14 +411,14 @@ L2Tile::handleGetS(CoreId core, Addr addr)
                 _statHits.inc();
                 DirEntry &dir = _dir.entry(line);
                 if (dir.owner != kNoCore && dir.owner != core) {
-                    // 3-hop read: forward to the owner, who downgrades
-                    // to Shared and supplies the freshest data.
+                    // Forward to the owner's L1, which downgrades to
+                    // Shared and ships its copy home (FwdAckS); the
+                    // home then grants the requester.
                     const CoreId owner = dir.owner;
                     Packet &p = _mesh.make(MsgType::FwdGetS);
-                    p.receiver = this;
+                    p.receiver = _l1s[owner];
                     p.core = core;
                     p.addr = line;
-                    p.arg = owner;
                     _mesh.send(_mesh.tileNode(_tileId),
                                _mesh.coreNode(owner), p);
                     return;
@@ -324,26 +447,27 @@ L2Tile::handleGetS(CoreId core, Addr addr)
 }
 
 void
-L2Tile::onFwdGetS(CoreId requester, Addr line, CoreId owner)
+L2Tile::onFwdAckS(const Packet &pkt)
 {
-    // Executes at the owner's node.
+    // The (former) owner downgraded and shipped its copy home. Merge
+    // it, grant the requester *from here* -- the home->requester pair
+    // is the same FIFO channel every later revocation of the line
+    // uses, so the grant can never be overtaken -- and release.
+    const Addr line = pkt.addr;
+    const CoreId requester = pkt.core;
+    const CoreId owner = CoreId(pkt.arg);
     CacheLineState *fr = _array.find(line);
     panic_if(!fr, "L2 lost line during busy txn");
-    if (auto d = _l1s[owner]->downgradeLine(line)) {
-        fr->data = *d;
+    if (pkt.flag && pkt.dirty) {
+        fr->data = pkt.data;
         fr->dirty = true;
     }
     DirEntry &dir = _dir.entry(line);
     dir.owner = kNoCore;
     dir.sharers |= std::uint64_t(1) << owner;
     dir.sharers |= std::uint64_t(1) << requester;
-    Packet &p = _mesh.make(MsgType::Data);
-    p.receiver = _l1s[requester];
-    p.core = requester;
-    p.addr = line;
-    p.data = fr->data;
-    p.grant = CoherenceState::Shared;
-    _mesh.send(_mesh.coreNode(owner), _mesh.coreNode(requester), p);
+    respondFill(requester, line, MsgType::Data,
+                FillResult{fr->data, CoherenceState::Shared, false});
     _dir.release(line);
 }
 
@@ -369,14 +493,14 @@ L2Tile::handleGetX(CoreId core, Addr addr, bool in_atomic)
                 }
 
                 if (dir.owner != kNoCore) {
-                    // Forward to the owner; ownership moves to the
-                    // requester with the freshest data.
+                    // Forward to the owner's L1; the surrendered copy
+                    // returns home (FwdAckX) and the home grants the
+                    // requester Modified.
                     const CoreId owner = dir.owner;
                     Packet &p = _mesh.make(MsgType::FwdGetX);
-                    p.receiver = this;
+                    p.receiver = _l1s[owner];
                     p.core = core;
                     p.addr = line;
-                    p.arg = owner;
                     _mesh.send(_mesh.tileNode(_tileId),
                                _mesh.coreNode(owner), p);
                     return;
@@ -400,35 +524,25 @@ L2Tile::handleGetX(CoreId core, Addr addr, bool in_atomic)
 }
 
 void
-L2Tile::onFwdGetX(CoreId requester, Addr line, CoreId owner)
+L2Tile::onFwdAckX(const Packet &pkt)
 {
-    // Executes at the owner's node. Defer while the owner has an
-    // outstanding log request for the line (a real controller NACKs
-    // the forward; stealing mid-log forces re-logs that convoy on
-    // contended lines).
-    _l1s[owner]->whenUnpinned(
-        line, [this, requester, line, owner] {
-            CacheLineState *fr = _array.find(line);
-            panic_if(!fr, "L2 lost line during busy txn");
-            if (auto got = _l1s[owner]->surrenderLine(line)) {
-                if (got->second) {
-                    fr->data = got->first;
-                    fr->dirty = true;
-                }
-            }
-            DirEntry &dir = _dir.entry(line);
-            dir.owner = requester;
-            dir.sharers = 0;
-            Packet &p = _mesh.make(MsgType::DataExcl);
-            p.receiver = _l1s[requester];
-            p.core = requester;
-            p.addr = line;
-            p.data = fr->data;
-            p.grant = CoherenceState::Modified;
-            _mesh.send(_mesh.coreNode(owner),
-                       _mesh.coreNode(requester), p);
-            _dir.release(line);
-        });
+    // Ownership moves to the requester; the old owner's surrendered
+    // copy (if any) merged here, and the home grants Modified on the
+    // revocation-ordered home->requester channel (see onFwdAckS).
+    const Addr line = pkt.addr;
+    const CoreId requester = pkt.core;
+    CacheLineState *fr = _array.find(line);
+    panic_if(!fr, "L2 lost line during busy txn");
+    if (pkt.flag && pkt.dirty) {
+        fr->data = pkt.data;
+        fr->dirty = true;
+    }
+    DirEntry &dir = _dir.entry(line);
+    dir.owner = requester;
+    dir.sharers = 0;
+    respondFill(requester, line, MsgType::DataExcl,
+                FillResult{fr->data, CoherenceState::Modified, false});
+    _dir.release(line);
 }
 
 void
@@ -460,22 +574,40 @@ L2Tile::handleUpgrade(CoreId core, Addr addr, bool in_atomic)
 }
 
 void
-L2Tile::putMSync(CoreId core, Addr addr, const Line &data)
+L2Tile::sendWbAck(CoreId core, Addr line)
+{
+    Packet &p = _mesh.make(MsgType::WbAck);
+    p.receiver = _l1s[core];
+    p.core = core;
+    p.addr = line;
+    _mesh.send(_mesh.tileNode(_tileId), _mesh.coreNode(core), p);
+}
+
+void
+L2Tile::handlePutM(CoreId core, Addr addr, const Line &data)
 {
     const Addr line = lineAlign(addr);
-    CacheLineState *frame = _array.find(line);
-    DirEntry &dir = _dir.entry(line);
-    if (dir.owner == core)
-        dir.owner = kNoCore;
-    dir.sharers &= ~(std::uint64_t(1) << core);
-    if (frame) {
-        frame->data = data;
-        frame->dirty = true;
-    } else {
-        // Inclusion says this cannot happen for a tracked line; it can
-        // only occur if the L2 victimized the line in the same tick.
-        insertLine(line, data, true);
-    }
+    _dir.acquire(line, Directory::Txn([this, core, line, data] {
+        DirEntry &dir = _dir.entry(line);
+        if (dir.owner == core) {
+            // Inclusion: a line whose owner we still track must be
+            // resident (evictions clear the owner under the same busy
+            // bit this transaction waited on).
+            CacheLineState *frame = _array.find(line);
+            panic_if(!frame,
+                     "PutM from the tracked owner but the line left "
+                     "the L2");
+            frame->data = data;
+            frame->dirty = true;
+            dir.owner = kNoCore;
+        }
+        // Otherwise a recall or forward crossed this PutM in the mesh
+        // and already took the data from the L1's writeback buffer:
+        // the PutM is stale, drop it. Always ack so the L1 frees its
+        // writeback-buffer slot.
+        sendWbAck(core, line);
+        _dir.release(line);
+    }));
 }
 
 void
@@ -486,45 +618,67 @@ L2Tile::handleFlush(CoreId core, Addr addr, bool has_data,
     after(_cfg.l2Latency, [this, core, line, has_data, data] {
         _dir.acquire(line,
                      Directory::Txn([this, core, line, has_data, data] {
-            CacheLineState *frame = _array.find(line);
             DirEntry &dir = _dir.entry(line);
-
-            // Freshest data wins: current owner > flusher > L2 copy.
-            const Line *to_write = nullptr;
             if (dir.owner != kNoCore && dir.owner != core) {
-                recallOwner(line, dir, frame);
-                if (frame && frame->dirty)
-                    to_write = &frame->data;
-            }
-            if (!to_write && has_data)
-                to_write = &data;
-            if (!to_write && frame && frame->dirty)
-                to_write = &frame->data;
-
-            if (to_write) {
-                if (frame) {
-                    frame->data = *to_write;
-                    frame->dirty = false;  // NVM copy now matches
-                }
-                writeThrough(line, *to_write, WriteKind::Flush,
-                             [this, core, line] {
-                                 sendFlushAck(core, line);
-                             });
-            } else {
-                // Nothing dirty anywhere: only wait out any write to
-                // this line still queued in the controller.
-                const McId mc = _amap.memCtrl(line);
-                Packet &p = _mesh.make(MsgType::FlushReq);
-                p.receiver = _mcPorts[mc];
-                p.addr = line;
-                p.cb = MeshCallback([this, core, line] {
-                    sendFlushAck(core, line);
+                // Pull the freshest copy back from the owner first --
+                // a split-phase recall round under the busy bit.
+                const CoreId owner = dir.owner;
+                dir.owner = kNoCore;
+                _statRecalls.inc();
+                startRound(line, owner, 0,
+                           [this, core, line, has_data,
+                            data](Round &r) {
+                    CacheLineState *frame = _array.find(line);
+                    if (frame && r.gotDirty) {
+                        frame->data = r.data;
+                        frame->dirty = true;
+                    }
+                    finishFlush(core, line, has_data, data, true);
                 });
-                _mesh.send(_mesh.tileNode(_tileId), _mesh.mcNode(mc), p);
+                return;
             }
-            _dir.release(line);
+            finishFlush(core, line, has_data, data, false);
         }));
     });
+}
+
+void
+L2Tile::finishFlush(CoreId core, Addr line, bool has_data,
+                    const Line &data, bool owner_recalled)
+{
+    CacheLineState *frame = _array.find(line);
+
+    // Freshest data wins: recalled owner copy > flusher > L2 copy.
+    const Line *to_write = nullptr;
+    if (owner_recalled && frame && frame->dirty)
+        to_write = &frame->data;
+    if (!to_write && has_data)
+        to_write = &data;
+    if (!to_write && frame && frame->dirty)
+        to_write = &frame->data;
+
+    if (to_write) {
+        if (frame) {
+            frame->data = *to_write;
+            frame->dirty = false;  // NVM copy now matches
+        }
+        writeThrough(line, *to_write, WriteKind::Flush,
+                     [this, core, line] {
+                         sendFlushAck(core, line);
+                     });
+    } else {
+        // Nothing dirty anywhere: only wait out any write to this
+        // line still queued in the controller.
+        const McId mc = _amap.memCtrl(line);
+        Packet &p = _mesh.make(MsgType::FlushReq);
+        p.receiver = _mcPorts[mc];
+        p.addr = line;
+        p.cb = MeshCallback([this, core, line] {
+            sendFlushAck(core, line);
+        });
+        _mesh.send(_mesh.tileNode(_tileId), _mesh.mcNode(mc), p);
+    }
+    _dir.release(line);
 }
 
 void
@@ -532,11 +686,24 @@ L2Tile::powerFail()
 {
     _array.invalidateAll();
     _dir.clear();
-    while (_joinActive) {
-        InvJoin *j = _joinActive;
-        _joinActive = j->next;
-        _joinPool.release(j);
+    // In-flight recall/invalidation rounds and parked fills die with
+    // the caches; reclaim their pooled records (their acks will never
+    // arrive -- nothing runs after powerFail).
+    while (_roundActive) {
+        Round *r = _roundActive;
+        _roundActive = r->next;
+        r->done = nullptr;
+        r->next = nullptr;
+        _roundPool.release(r);
     }
+    while (_fillActive) {
+        PendingFill *pf = _fillActive;
+        _fillActive = pf->activeNext;
+        pf->activeNext = nullptr;
+        pf->next = nullptr;
+        _fillPool.release(pf);
+    }
+    _stallHead = _stallTail = nullptr;
 }
 
 } // namespace atomsim

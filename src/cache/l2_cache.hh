@@ -4,20 +4,37 @@
  *
  * Each tile is the home node of the lines that hash to it and runs the
  * directory protocol for them: GetS / GetX / Upgrade requests from L1s,
- * synchronous PutM writebacks, durable flushes to the memory
- * controller, and recalls on inclusion-victim eviction.
+ * PutM writebacks, durable flushes to the memory controller, and
+ * recalls on inclusion-victim eviction.
  *
- * Protocol note (see DESIGN.md): coherence *state* transitions are
- * applied synchronously inside delivered events while message latencies
- * shape request completion times; combined with per-line busy
- * serialization this makes the protocol race-free by construction.
+ * Every L1<->L2 protocol leg is a *split-phase mesh transaction*: the
+ * tile never calls into an L1 (and vice versa); it sends a typed
+ * packet (Recall / Inv / FwdGetS / FwdGetX / WbAck) and the L1 answers
+ * with another (RecallAck / InvAck / FwdAckS / FwdAckX / PutM). That
+ * is what allows each L2 tile -- and each core+L1 pair -- to run as
+ * its own simulation domain in sharded mode (sim/shard.hh).
+ * Per-line busy serialization at the directory still makes the
+ * protocol race-free: a line with an in-flight recall/invalidation
+ * round or forward keeps its busy bit until the acks return.
  *
- * The tile is a MeshSink: requests, forwards, invalidation acks and
- * memory fills all arrive as typed packets, and responses leave as
- * typed packets addressed to the requesting L1 (or this tile itself,
- * for protocol legs that logically execute at a remote node). Fan-in
- * joins (invalidation acks) are tracked in pooled InvJoin records
- * keyed by line -- no closures, no allocation in steady state.
+ * Ordering invariant: *every* grant (fill response) and *every*
+ * revocation (Inv / Recall / FwdGet*) of a line travels on the single
+ * home-tile -> L1 node pair, whose point-to-point FIFO the mesh
+ * guarantees (per-link and ejection-port reservations). A revocation
+ * therefore can never overtake an in-flight grant -- the reason
+ * forwarded data returns home before the requester is granted,
+ * rather than going owner -> requester directly.
+ *
+ * Fan-in rounds (a victim's recall + sharer invalidations, a flush's
+ * owner recall, a GetX's invalidation set) are tracked in pooled Round
+ * records keyed by line; a fill whose victim is mid-recall parks in a
+ * pooled PendingFill -- no closures, no allocation in steady state.
+ *
+ * Writeback races resolve by ownership: a PutM that arrives after the
+ * home recalled or forwarded the line away (the L1 answered from its
+ * writeback buffer) finds dir.owner != sender and is dropped; every
+ * PutM is acknowledged with a WbAck so the L1 can free the buffer
+ * slot.
  */
 
 #ifndef ATOMSIM_CACHE_L2_CACHE_HH
@@ -147,10 +164,12 @@ class L2Tile : public MeshSink
     void handleUpgrade(CoreId core, Addr addr, bool in_atomic);
 
     /**
-     * Dirty writeback from an L1. State applies synchronously (see file
-     * header); the caller separately charges network bandwidth.
+     * Dirty writeback from an L1 (split-phase): apply if the sender is
+     * still the tracked owner, drop as stale otherwise (a recall or
+     * forward crossed it and already took the data), and WbAck the
+     * sender either way.
      */
-    void putMSync(CoreId core, Addr addr, const Line &data);
+    void handlePutM(CoreId core, Addr addr, const Line &data);
 
     /**
      * Durable flush (clwb-like). @p has_data carries the L1's dirty
@@ -167,14 +186,53 @@ class L2Tile : public MeshSink
     const CacheArray &array() const { return _array; }
     Directory &directory() { return _dir; }
 
+    /** Round records ever allocated (pool high-water). */
+    std::size_t roundPoolAllocated() const { return _roundPool.allocated(); }
+    /** Round records currently idle (pool reuse proof). */
+    std::size_t roundPoolFree() const { return _roundPool.idle(); }
+    /** Parked fills ever allocated (pool high-water). */
+    std::size_t fillPoolAllocated() const { return _fillPool.allocated(); }
+    /** Parked fills currently idle (pool reuse proof). */
+    std::size_t fillPoolFree() const { return _fillPool.idle(); }
+
   private:
-    /** Pooled fan-in record for an invalidation round. */
-    struct InvJoin
+    /** Capacity of a round-completion continuation: the flush path's
+     * this + core + line + flags + a 64-byte line. */
+    static constexpr std::size_t kRoundCbBytes = 104;
+
+    /**
+     * Pooled fan-in record for one recall/invalidation round on one
+     * line (the line is busy at the directory for the whole round, so
+     * at most one round per line exists). Collects the recalled copy
+     * and runs the continuation when the last ack lands.
+     */
+    struct Round
     {
-        InvJoin *next = nullptr;
+        Round *next = nullptr;
         Addr line = 0;
-        CoreId requester = 0;
         std::uint32_t remaining = 0;
+        bool gotData = false;   //!< a RecallAck carried a copy
+        bool gotDirty = false;  //!< ... and it was dirty
+        Line data{};
+        InplaceFunction<void(Round &), kRoundCbBytes> done;
+    };
+
+    using RoundCallback = InplaceFunction<void(Round &), kRoundCbBytes>;
+
+    /**
+     * A memory fill whose victim frame needs a split-phase eviction
+     * (or whose set is transiently out of unpinned frames): parked
+     * here until the frame is free to install into.
+     */
+    struct PendingFill
+    {
+        PendingFill *next = nullptr;        //!< pool / stall-list link
+        PendingFill *activeNext = nullptr;  //!< in-flight list link
+        CoreId core = 0;
+        Addr line = 0;
+        bool logged = false;
+        bool exclusive = false;
+        Line data{};
     };
 
     void after(Cycles delay, EventQueue::Callback fn);
@@ -186,20 +244,49 @@ class L2Tile : public MeshSink
     /** FlushAck back to the flushing core's L1. */
     void sendFlushAck(CoreId core, Addr line);
 
+    /** WbAck back to a PutM sender's L1. */
+    void sendWbAck(CoreId core, Addr line);
+
     /** Read the line from NVM (or victim cache); the fill resumes in
      * onMemFill(). */
     void missToMemory(CoreId core, Addr addr, bool exclusive,
                       bool in_atomic);
 
-    /** Memory fill arrived: install, update the directory, grant. */
+    /** Memory fill arrived: find (or free up) a frame, install, update
+     * the directory, grant. May park the fill behind a split-phase
+     * victim eviction. */
     void onMemFill(CoreId core, Addr addr, const Line &data, bool logged,
                    bool exclusive);
 
-    // Protocol legs executing at remote nodes (typed to this tile).
-    void onFwdGetS(CoreId requester, Addr line, CoreId owner);
-    void onFwdGetX(CoreId requester, Addr line, CoreId owner);
-    void onInv(Addr line, CoreId target);
-    void onInvAck(Addr line);
+    /** Install the fill into @p frame, grant, and release the line. */
+    void finishFill(CacheLineState *frame, CoreId core, Addr line,
+                    const Line &data, bool logged, bool exclusive);
+
+    // Home-side completions of the split-phase forward legs.
+    void onFwdAckS(const Packet &pkt);
+    void onFwdAckX(const Packet &pkt);
+
+    /**
+     * Start a recall/invalidation round on @p line: a Recall to
+     * @p owner (if any) plus an Inv to every core in @p sharers.
+     * @p done runs when the last ack lands -- immediately, with an
+     * empty scratch Round, if there is nothing to send.
+     */
+    void startRound(Addr line, CoreId owner, std::uint64_t sharers,
+                    RoundCallback done);
+
+    /** An InvAck / RecallAck landed: advance the line's round. */
+    void roundAck(Addr line, bool has_data, bool dirty,
+                  const Line &data);
+
+    /**
+     * Split-phase eviction of @p frame's current occupant; installs
+     * @p pf's fill and completes it when the victim's round finishes.
+     */
+    void evictThen(CacheLineState *frame, PendingFill *pf);
+
+    /** Re-dispatch fills that were parked waiting for a frame. */
+    void retryStalledFills();
 
     /** Invalidate every sharer in @p mask, granting to @p requester
      * once all acks return (immediately if the mask is empty). */
@@ -209,18 +296,16 @@ class L2Tile : public MeshSink
     /** Grant Modified to @p requester from the L2 copy and release. */
     void grantExclusive(CoreId requester, Addr line);
 
-    /**
-     * Install @p addr with @p data into the array, evicting (and
-     * recalling) a victim if necessary.
-     */
-    CacheLineState *insertLine(Addr addr, const Line &data, bool dirty);
-
-    /** Pull the freshest copy back from the owner, if any (sync). */
-    void recallOwner(Addr addr, DirEntry &dir, CacheLineState *frame);
+    /** The flush decision once any owner recall completed. */
+    void finishFlush(CoreId core, Addr line, bool has_data,
+                     const Line &data, bool owner_recalled);
 
     /** Issue a durable data write for @p addr to its MC. */
     void writeThrough(Addr addr, const Line &data, WriteKind kind,
                       AckCallback on_durable);
+
+    PendingFill *acquireFill();
+    void releaseFill(PendingFill *pf);
 
     std::uint32_t _tileId;
     EventQueue &_eq;
@@ -235,8 +320,12 @@ class L2Tile : public MeshSink
     std::vector<MeshSink *> _mcPorts;
     VictimCache *_victims = nullptr;
 
-    FreeListPool<InvJoin> _joinPool;
-    InvJoin *_joinActive = nullptr;
+    FreeListPool<Round> _roundPool;
+    Round *_roundActive = nullptr;
+    FreeListPool<PendingFill> _fillPool;
+    PendingFill *_fillActive = nullptr;  //!< every live PendingFill
+    PendingFill *_stallHead = nullptr;   //!< fills waiting for a frame
+    PendingFill *_stallTail = nullptr;
 
     Counter &_statHits;
     Counter &_statMisses;

@@ -35,13 +35,15 @@ Core::start()
 void
 Core::nextTransaction()
 {
-    _txn = _source->next(_id);
-    if (!_txn) {
-        // Drain outstanding stores, then go idle.
-        _sq.whenEmpty([this] { _done = true; });
-        return;
-    }
-    execOp(0);
+    _source->fetchNext(_id, [this](std::optional<Transaction> txn) {
+        _txn = std::move(txn);
+        if (!_txn) {
+            // Drain outstanding stores, then go idle.
+            _sq.whenEmpty([this] { _done = true; });
+            return;
+        }
+        execOp(0);
+    });
 }
 
 void

@@ -32,10 +32,25 @@ class L1Cache;
 class TransactionSource
 {
   public:
+    /** Continuation receiving the fetched transaction (or nullopt). */
+    using FetchDone = std::function<void(std::optional<Transaction>)>;
+
     virtual ~TransactionSource() = default;
 
     /** Next transaction for @p core; std::nullopt when done. */
     virtual std::optional<Transaction> next(CoreId core) = 0;
+
+    /**
+     * Asynchronous fetch: @p done receives the next transaction.
+     * Default: inline. Sharded runners override this to route the
+     * (functional, shared-state) workload dispatch through the
+     * barrier control plane so per-tile domains never race on it.
+     */
+    virtual void
+    fetchNext(CoreId core, FetchDone done)
+    {
+        done(next(core));
+    }
 };
 
 /**

@@ -78,23 +78,42 @@ DesignContext::DesignContext(EventQueue &eq, const SystemConfig &cfg,
 }
 
 void
-DesignContext::setSharded(std::vector<SimDomain *> domains)
+DesignContext::setSharded(std::vector<SimDomain *> domains,
+                          const ShardLayout &layout)
 {
     _domains = std::move(domains);
+    _layout = layout;
     _truncPending.assign(_cfg.numCores, 0);
     _truncDone.resize(_cfg.numCores);
+}
+
+EventQueue &
+DesignContext::hereQueue()
+{
+    SimDomain *d = SimDomain::current();
+    return d ? d->queue() : _eq;
+}
+
+EventQueue &
+DesignContext::coreQueue(CoreId core)
+{
+    return _domains.empty()
+               ? _eq
+               : _domains[_layout.coreDomain(core)]->queue();
 }
 
 void
 DesignContext::shardedBegin(CoreId core, std::function<void()> done)
 {
-    _pool.acquire(core, [this, done = std::move(done)](
+    _pool.acquire(core, [this, core, done = std::move(done)](
                             std::uint32_t slot) mutable {
         // Leader context: every LogM's domain is parked at the
-        // barrier, so arming the AUS registers directly is safe.
+        // barrier, so arming the AUS registers directly is safe. The
+        // continuation resumes the core, so it posts into the core's
+        // own domain queue.
         for (auto &logm : _logms)
             logm->beginUpdate(slot);
-        _eq.postIn(1, std::move(done));
+        coreQueue(core).postIn(1, std::move(done));
     });
 }
 
@@ -111,7 +130,7 @@ DesignContext::shardedTruncate(CoreId core, std::function<void()> done)
         // completion (inline when quiesced, or later on the MC's
         // worker) hops back to the control plane under the canonical
         // key (tick, core, mc).
-        SimDomain::Scope scope(_domains[1 + m]);
+        SimDomain::Scope scope(_domains[_layout.mcDomain(m)]);
         _logms[m]->truncate(std::uint32_t(slot), [this, core, m] {
             SimDomain::current()->submitControl(
                 core, m, InplaceCallback<64>([this, core] {
@@ -119,7 +138,8 @@ DesignContext::shardedTruncate(CoreId core, std::function<void()> done)
                         return;
                     _pool.release(core);
                     _statCommits.inc();
-                    _eq.postIn(1, std::move(_truncDone[core]));
+                    coreQueue(core).postIn(
+                        1, std::move(_truncDone[core]));
                 }));
         });
     }
@@ -130,7 +150,7 @@ DesignContext::atomicBegin(CoreId core, std::function<void()> done)
 {
     switch (_cfg.design) {
       case DesignKind::NonAtomic:
-        _eq.postIn(1, std::move(done));
+        hereQueue().postIn(1, std::move(done));
         return;
 
       case DesignKind::Redo:
@@ -143,7 +163,7 @@ DesignContext::atomicBegin(CoreId core, std::function<void()> done)
       case DesignKind::AtomOpt:
         if (!_domains.empty()) {
             SimDomain::current()->submitControl(
-                core, kSubBegin,
+                core, ctrlsub::kBegin,
                 InplaceCallback<64>(
                     [this, core, done = std::move(done)]() mutable {
                         shardedBegin(core, std::move(done));
@@ -249,7 +269,7 @@ DesignContext::atomicEnd(CoreId core,
                            // domain; hand the cross-domain truncate to
                            // the barrier leader.
                            SimDomain::current()->submitControl(
-                               core, kSubTruncate,
+                               core, ctrlsub::kTruncate,
                                InplaceCallback<64>([this, core,
                                                     done = std::move(
                                                         done)]() mutable {

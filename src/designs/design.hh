@@ -96,16 +96,12 @@ class DesignContext : public DesignHooks
      * zero-latency cross-domain register operations, so they cannot
      * run mid-window -- they are queued as control ops and executed by
      * the barrier leader in canonical (tick, core) order. @p domains
-     * is the full domain list (domain 1+m owns LogM m).
+     * is the full domain list; @p layout maps cores/MCs to domains.
      */
-    void setSharded(std::vector<SimDomain *> domains);
+    void setSharded(std::vector<SimDomain *> domains,
+                    const ShardLayout &layout);
 
   private:
-    /** Control-op sub-keys (disambiguate same-(tick, core) ops; mc
-     * completions use their mc id, well below these). */
-    static constexpr std::uint32_t kSubBegin = 250;
-    static constexpr std::uint32_t kSubTruncate = 251;
-
     /** Leader-executed: acquire an AUS + arm every LogM. */
     void shardedBegin(CoreId core, std::function<void()> done);
 
@@ -132,6 +128,15 @@ class DesignContext : public DesignHooks
     /** Truncate @p core's AUS at every controller, then release it. */
     void truncateAll(CoreId core, std::function<void()> done);
 
+    /** The queue of the domain executing on this thread (sharded), or
+     * the machine queue (sequential): where an inline hook running in
+     * a core's context must post its continuation. */
+    EventQueue &hereQueue();
+
+    /** The queue @p core's continuations belong to (leader context:
+     * the core's domain queue when sharded). */
+    EventQueue &coreQueue(CoreId core);
+
     EventQueue &_eq;
     const SystemConfig &_cfg;
     std::vector<std::unique_ptr<LogM>> &_logms;
@@ -141,6 +146,7 @@ class DesignContext : public DesignHooks
 
     // --- sharded-mode state (leader-only) ----------------------------
     std::vector<SimDomain *> _domains;       //!< empty when sequential
+    ShardLayout _layout;
     std::vector<std::uint32_t> _truncPending; //!< per core, MCs left
     std::vector<std::function<void()>> _truncDone;  //!< per core
 

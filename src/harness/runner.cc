@@ -51,6 +51,34 @@ Runner::next(CoreId core)
     return txn;
 }
 
+void
+Runner::fetchNext(CoreId core, FetchDone done)
+{
+    if (!_system->sharded()) {
+        done(next(core));
+        return;
+    }
+    // Per-tile domains: transaction generation mutates shared
+    // functional state, so it is a control op -- leader-executed at
+    // the barrier in canonical (tick, core) order, with the result
+    // posted back into the requesting core's domain queue.
+    SimDomain *d = SimDomain::current();
+    panic_if(!d, "sharded transaction fetch outside a domain scope");
+    d->submitControl(
+        core, ctrlsub::kFetchTxn,
+        InplaceCallback<64>([this, core,
+                             done = std::move(done)]() mutable {
+            EventQueue &q = _system
+                                ->domain(_system->shardLayout()
+                                             .coreDomain(core))
+                                .queue();
+            q.postIn(1, [txn = next(core),
+                         done = std::move(done)]() mutable {
+                done(std::move(txn));
+            });
+        }));
+}
+
 bool
 Runner::allDone() const
 {

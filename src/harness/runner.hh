@@ -79,6 +79,16 @@ class Runner : public TransactionSource
     /** TransactionSource: next transaction for @p core. */
     std::optional<Transaction> next(CoreId core) override;
 
+    /**
+     * TransactionSource: asynchronous fetch. Sequential runs dispatch
+     * inline; sharded runs queue the fetch as a barrier control op --
+     * workload transaction generation runs functional code against
+     * shared state (the architectural image, the heap), so it executes
+     * leader-side in canonical (tick, core) order and the result is
+     * posted back into the core's domain queue.
+     */
+    void fetchNext(CoreId core, FetchDone done) override;
+
     /** Total transactions committed so far (across cores). */
     std::uint64_t committed() const;
 

@@ -11,10 +11,12 @@ System::System(const SystemConfig &cfg, Addr data_bytes)
     _cfg.validate();
 
     // Simulation domains. Sequential runs use one queue for the whole
-    // machine; sharded runs give every domain its own queue *even when
-    // domains share a worker*, so per-domain event order is identical
-    // for every shard count (see sim/shard.hh).
-    _layout = ShardLayout::make(_cfg.numShards, _cfg.numMemCtrls);
+    // machine; sharded runs give every domain -- one per core+L1 tile,
+    // one per L2 slice, one per MC -- its own queue *even when domains
+    // share a worker*, so per-domain event order is identical for
+    // every shard count (see sim/shard.hh).
+    _layout = ShardLayout::make(_cfg.numShards, _cfg.numCores,
+                                _cfg.l2Tiles, _cfg.numMemCtrls);
     const std::uint32_t ndomains = _layout.sharded() ? _layout.domains()
                                                      : 1;
     for (std::uint32_t d = 0; d < ndomains; ++d)
@@ -22,8 +24,19 @@ System::System(const SystemConfig &cfg, Addr data_bytes)
             std::make_unique<SimDomain>(d, _cfg.wheelBuckets));
 
     EventQueue &eq0 = _domains[0]->queue();
+    auto core_queue = [this, &eq0](CoreId c) -> EventQueue & {
+        return _layout.sharded()
+                   ? _domains[_layout.coreDomain(c)]->queue()
+                   : eq0;
+    };
+    auto tile_queue = [this, &eq0](std::uint32_t t) -> EventQueue & {
+        return _layout.sharded()
+                   ? _domains[_layout.tileDomain(t)]->queue()
+                   : eq0;
+    };
     auto mc_queue = [this, &eq0](McId m) -> EventQueue & {
-        return _layout.sharded() ? _domains[1 + m]->queue() : eq0;
+        return _layout.sharded() ? _domains[_layout.mcDomain(m)]->queue()
+                                 : eq0;
     };
 
     _mesh = std::make_unique<Mesh>(eq0, _cfg, _stats);
@@ -44,11 +57,11 @@ System::System(const SystemConfig &cfg, Addr data_bytes)
 
     for (std::uint32_t t = 0; t < _cfg.l2Tiles; ++t) {
         _tiles.push_back(std::make_unique<L2Tile>(
-            t, eq0, _cfg, *_mesh, _amap, _stats));
+            t, tile_queue(t), _cfg, *_mesh, _amap, _stats));
     }
     for (CoreId c = 0; c < _cfg.numCores; ++c) {
         _l1s.push_back(std::make_unique<L1Cache>(
-            c, eq0, _cfg, *_mesh, _amap, _tiles, _stats));
+            c, core_queue(c), _cfg, *_mesh, _amap, _tiles, _stats));
     }
 
     std::vector<L1Cache *> l1_ptrs;
@@ -127,8 +140,8 @@ System::System(const SystemConfig &cfg, Addr data_bytes)
         eq0, _cfg, _logms, l1_ptrs, *_ausPool, _redo.get(), _stats);
 
     for (CoreId c = 0; c < _cfg.numCores; ++c) {
-        _cores.push_back(
-            std::make_unique<Core>(c, eq0, _cfg, *_l1s[c], _stats));
+        _cores.push_back(std::make_unique<Core>(
+            c, core_queue(c), _cfg, *_l1s[c], _stats));
         _cores.back()->setHooks(_design.get());
     }
 
@@ -136,21 +149,36 @@ System::System(const SystemConfig &cfg, Addr data_bytes)
         std::vector<SimDomain *> domains;
         for (auto &d : _domains)
             domains.push_back(d.get());
-        // Deliveries execute on the receiver's domain: MC ports and
-        // the controller-side LogWrite front end belong to their MC;
-        // everything else (tiles, L1s, cb-only acks) is cache complex.
+
+        // Deliveries execute on the receiver's domain. Typed sinks
+        // resolve through a prebuilt pointer->domain map; the LogI
+        // front end is special (its LogWrite handler runs at the
+        // line's MC), and the only routable cb-only packet is the
+        // LogAck riding a store continuation back to its core.
+        _sinkDomain.clear();
+        for (McId m = 0; m < _mcPorts.size(); ++m)
+            _sinkDomain[_mcPorts[m].get()] = _layout.mcDomain(m);
+        for (std::uint32_t t = 0; t < _tiles.size(); ++t)
+            _sinkDomain[_tiles[t].get()] = _layout.tileDomain(t);
+        for (CoreId c = 0; c < _l1s.size(); ++c)
+            _sinkDomain[_l1s[c].get()] = _layout.coreDomain(c);
+
         _mesh->shardAttach(domains, [this](const Packet &p) {
             if (p.receiver) {
-                for (McId m = 0; m < _mcPorts.size(); ++m) {
-                    if (p.receiver == _mcPorts[m].get())
-                        return std::uint32_t(1 + m);
-                }
                 if (_logi && p.receiver == _logi.get())
-                    return std::uint32_t(1 + _amap.memCtrl(p.addr));
+                    return _layout.mcDomain(_amap.memCtrl(p.addr));
+                auto it = _sinkDomain.find(p.receiver);
+                panic_if(it == _sinkDomain.end(),
+                         "mesh packet %s with an unmapped receiver",
+                         msgName(p.type));
+                return it->second;
             }
-            return std::uint32_t(0);
+            panic_if(p.type != MsgType::LogAck,
+                     "cb-only mesh packet %s has no domain mapping",
+                     msgName(p.type));
+            return _layout.coreDomain(p.core);
         });
-        _design->setSharded(std::move(domains));
+        _design->setSharded(std::move(domains), _layout);
     }
 }
 

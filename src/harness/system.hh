@@ -8,6 +8,7 @@
 #define ATOMSIM_HARNESS_SYSTEM_HH
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "atom/logi.hh"
@@ -47,9 +48,9 @@ class System
     System(const System &) = delete;
     System &operator=(const System &) = delete;
 
-    /** The cache-complex domain's queue (the only queue when the run
-     * is sequential); carries the cores, so its clock is the one
-     * transaction timing is measured against. */
+    /** Domain 0's queue: the whole machine when sequential, core 0's
+     * tile when sharded -- the clock transaction timing is measured
+     * against. */
     EventQueue &eventQueue() { return _domains[0]->queue(); }
 
     // --- sharding -----------------------------------------------------
@@ -128,6 +129,9 @@ class System
     std::unique_ptr<LogI> _logi;
     std::unique_ptr<RedoEngine> _redo;
     std::unique_ptr<DesignContext> _design;
+
+    /** Sharded: typed mesh receiver -> owning simulation domain. */
+    std::unordered_map<const MeshSink *, std::uint32_t> _sinkDomain;
 };
 
 } // namespace atomsim

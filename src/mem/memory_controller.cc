@@ -161,7 +161,9 @@ MemoryController::writeLine(Addr addr, const Line &data, WriteKind kind,
     req->enqueueTick = _eq.now();
     wq.push_back(req);
     ++_pendingWrites;
-    ++_inflightWrites[addr];
+    PendingWrite &pw = _inflightWrites[addr];
+    ++pw.count;
+    pw.data = data;  // acceptance order: this is the newest value
     scheduleKick(ch, _eq.now() + _cfg.mcFrontendLatency);
 }
 
@@ -170,7 +172,7 @@ MemoryController::whenLineDurable(Addr addr, WriteCallback cb)
 {
     addr = lineAlign(addr);
     auto it = _inflightWrites.find(addr);
-    if (it == _inflightWrites.end() || it->second == 0) {
+    if (it == _inflightWrites.end() || it->second.count == 0) {
         cb();
         return;
     }
@@ -237,17 +239,15 @@ MemoryController::kick(std::uint32_t ch)
 void
 MemoryController::issueRead(std::uint32_t ch, Request *req)
 {
-    // Observe the write queues: forward the newest pending data for the
-    // line if a write is still queued (read-after-write correctness).
-    const Line *fwd = nullptr;
-    for (const auto &chst : _chState) {
-        for (const Request *queued = chst.writeQ.head; queued;
-             queued = queued->next) {
-            if (queued->addr == req->addr)
-                fwd = &queued->data;
-        }
-    }
-    Line data = fwd ? *fwd : _nvm.readLine(req->addr);
+    // Observe outstanding writes: forward the newest accepted data
+    // for the line while *any* write of it is still pending -- queued
+    // or already issued to the device but not yet persisted
+    // (read-after-write correctness; the in-flight device window is
+    // ~360 cycles, easily reachable by a demand read chasing a
+    // writeback).
+    const auto fwd = _inflightWrites.find(req->addr);
+    Line data = fwd != _inflightWrites.end() ? fwd->second.data
+                                             : _nvm.readLine(req->addr);
 
     const Tick done = _channels[ch].scheduleRead();
     const std::uint64_t epoch = _epoch;
@@ -278,7 +278,7 @@ MemoryController::issueWrite(std::uint32_t ch, Request *req)
         _nvm.writeLine(req->addr, req->data);
         --_pendingWrites;
         auto it = _inflightWrites.find(req->addr);
-        if (it != _inflightWrites.end() && --it->second == 0) {
+        if (it != _inflightWrites.end() && --it->second.count == 0) {
             _inflightWrites.erase(it);
             auto wit = _durWaiters.find(req->addr);
             if (wit != _durWaiters.end()) {

@@ -254,8 +254,17 @@ class MemoryController
     FreeListPool<WcbNode> _wcbPool;
     WriteGate *_gate = nullptr;
 
-    /** Writes accepted but not yet durable, by line address. */
-    std::unordered_map<Addr, std::uint32_t> _inflightWrites;
+    /** Writes accepted but not yet durable, by line address: the
+     * outstanding count plus the *newest* accepted data, so reads can
+     * forward even while a write is on the device (popped from the
+     * queue but not yet persisted -- a ~360-cycle window a chasing
+     * demand read can land in). */
+    struct PendingWrite
+    {
+        std::uint32_t count = 0;
+        Line data{};
+    };
+    std::unordered_map<Addr, PendingWrite> _inflightWrites;
     /** Callbacks waiting on line durability. */
     std::unordered_map<Addr, std::vector<WriteCallback>> _durWaiters;
 

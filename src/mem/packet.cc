@@ -18,6 +18,10 @@ msgName(MsgType type)
       case MsgType::InvAck: return "InvAck";
       case MsgType::FwdGetS: return "FwdGetS";
       case MsgType::FwdGetX: return "FwdGetX";
+      case MsgType::FwdAckS: return "FwdAckS";
+      case MsgType::FwdAckX: return "FwdAckX";
+      case MsgType::Recall: return "Recall";
+      case MsgType::RecallAck: return "RecallAck";
       case MsgType::WbAck: return "WbAck";
       case MsgType::LogWrite: return "LogWrite";
       case MsgType::LogAck: return "LogAck";
@@ -41,7 +45,13 @@ msgFlits(MsgType type)
       case MsgType::PutM:
       case MsgType::MemWrite:
       case MsgType::FlushReq:
-        // 64 B payload + 1 header flit.
+      case MsgType::FwdAckS:
+      case MsgType::FwdAckX:
+      case MsgType::RecallAck:
+        // 64 B payload + 1 header flit. The ack legs of a forward /
+        // recall usually carry the surrendered copy; charging the
+        // data-message size even for the rare empty-handed reply keeps
+        // the flit count a pure function of the opcode.
         return 5;
       case MsgType::LogWrite:
       case MsgType::RedoLog:

@@ -40,11 +40,15 @@ enum class MsgType : std::uint8_t
     Data,        //!< data response (shared)
     DataExcl,    //!< data response (exclusive/modified grant)
     DataLogged,  //!< data response with log bit pre-set (source logging)
-    Inv,         //!< invalidate a sharer
-    InvAck,      //!< invalidation acknowledgement
-    FwdGetS,     //!< forward read to the modified owner
-    FwdGetX,     //!< forward read-exclusive to the modified owner
-    WbAck,       //!< writeback acknowledgement
+    Inv,         //!< invalidate a sharer (home -> sharer L1)
+    InvAck,      //!< invalidation acknowledgement (L1 -> home)
+    FwdGetS,     //!< forward read to the modified owner's L1
+    FwdGetX,     //!< forward read-exclusive to the modified owner's L1
+    FwdAckS,     //!< owner's reply to a FwdGetS (L1 -> home)
+    FwdAckX,     //!< owner's reply to a FwdGetX (L1 -> home)
+    Recall,      //!< surrender request on inclusion eviction / flush
+    RecallAck,   //!< recall reply with the owner's copy (L1 -> home)
+    WbAck,       //!< writeback acknowledgement (home -> L1)
     LogWrite,    //!< undo-log entry: address + 64 B old value
     LogAck,      //!< log entry accepted/persisted acknowledgement
     FlushReq,    //!< durable writeback request (clwb-like)
@@ -118,6 +122,7 @@ struct Packet
     std::uint32_t arg = 0;    //!< AUS slot / tile id / target core / kind
     bool flag = false;        //!< in_atomic / has_data / exclusive
     bool logged = false;      //!< log bit pre-set (source logging)
+    bool dirty = false;       //!< recalled/forwarded copy was dirty
     CoherenceState grant = CoherenceState::Invalid;
     Line data{};              //!< line payload for data-bearing messages
 
@@ -135,6 +140,7 @@ struct Packet
         arg = 0;
         flag = false;
         logged = false;
+        dirty = false;
         grant = CoherenceState::Invalid;
     }
 };

@@ -44,6 +44,7 @@ Mesh::Mesh(EventQueue &eq, const SystemConfig &cfg, StatSet &stats)
     _links = std::make_unique<MeshLink[]>(n * 4);
     _eject = std::make_unique<MeshLink[]>(n);
     _linkBusy.assign(n * 4, 0);
+    _ejectBusy.assign(n, 0);
     for (std::size_t i = 0; i < n * 4; ++i) {
         _links[i]._drain.mesh = this;
         _links[i]._drain.link = &_links[i];
@@ -160,6 +161,17 @@ Mesh::routeReserve(std::uint32_t src, std::uint32_t dst,
 
     hop_count = 0;
     last_link = SIZE_MAX;
+    if (cur == target) {
+        // Same-node message: serialize on the node's ejection port
+        // exactly like a link, so point-to-point FIFO holds between
+        // messages of different sizes (the split-phase coherence
+        // protocol relies on a PutM never being overtaken by a later
+        // 1-flit request on the same src->dst pair).
+        Tick &busy = _ejectBusy[dst];
+        const Tick start = head > busy ? head : busy;
+        busy = start + flits;
+        return start + flits - 1;
+    }
     while (!(cur == target)) {
         std::uint32_t dir;  // 0=E, 1=W, 2=S, 3=N
         if (cur.col != target.col) {
@@ -341,10 +353,11 @@ Mesh::enqueue(MeshLink &lq, Packet *pkt)
 void
 Mesh::admit(MeshLink &lq, Packet *pkt)
 {
-    // Insert in (arrival, seq) order. Link queues are monotone (the
-    // reservation makes successive arrivals strictly increase), so this
-    // is an O(1) tail append; ejection queues can interleave (a 1-flit
-    // message overtakes a same-tick 5-flit one) and walk from the head.
+    // Insert in (arrival, seq) order. Both link and ejection queues
+    // are monotone (links through the per-link reservation, ejection
+    // through the per-node port reservation), so this is an O(1) tail
+    // append in practice; the ordered walk stays as a safety net for
+    // re-admitted stalled packets.
     if (!lq._qTail || !deliversBefore(pkt, lq._qTail)) {
         pkt->next = nullptr;
         if (lq._qTail)

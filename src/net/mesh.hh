@@ -11,7 +11,10 @@
  * Delivery is allocation-free: packets are pool-owned intrusive nodes
  * (mem/packet.hh) chained into a per-link delivery queue -- the queue
  * of the *last* link a route traverses, or the destination node's
- * ejection queue for same-node messages. Each queue owns one member
+ * ejection queue for same-node messages (which serializes on a
+ * per-node port reservation, so same-pair messages deliver in send
+ * order regardless of size -- a protocol invariant the split-phase
+ * coherence paths rely on). Each queue owns one member
  * drain event that walks its packets at link rate. Every packet is
  * stamped with an EventQueue FIFO slot at send time and the drain event
  * is scheduled into exactly that slot (EventQueue::scheduleAt), so
@@ -252,6 +255,10 @@ class Mesh
      * cache-tight instead of striding over the queue objects.
      */
     std::vector<Tick> _linkBusy;
+    /** Per-node ejection-port reservation: same-node messages
+     * serialize here so point-to-point FIFO holds regardless of
+     * message size (see routeReserve). */
+    std::vector<Tick> _ejectBusy;
 
     FreeListPool<Packet> _pool;
 

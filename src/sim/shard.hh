@@ -4,14 +4,18 @@
  *
  * Sharded runs split the System into *simulation domains* that only
  * interact through the mesh (plus a thin, barrier-synchronized control
- * plane for transaction-boundary operations):
+ * plane for transaction-boundary operations and workload dispatch):
  *
- *  - domain 0: the cache complex -- cores, store queues, L1s, L2
- *    tiles/directory, LogI, the AUS pool and the design hooks. These
- *    are internally coupled by synchronous protocol shortcuts, so they
- *    always stay together;
- *  - domain 1+m: memory controller m with its NVM channels, mesh port,
- *    LogM and OS log-space slice.
+ *  - domain c (0 <= c < numCores): tile c -- core c, its store queue
+ *    and its private L1;
+ *  - domain numCores+t: L2 slice t with its directory bank;
+ *  - domain numCores+numTiles+m: memory controller m with its NVM
+ *    channels, mesh port, LogM and OS log-space slice.
+ *
+ * This granularity exists because every L1<->L2 protocol leg is a
+ * split-phase mesh transaction (see cache/l2_cache.hh): with no
+ * synchronous shortcuts left, the whole cache complex partitions and
+ * events/s can scale with cores.
  *
  * Every domain owns its own calendar-queue EventQueue *even when
  * several domains share a worker thread*: the queue is the domain
@@ -169,6 +173,19 @@ class SimDomain
 };
 
 /**
+ * Control-op `sub` key registry: disambiguates ops submitted by the
+ * same (tick, actor). Per-MC completions use their raw mc id, which
+ * stays well below these. Keep every named key here -- a collision
+ * silently corrupts the canonical control-op ordering.
+ */
+namespace ctrlsub
+{
+constexpr std::uint32_t kBegin = 250;     //!< AUS acquire + LogM arm
+constexpr std::uint32_t kTruncate = 251;  //!< commit-time truncate
+constexpr std::uint32_t kFetchTxn = 252;  //!< workload txn dispatch
+} // namespace ctrlsub
+
+/**
  * Sense-reversing spin barrier with a distinguished leader.
  *
  * Workers arrive and spin until the leader releases the next window;
@@ -248,34 +265,58 @@ class WindowBarrier
 /**
  * Static domain/worker layout of a sharded run.
  *
- * Domain 0 is the cache complex; domain 1+m is memory controller m.
- * Worker 0 (the leader) always drives domain 0; MC domains are dealt
- * round-robin over the remaining workers -- or all onto worker 0 for a
- * single-worker run, which executes the identical windowed semantics
- * on one thread (the determinism baseline).
+ * Domains are per-tile: one per core+L1 pair, one per L2 slice, one
+ * per memory controller. Worker 0 (the leader) always drives domain 0
+ * (core 0's tile); the remaining domains are dealt round-robin over
+ * the other workers -- or all onto worker 0 for a single-worker run,
+ * which executes the identical windowed semantics on one thread (the
+ * determinism baseline).
  */
 struct ShardLayout
 {
-    std::uint32_t workers = 0;  //!< 0 = sequential (no sharding)
+    std::uint32_t workers = 0;   //!< 0 = sequential (no sharding)
+    std::uint32_t numCores = 0;
+    std::uint32_t numTiles = 0;  //!< L2 slices
     std::uint32_t numMcs = 0;
 
     static ShardLayout
-    make(std::uint32_t requested_shards, std::uint32_t num_mcs)
+    make(std::uint32_t requested_shards, std::uint32_t num_cores,
+         std::uint32_t num_tiles, std::uint32_t num_mcs)
     {
         ShardLayout l;
+        l.numCores = num_cores;
+        l.numTiles = num_tiles;
         l.numMcs = num_mcs;
-        l.workers = requested_shards > 1 + num_mcs ? 1 + num_mcs
-                                                   : requested_shards;
+        const std::uint32_t doms = l.domains();
+        l.workers = requested_shards > doms ? doms : requested_shards;
         return l;
     }
 
     bool sharded() const { return workers > 0; }
 
-    /** Total simulation domains (cache complex + one per MC). */
-    std::uint32_t domains() const { return 1 + numMcs; }
+    /** Total simulation domains (core+L1 tiles, L2 slices, MCs). */
+    std::uint32_t
+    domains() const
+    {
+        return numCores + numTiles + numMcs;
+    }
+
+    /** Domain id of core @p c (with its store queue and L1). */
+    std::uint32_t coreDomain(std::uint32_t c) const { return c; }
+
+    /** Domain id of L2 slice @p t. */
+    std::uint32_t
+    tileDomain(std::uint32_t t) const
+    {
+        return numCores + t;
+    }
 
     /** Domain id of memory controller @p m. */
-    std::uint32_t mcDomain(std::uint32_t m) const { return 1 + m; }
+    std::uint32_t
+    mcDomain(std::uint32_t m) const
+    {
+        return numCores + numTiles + m;
+    }
 
     /** Worker that drives domain @p d. */
     std::uint32_t

@@ -1,0 +1,154 @@
+#include "golden_support.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "harness/runner.hh"
+#include "workloads/hash_workload.hh"
+#include "workloads/tpcc/tpcc_workload.hh"
+
+namespace atomsim
+{
+namespace golden
+{
+
+namespace
+{
+
+GoldenRun
+collect(Runner &runner, TraceHasher &tracer)
+{
+    runner.setUp();
+    const RunResult result = runner.run();
+    GoldenRun r;
+    r.hash = tracer.hash();
+    r.deliveries = tracer.deliveries();
+    r.txns = result.txns;
+    r.cycles = result.cycles;
+    r.stream = std::move(tracer.stream());
+    r.stats = std::as_const(runner.system()).stats().dump();
+    return r;
+}
+
+} // namespace
+
+GoldenRun
+runGoldenQuickstart(std::uint32_t shards, bool record_stream)
+{
+    SystemConfig cfg;
+    cfg.numCores = 8;
+    cfg.l2Tiles = 8;
+    cfg.meshRows = 2;
+    cfg.ausPerMc = 8;
+    cfg.design = DesignKind::AtomOpt;
+    cfg.numShards = shards;
+
+    MicroParams params;
+    params.entryBytes = 256;
+    params.initialItems = 24;
+    params.txnsPerCore = 6;
+
+    HashWorkload workload(params);
+    Runner runner(cfg, workload, params.txnsPerCore);
+    TraceHasher tracer(record_stream);
+    runner.system().mesh().setTracer(&tracer);
+    return collect(runner, tracer);
+}
+
+GoldenRun
+runGoldenTpcc(std::uint32_t shards, bool record_stream)
+{
+    SystemConfig cfg;
+    cfg.numCores = 4;
+    cfg.l2Tiles = 4;
+    cfg.meshRows = 2;
+    cfg.ausPerMc = 4;
+    cfg.design = DesignKind::Atom;
+    cfg.numShards = shards;
+
+    tpcc::ScaleParams scale;
+    scale.customersPerDistrict = 8;
+    scale.items = 128;
+    TpccWorkload workload(scale);
+
+    Runner runner(cfg, workload, /*txns_per_core=*/4,
+                  Addr(128) * 1024 * 1024);
+    TraceHasher tracer(record_stream);
+    runner.system().mesh().setTracer(&tracer);
+    return collect(runner, tracer);
+}
+
+bool
+maybeDumpGoldens(int argc, char **argv)
+{
+    bool dump = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--dump-goldens") == 0)
+            dump = true;
+    }
+    if (!dump)
+        return false;
+
+    std::printf("regenerating goldens (sequential + windowed runs)"
+                "...\n");
+    const GoldenRun seq_quick = runGoldenQuickstart(0);
+    const GoldenRun seq_tpcc = runGoldenTpcc(0);
+    // The windowed kernel's stream is byte-identical for every shard
+    // count (tests/test_sharded.cc proves it); shard count 1 is the
+    // canonical generator.
+    const GoldenRun win_quick = runGoldenQuickstart(1);
+    const GoldenRun win_tpcc = runGoldenTpcc(1);
+
+    const char *path = ATOMSIM_GOLDENS_PATH;
+    std::FILE *f = std::fopen(path, "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return true;
+    }
+    std::fprintf(
+        f,
+        "// Golden delivery-stream constants. GENERATED -- never\n"
+        "// hand-edit: run `test_golden_trace --dump-goldens` (or\n"
+        "// `test_sharded --dump-goldens`) and commit the rewritten\n"
+        "// file together with the intentional timing change that\n"
+        "// moved it.\n"
+        "// clang-format off\n"
+        "constexpr std::uint64_t kGoldenQuickstartHash = "
+        "0x%016llxull;\n"
+        "constexpr std::uint64_t kGoldenQuickstartDeliveries = "
+        "%lluull;\n"
+        "constexpr std::uint64_t kGoldenTpccHash = 0x%016llxull;\n"
+        "constexpr std::uint64_t kGoldenTpccDeliveries = %lluull;\n"
+        "constexpr std::uint64_t kWindowedQuickstartHash = "
+        "0x%016llxull;\n"
+        "constexpr std::uint64_t kWindowedTpccHash = "
+        "0x%016llxull;\n"
+        "// clang-format on\n",
+        (unsigned long long)seq_quick.hash,
+        (unsigned long long)seq_quick.deliveries,
+        (unsigned long long)seq_tpcc.hash,
+        (unsigned long long)seq_tpcc.deliveries,
+        (unsigned long long)win_quick.hash,
+        (unsigned long long)win_tpcc.hash);
+    std::fclose(f);
+
+    std::printf("wrote %s:\n", path);
+    std::printf("  kGoldenQuickstartHash       = 0x%016llx (%llu "
+                "deliveries)\n",
+                (unsigned long long)seq_quick.hash,
+                (unsigned long long)seq_quick.deliveries);
+    std::printf("  kGoldenTpccHash             = 0x%016llx (%llu "
+                "deliveries)\n",
+                (unsigned long long)seq_tpcc.hash,
+                (unsigned long long)seq_tpcc.deliveries);
+    std::printf("  kWindowedQuickstartHash     = 0x%016llx\n",
+                (unsigned long long)win_quick.hash);
+    std::printf("  kWindowedTpccHash           = 0x%016llx\n",
+                (unsigned long long)win_tpcc.hash);
+    return true;
+}
+
+} // namespace golden
+} // namespace atomsim

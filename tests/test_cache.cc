@@ -7,8 +7,10 @@
 #include <gtest/gtest.h>
 
 #include "cache/cache_array.hh"
+#include "cache/directory.hh"
 #include "cache/mshr.hh"
 #include "harness/system.hh"
+#include "net/mesh.hh"
 
 namespace atomsim
 {
@@ -446,6 +448,209 @@ TEST_F(ProtocolTest, MshrMergesConcurrentAccessesToOneLine)
     EXPECT_EQ(done, 3);
     // A single L2 miss despite three accesses.
     EXPECT_EQ(sys.stats().sum("l2t", "misses"), 1u);
+}
+
+/** Counts mesh deliveries per message kind. */
+class KindCounter : public Mesh::Tracer
+{
+  public:
+    void
+    onDeliver(Tick, std::uint32_t, MsgType type) override
+    {
+        ++counts[std::size_t(type)];
+    }
+
+    std::uint64_t
+    of(MsgType t) const
+    {
+        return counts[std::size_t(t)];
+    }
+
+    std::array<std::uint64_t, 64> counts{};
+};
+
+TEST_F(ProtocolTest, ReadMissRacesInFlightInvalidateAtDirectory)
+{
+    // Split-phase recall/ack vs. demand-miss race: a GetX's
+    // invalidation round is in flight (the line busy at its home
+    // tile, Inv packets en route to the sharers) when an L1 read miss
+    // for the same line reaches the directory. The GetS must queue
+    // behind the busy bit, then resolve through a forward to the new
+    // owner -- never observe the half-invalidated sharer set.
+
+    // Two sharers.
+    bool a = false;
+    bool b = false;
+    sys.l1(0).load(kAddr, [&] { a = true; });
+    drain();
+    sys.l1(1).load(kAddr, [&] { b = true; });
+    drain();
+    ASSERT_TRUE(a && b);
+
+    // Count protocol messages of the race itself only (the setup's
+    // second load already forwarded once through the first reader).
+    KindCounter kinds;
+    sys.mesh().setTracer(&kinds);
+
+    // Writer starts a GetX; single-step until the invalidate has
+    // reached core 0 (its copy is gone) but the write has not yet
+    // completed -- the invalidation/grant leg is still in flight.
+    const std::uint64_t value = 7;
+    bool wrote = false;
+    sys.l1(2).store(kAddr, reinterpret_cast<const std::uint8_t *>(&value),
+                    8, [&] { wrote = true; });
+    EventQueue &eq = sys.eventQueue();
+    while (sys.l1(0).array().find(kAddr) != nullptr && !wrote)
+        eq.run(eq.now() + 1);
+    ASSERT_FALSE(wrote)
+        << "store completed before the invalidate landed; race window "
+           "missed";
+    ASSERT_GE(kinds.of(MsgType::Inv), 1u);
+
+    // Reader misses the same line while the GetX transaction is still
+    // in flight: the GetS reaches the directory behind the live
+    // invalidation round and must serialize after it.
+    bool read_done = false;
+    sys.l1(0).load(kAddr, [&] { read_done = true; });
+    drain();
+    ASSERT_TRUE(wrote);
+    ASSERT_TRUE(read_done);
+
+    // Final state: the reader and the writer both end Shared (the
+    // read forwarded through the new owner and downgraded it), and the
+    // line carries the written value everywhere.
+    const CacheLineState *writer = sys.l1(2).array().find(kAddr);
+    const CacheLineState *reader = sys.l1(0).array().find(kAddr);
+    ASSERT_NE(writer, nullptr);
+    ASSERT_NE(reader, nullptr);
+    EXPECT_EQ(writer->state, CoherenceState::Shared);
+    EXPECT_EQ(reader->state, CoherenceState::Shared);
+    std::uint64_t back;
+    std::memcpy(&back, reader->data.data() + (kAddr % kLineBytes), 8);
+    EXPECT_EQ(back, value);
+    // The second sharer stayed invalidated.
+    EXPECT_EQ(sys.l1(1).array().find(kAddr), nullptr);
+
+    // Mesh accounting: the GetX invalidated both sharers (2 Inv +
+    // 2 InvAck), and the racing GetS resolved as a forward through
+    // the new owner (FwdGetS + FwdAckS, the home then granting the
+    // reader).
+    EXPECT_EQ(kinds.of(MsgType::Inv), 2u);
+    EXPECT_EQ(kinds.of(MsgType::InvAck), 2u);
+    EXPECT_EQ(kinds.of(MsgType::FwdGetS), 1u);
+    EXPECT_EQ(kinds.of(MsgType::FwdAckS), 1u);
+    sys.mesh().setTracer(nullptr);
+}
+
+TEST(SplitPhaseEvictionRaceTest, QueuedDemandMissWaitsOutEvictionRound)
+{
+    // Regression: a demand miss that queues on the victim line's busy
+    // bit *during* a split-phase eviction round must re-run against
+    // the re-tagged frame (a clean miss + refetch) once the round
+    // completes -- not be granted the stale still-valid copy the L2
+    // is dropping (which left the directory tracking an owner for a
+    // line no longer resident: a later PutM then tripped the
+    // inclusion panic).
+    SystemConfig cfg;
+    cfg.numCores = 4;
+    cfg.l2Tiles = 4;
+    cfg.meshRows = 2;
+    cfg.ausPerMc = 4;
+    cfg.design = DesignKind::NonAtomic;
+    cfg.l2TileBytes = 4096;  // direct-mapped 64-set tiles: any
+    cfg.l2Assoc = 1;         // same-set fill evicts the occupant
+    System sys(cfg, Addr(16) * 1024 * 1024);
+    EventQueue &eq = sys.eventQueue();
+
+    const Addr lineB = 0x40000;
+    // Same home tile and same set as B: stride = tiles * sets lines.
+    const Addr lineA =
+        lineB + Addr(cfg.l2Tiles) * 64 * kLineBytes;
+
+    // Core 0 owns B dirty.
+    const std::uint64_t value = 0xabcdef0123ULL;
+    bool wrote = false;
+    sys.l1(0).store(lineB,
+                    reinterpret_cast<const std::uint8_t *>(&value), 8,
+                    [&] { wrote = true; });
+    eq.run();
+    ASSERT_TRUE(wrote);
+
+    // Core 1 fills A, evicting B at the home tile: a split-phase
+    // recall round on B (Recall to core 0 in flight, B busy).
+    bool filled = false;
+    sys.l1(1).load(lineA, [&] { filled = true; });
+    bool round_live = false;
+    for (int i = 0; i < 100000 && !round_live; ++i) {
+        eq.run(eq.now() + 1);
+        for (std::uint32_t t = 0; t < cfg.l2Tiles; ++t) {
+            L2Tile &tile = sys.l2Tile(t);
+            if (tile.roundPoolAllocated() > tile.roundPoolFree())
+                round_live = true;
+        }
+    }
+    ASSERT_TRUE(round_live) << "eviction round never went in flight";
+
+    // Core 2's read miss for B reaches the directory mid-round and
+    // queues on the busy bit.
+    bool read = false;
+    sys.l1(2).load(lineB, [&] { read = true; });
+    eq.run();
+    ASSERT_TRUE(filled);
+    ASSERT_TRUE(read);
+
+    // The reader refetched B cleanly: it holds core 0's data, and
+    // inclusion holds (B resident at its home tile again).
+    const CacheLineState *line = sys.l1(2).array().find(lineB);
+    ASSERT_NE(line, nullptr);
+    std::uint64_t back;
+    std::memcpy(&back, line->data.data(), 8);
+    EXPECT_EQ(back, value);
+    const std::uint32_t home = sys.addressMap().homeTile(lineB);
+    EXPECT_NE(sys.l2Tile(home).array().find(lineB), nullptr);
+
+    // And the line stays fully coherent: core 2 can take ownership
+    // and write back without tripping the home's inclusion check.
+    const std::uint64_t value2 = 0x5555aaaaULL;
+    bool wrote2 = false;
+    sys.l1(2).store(lineB,
+                    reinterpret_cast<const std::uint8_t *>(&value2), 8,
+                    [&] { wrote2 = true; });
+    eq.run();
+    ASSERT_TRUE(wrote2);
+    bool flushed = false;
+    sys.l1(2).flush(lineB, [&] { flushed = true; });
+    eq.run();
+    ASSERT_TRUE(flushed);
+    EXPECT_EQ(sys.nvmImage().load64(lineB), value2);
+}
+
+TEST(DirectoryStatTest, CtrlBlockOccupancyGrowsAndIsCappedAt64K)
+{
+    StatSet stats;
+    Counter &live = stats.counter("dir0", "ctrl_blocks_live");
+    Directory dir;
+    dir.attachStats(&live);
+
+    auto touch = [&dir](Addr line) {
+        dir.acquire(line, [&dir, line] { dir.release(line); });
+    };
+
+    // The high-water mark tracks live (busy + cached-idle) control
+    // blocks as distinct lines are touched...
+    for (Addr i = 0; i < 1000; ++i)
+        touch(i * kLineBytes);
+    EXPECT_EQ(live.value(), 1000u);
+    EXPECT_EQ(dir.liveCtl(), 1000u);
+
+    // ...and saturates at the idle-cache cap: one transient busy block
+    // above kMaxIdleCtl, after which released cold blocks are erased
+    // instead of cached.
+    const Addr total = Directory::kMaxIdleCtl + 4096;
+    for (Addr i = 1000; i < total; ++i)
+        touch(i * kLineBytes);
+    EXPECT_EQ(live.value(), std::uint64_t(Directory::kMaxIdleCtl) + 1);
+    EXPECT_EQ(dir.liveCtl(), Directory::kMaxIdleCtl);
 }
 
 } // namespace

@@ -4,145 +4,55 @@
  *
  * Runs two fixed workloads -- a quickstart-sized hash micro-benchmark
  * and a tpcc-sized OLTP run -- with a tracer attached to the mesh, and
- * hashes every packet delivery as a (tick, node, message-kind) triple.
- * The FNV-1a hash of the full sequence must match the checked-in golden
- * value, which pins the simulation down tick-for-tick: any kernel, NoC
- * or protocol refactor that perturbs event timing or ordering -- even
- * two same-tick deliveries swapping places -- changes the hash.
+ * hashes every packet delivery as a (tick, node, message-kind) triple
+ * (golden_support.hh owns the hash and the workload configs; the
+ * checked-in values live in the generated tests/goldens.inc). The hash
+ * pins the simulation down tick-for-tick: any kernel, NoC or protocol
+ * refactor that perturbs event timing or ordering -- even two
+ * same-tick deliveries swapping places -- changes it.
  *
  * If a change *intentionally* alters timing (a new latency model, a
- * protocol change), regenerate the goldens: run this test, take the
- * "actual" values from the failure message, and update the constants
- * below in the same commit that changes the timing -- with a commit
- * message explaining why the timing moved.
+ * protocol change), regenerate instead of hand-editing: run this
+ * binary with `--dump-goldens`, which rewrites tests/goldens.inc, and
+ * commit the regenerated file together with the timing change -- with
+ * a commit message explaining why the timing moved.
  */
 
 #include <gtest/gtest.h>
 
-#include "harness/runner.hh"
-#include "net/mesh.hh"
-#include "workloads/hash_workload.hh"
-#include "workloads/tpcc/tpcc_workload.hh"
+#include "golden_support.hh"
 
 namespace atomsim
 {
 namespace
 {
 
-/** FNV-1a over the (tick, node, kind) delivery stream. */
-class TraceHasher : public Mesh::Tracer
-{
-  public:
-    void
-    onDeliver(Tick tick, std::uint32_t node, MsgType type) override
-    {
-        mix(tick);
-        mix(node);
-        mix(std::uint64_t(type));
-        ++_deliveries;
-    }
-
-    std::uint64_t hash() const { return _hash; }
-    std::uint64_t deliveries() const { return _deliveries; }
-
-  private:
-    void
-    mix(std::uint64_t v)
-    {
-        for (int i = 0; i < 8; ++i) {
-            _hash ^= (v >> (8 * i)) & 0xff;
-            _hash *= 1099511628211ull;
-        }
-    }
-
-    std::uint64_t _hash = 14695981039346656037ull;
-    std::uint64_t _deliveries = 0;
-};
-
-struct TraceResult
-{
-    std::uint64_t hash;
-    std::uint64_t deliveries;
-    std::uint64_t txns;
-};
-
-/** Quickstart-sized: the hash micro-benchmark on a scaled-down
- * Table-I machine under ATOM-OPT. */
-TraceResult
-runQuickstartSized()
-{
-    SystemConfig cfg;
-    cfg.numCores = 8;
-    cfg.l2Tiles = 8;
-    cfg.meshRows = 2;
-    cfg.ausPerMc = 8;
-    cfg.design = DesignKind::AtomOpt;
-
-    MicroParams params;
-    params.entryBytes = 256;
-    params.initialItems = 24;
-    params.txnsPerCore = 6;
-
-    HashWorkload workload(params);
-    Runner runner(cfg, workload, params.txnsPerCore);
-    TraceHasher tracer;
-    runner.system().mesh().setTracer(&tracer);
-    runner.setUp();
-    const RunResult result = runner.run();
-    return TraceResult{tracer.hash(), tracer.deliveries(), result.txns};
-}
-
-/** tpcc-sized: TPC-C new-order on a small multi-core config under
- * ATOM (posted logging, no source logging). */
-TraceResult
-runTpccSized()
-{
-    SystemConfig cfg;
-    cfg.numCores = 4;
-    cfg.l2Tiles = 4;
-    cfg.meshRows = 2;
-    cfg.ausPerMc = 4;
-    cfg.design = DesignKind::Atom;
-
-    tpcc::ScaleParams scale;
-    scale.customersPerDistrict = 8;
-    scale.items = 128;
-    TpccWorkload workload(scale);
-
-    Runner runner(cfg, workload, /*txns_per_core=*/4,
-                  Addr(128) * 1024 * 1024);
-    TraceHasher tracer;
-    runner.system().mesh().setTracer(&tracer);
-    runner.setUp();
-    const RunResult result = runner.run();
-    return TraceResult{tracer.hash(), tracer.deliveries(), result.txns};
-}
-
-// Golden values. Regenerate ONLY for intentional timing changes (see
-// the file header).
-constexpr std::uint64_t kGoldenQuickstartHash = 0x86c88f25733ed5aeull;
-constexpr std::uint64_t kGoldenQuickstartDeliveries = 1736ull;
-constexpr std::uint64_t kGoldenTpccHash = 0x76155a7121491490ull;
-constexpr std::uint64_t kGoldenTpccDeliveries = 9316ull;
+using golden::GoldenRun;
+using golden::runGoldenQuickstart;
+using golden::runGoldenTpcc;
 
 TEST(GoldenTraceTest, QuickstartSizedRunIsTickForTickStable)
 {
-    const TraceResult r = runQuickstartSized();
+    const GoldenRun r = runGoldenQuickstart(0);
     EXPECT_EQ(r.txns, 8u * 6u);
-    EXPECT_EQ(r.deliveries, kGoldenQuickstartDeliveries)
-        << "actual deliveries: " << r.deliveries;
-    EXPECT_EQ(r.hash, kGoldenQuickstartHash)
-        << "actual hash: 0x" << std::hex << r.hash;
+    EXPECT_EQ(r.deliveries, golden::kGoldenQuickstartDeliveries)
+        << "actual deliveries: " << r.deliveries
+        << " (rerun with --dump-goldens for intentional changes)";
+    EXPECT_EQ(r.hash, golden::kGoldenQuickstartHash)
+        << "actual hash: 0x" << std::hex << r.hash
+        << " (rerun with --dump-goldens for intentional changes)";
 }
 
 TEST(GoldenTraceTest, TpccSizedRunIsTickForTickStable)
 {
-    const TraceResult r = runTpccSized();
+    const GoldenRun r = runGoldenTpcc(0);
     EXPECT_EQ(r.txns, 4u * 4u);
-    EXPECT_EQ(r.deliveries, kGoldenTpccDeliveries)
-        << "actual deliveries: " << r.deliveries;
-    EXPECT_EQ(r.hash, kGoldenTpccHash)
-        << "actual hash: 0x" << std::hex << r.hash;
+    EXPECT_EQ(r.deliveries, golden::kGoldenTpccDeliveries)
+        << "actual deliveries: " << r.deliveries
+        << " (rerun with --dump-goldens for intentional changes)";
+    EXPECT_EQ(r.hash, golden::kGoldenTpccHash)
+        << "actual hash: 0x" << std::hex << r.hash
+        << " (rerun with --dump-goldens for intentional changes)";
 }
 
 // Determinism of the trace itself (same config + seed -> same stream),
@@ -150,8 +60,8 @@ TEST(GoldenTraceTest, TpccSizedRunIsTickForTickStable)
 // the exact delivery sequence.
 TEST(GoldenTraceTest, BackToBackRunsProduceIdenticalTraces)
 {
-    const TraceResult a = runQuickstartSized();
-    const TraceResult b = runQuickstartSized();
+    const GoldenRun a = runGoldenQuickstart(0);
+    const GoldenRun b = runGoldenQuickstart(0);
     EXPECT_EQ(a.hash, b.hash);
     EXPECT_EQ(a.deliveries, b.deliveries);
 }

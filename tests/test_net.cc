@@ -159,18 +159,32 @@ TEST_F(MeshTest, PerLinkFifoOrdering)
     EXPECT_EQ(order[2], 2);
 }
 
-TEST_F(MeshTest, EjectionQueueLetsShortMessageOvertake)
+TEST_F(MeshTest, EjectionPortSerializesSameNodeMessages)
 {
-    // Same-node messages traverse no link; a 1-flit control message
-    // sent after a 5-flit data message still arrives first (shorter
-    // serialization), exactly as independent deliveries would.
+    // Same-node messages traverse no link but serialize on the node's
+    // ejection port, so a 1-flit control message sent after a 5-flit
+    // data message arrives *after* it. Point-to-point FIFO regardless
+    // of message size is a protocol invariant: the split-phase
+    // coherence paths rely on a PutM never being overtaken by a later
+    // request on the same src->dst pair.
     std::vector<int> order;
-    mesh.send(5, 5, MsgType::Data, [&] { order.push_back(0); });
-    mesh.send(5, 5, MsgType::Ctrl, [&] { order.push_back(1); });
+    Tick t_data = 0;
+    Tick t_ctrl = 0;
+    mesh.send(5, 5, MsgType::Data, [&] {
+        order.push_back(0);
+        t_data = eq.now();
+    });
+    mesh.send(5, 5, MsgType::Ctrl, [&] {
+        order.push_back(1);
+        t_ctrl = eq.now();
+    });
     eq.run();
     ASSERT_EQ(order.size(), 2u);
-    EXPECT_EQ(order[0], 1);
-    EXPECT_EQ(order[1], 0);
+    EXPECT_EQ(order[0], 0);
+    EXPECT_EQ(order[1], 1);
+    // Data: hop latency + 5 flits; Ctrl: queued behind it.
+    EXPECT_EQ(t_data, 2u + 5u - 1u);
+    EXPECT_GT(t_ctrl, t_data);
 }
 
 TEST_F(MeshTest, TypedCompletionCarriesPayload)
@@ -231,9 +245,13 @@ TEST_F(MeshTest, PacketPoolReusedAcrossMessages)
 
 TEST_F(MeshTest, BoundedDepthBackpressureStallsAndRecovers)
 {
-    // Same-node control bursts all arrive on the same tick (no link
-    // reservation paces them), so a bounded ejection queue must stall
-    // the excess and re-admit it later.
+    // A same-node burst is enqueued at send time faster than the
+    // ejection port delivers, so a bounded queue must park the excess
+    // in the stall list and re-admit it as slots free -- without
+    // losing or reordering anything. (Since the ejection port
+    // serializes arrivals, re-admission preserves the original
+    // pacing; the depth bound limits *occupancy*, which is what the
+    // stall counter observes.)
     SystemConfig bounded = cfg;
     bounded.linkQueueDepth = 2;
     EventQueue beq;
@@ -251,16 +269,15 @@ TEST_F(MeshTest, BoundedDepthBackpressureStallsAndRecovers)
     EXPECT_EQ(bstats.value("mesh", "link_stalls"), 4u);
 
     beq.run();
-    // Every message still delivers, in FIFO order, and the stalled
-    // tail was pushed past its unconstrained arrival tick.
+    // Every message still delivers, in strict FIFO order, and the
+    // stall list fully drained.
     ASSERT_EQ(arrivals.size(), 6u);
     for (std::size_t i = 1; i < arrivals.size(); ++i)
-        EXPECT_GE(arrivals[i], arrivals[i - 1]);
+        EXPECT_GT(arrivals[i], arrivals[i - 1]);
     EXPECT_EQ(bmesh.ejectionOf(5).stalledDepth(), 0u);
-    EXPECT_GT(bstats.value("mesh", "link_stall_cycles"), 0u);
 
-    // An identical unconstrained mesh delivers everything on the same
-    // tick: backpressure observably delayed the tail.
+    // An unconstrained mesh delivers the same burst with identical
+    // pacing (port-serialized) and no stalls.
     std::vector<Tick> free_arrivals;
     EventQueue feq;
     StatSet fstats;
@@ -270,7 +287,7 @@ TEST_F(MeshTest, BoundedDepthBackpressureStallsAndRecovers)
                    [&] { free_arrivals.push_back(feq.now()); });
     feq.run();
     ASSERT_EQ(free_arrivals.size(), 6u);
-    EXPECT_GT(arrivals.back(), free_arrivals.back());
+    EXPECT_EQ(arrivals.back(), free_arrivals.back());
     EXPECT_EQ(fstats.value("mesh", "link_stalls"), 0u);
 }
 

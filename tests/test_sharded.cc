@@ -1,146 +1,45 @@
 /**
  * @file
  * Sharded-simulation tests: determinism across shard counts, the
- * window barrier, and the domain mailboxes.
+ * per-tile domain layout, the window barrier, and the domain
+ * mailboxes.
  *
  * The contract under test (see README, "Parallel simulation"): for a
  * fixed configuration and seed, a sharded run's (tick, node, kind)
  * delivery stream, final stats and committed-transaction count are
  * byte-identical for *every* shard count and every thread
- * interleaving. The golden workloads of tests/test_golden_trace.cc are
- * re-run here at 1, 2 and 4 shards and compared element-wise.
+ * interleaving -- now with the cache complex fully partitioned: every
+ * core+L1 tile and every L2 slice is its own simulation domain. The
+ * golden workloads of golden_support.hh are re-run here at 1, 2, 4
+ * and 8 shards and compared element-wise.
  *
- * The windowed kernel's stream is additionally pinned by hash, like
- * the sequential goldens: regenerate the constants only for
- * intentional timing changes, taking the "actual" values from the
- * failure message.
+ * The windowed kernel's stream is additionally pinned by hash against
+ * the generated tests/goldens.inc; regenerate with `--dump-goldens`
+ * only for intentional timing changes.
  */
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <thread>
-#include <tuple>
 #include <vector>
 
+#include "golden_support.hh"
 #include "harness/runner.hh"
 #include "net/mesh.hh"
 #include "sim/shard.hh"
-#include "workloads/hash_workload.hh"
-#include "workloads/tpcc/tpcc_workload.hh"
 
 namespace atomsim
 {
 namespace
 {
 
-/** Records the full delivery stream (and its FNV-1a hash). */
-class StreamTracer : public Mesh::Tracer
-{
-  public:
-    struct Rec
-    {
-        Tick tick;
-        std::uint32_t node;
-        MsgType type;
-
-        bool
-        operator==(const Rec &o) const
-        {
-            return tick == o.tick && node == o.node && type == o.type;
-        }
-    };
-
-    void
-    onDeliver(Tick tick, std::uint32_t node, MsgType type) override
-    {
-        stream.push_back(Rec{tick, node, type});
-        mix(tick);
-        mix(node);
-        mix(std::uint64_t(type));
-    }
-
-    std::vector<Rec> stream;
-    std::uint64_t hash = 14695981039346656037ull;
-
-  private:
-    void
-    mix(std::uint64_t v)
-    {
-        for (int i = 0; i < 8; ++i) {
-            hash ^= (v >> (8 * i)) & 0xff;
-            hash *= 1099511628211ull;
-        }
-    }
-};
-
-struct ShardedResult
-{
-    std::vector<StreamTracer::Rec> stream;
-    std::uint64_t hash;
-    std::vector<std::pair<std::string, std::uint64_t>> stats;
-    std::uint64_t txns;
-    Tick cycles;
-};
-
-/** The quickstart-sized golden workload at @p shards shards. */
-ShardedResult
-runQuickstartSized(std::uint32_t shards)
-{
-    SystemConfig cfg;
-    cfg.numCores = 8;
-    cfg.l2Tiles = 8;
-    cfg.meshRows = 2;
-    cfg.ausPerMc = 8;
-    cfg.design = DesignKind::AtomOpt;
-    cfg.numShards = shards;
-
-    MicroParams params;
-    params.entryBytes = 256;
-    params.initialItems = 24;
-    params.txnsPerCore = 6;
-
-    HashWorkload workload(params);
-    Runner runner(cfg, workload, params.txnsPerCore);
-    StreamTracer tracer;
-    runner.system().mesh().setTracer(&tracer);
-    runner.setUp();
-    const RunResult result = runner.run();
-    return ShardedResult{std::move(tracer.stream), tracer.hash,
-                         std::as_const(runner.system()).stats().dump(),
-                         result.txns, result.cycles};
-}
-
-/** The tpcc-sized golden workload at @p shards shards. */
-ShardedResult
-runTpccSized(std::uint32_t shards)
-{
-    SystemConfig cfg;
-    cfg.numCores = 4;
-    cfg.l2Tiles = 4;
-    cfg.meshRows = 2;
-    cfg.ausPerMc = 4;
-    cfg.design = DesignKind::Atom;
-    cfg.numShards = shards;
-
-    tpcc::ScaleParams scale;
-    scale.customersPerDistrict = 8;
-    scale.items = 128;
-    TpccWorkload workload(scale);
-
-    Runner runner(cfg, workload, /*txns_per_core=*/4,
-                  Addr(128) * 1024 * 1024);
-    StreamTracer tracer;
-    runner.system().mesh().setTracer(&tracer);
-    runner.setUp();
-    const RunResult result = runner.run();
-    return ShardedResult{std::move(tracer.stream), tracer.hash,
-                         std::as_const(runner.system()).stats().dump(),
-                         result.txns, result.cycles};
-}
+using golden::GoldenRun;
+using golden::runGoldenQuickstart;
+using golden::runGoldenTpcc;
 
 void
-expectIdentical(const ShardedResult &a, const ShardedResult &b,
+expectIdentical(const GoldenRun &a, const GoldenRun &b,
                 const char *what)
 {
     EXPECT_EQ(a.txns, b.txns) << what;
@@ -155,79 +54,87 @@ expectIdentical(const ShardedResult &a, const ShardedResult &b,
     EXPECT_EQ(a.stats, b.stats) << what;
 }
 
-// Windowed-kernel goldens. These pin the *sharded* semantics the same
-// way test_golden_trace.cc pins the sequential kernel; every shard
-// count must reproduce them.
-constexpr std::uint64_t kWindowedQuickstartHash = 0xdfae2ae65f9923c3ull;
-constexpr std::uint64_t kWindowedTpccHash = 0xd6009b4dbf9220e7ull;
-
 TEST(ShardedDeterminismTest, QuickstartSizedByteIdenticalAcrossShards)
 {
-    const ShardedResult one = runQuickstartSized(1);
-    const ShardedResult two = runQuickstartSized(2);
-    const ShardedResult four = runQuickstartSized(4);
+    const GoldenRun one = runGoldenQuickstart(1, true);
+    const GoldenRun two = runGoldenQuickstart(2, true);
+    const GoldenRun four = runGoldenQuickstart(4, true);
+    const GoldenRun eight = runGoldenQuickstart(8, true);
     EXPECT_EQ(one.txns, 8u * 6u);
     expectIdentical(one, two, "1 vs 2 shards");
     expectIdentical(one, four, "1 vs 4 shards");
-    EXPECT_EQ(one.hash, kWindowedQuickstartHash)
-        << "actual hash: 0x" << std::hex << one.hash;
+    expectIdentical(one, eight, "1 vs 8 shards");
+    EXPECT_EQ(one.hash, golden::kWindowedQuickstartHash)
+        << "actual hash: 0x" << std::hex << one.hash
+        << " (rerun with --dump-goldens for intentional changes)";
 }
 
 TEST(ShardedDeterminismTest, TpccSizedByteIdenticalAcrossShards)
 {
-    const ShardedResult one = runTpccSized(1);
-    const ShardedResult two = runTpccSized(2);
-    const ShardedResult four = runTpccSized(4);
+    const GoldenRun one = runGoldenTpcc(1, true);
+    const GoldenRun two = runGoldenTpcc(2, true);
+    const GoldenRun four = runGoldenTpcc(4, true);
+    const GoldenRun eight = runGoldenTpcc(8, true);
     EXPECT_EQ(one.txns, 4u * 4u);
     expectIdentical(one, two, "1 vs 2 shards");
     expectIdentical(one, four, "1 vs 4 shards");
-    EXPECT_EQ(one.hash, kWindowedTpccHash)
-        << "actual hash: 0x" << std::hex << one.hash;
+    expectIdentical(one, eight, "1 vs 8 shards");
+    EXPECT_EQ(one.hash, golden::kWindowedTpccHash)
+        << "actual hash: 0x" << std::hex << one.hash
+        << " (rerun with --dump-goldens for intentional changes)";
 }
 
 // Thread-schedule independence: the same threaded shard count twice.
 TEST(ShardedDeterminismTest, BackToBackThreadedRunsAreIdentical)
 {
-    const ShardedResult a = runQuickstartSized(2);
-    const ShardedResult b = runQuickstartSized(2);
+    const GoldenRun a = runGoldenQuickstart(2, true);
+    const GoldenRun b = runGoldenQuickstart(2, true);
     expectIdentical(a, b, "threaded run-to-run");
 }
 
 // The sharded run must agree with the sequential kernel on everything
-// order-insensitive: work done, protocol traffic, committed txns.
+// order-insensitive: work done and committed txns. (Delivery counts
+// may differ slightly: transaction dispatch and AUS/LogM boundary ops
+// quantize to window barriers, shifting a handful of evictions.)
 TEST(ShardedDeterminismTest, ShardedMatchesSequentialWork)
 {
-    const ShardedResult seq = runQuickstartSized(0);
-    const ShardedResult sharded = runQuickstartSized(2);
+    const GoldenRun seq = runGoldenQuickstart(0, true);
+    const GoldenRun sharded = runGoldenQuickstart(2, true);
     EXPECT_EQ(seq.txns, sharded.txns);
-    EXPECT_EQ(seq.stream.size(), sharded.stream.size());
     // Transaction-boundary control ops quantize to window barriers, so
     // end-to-end cycles may shift by a few windows -- but not by more
-    // than a fraction of a percent on these runs.
+    // than a couple percent on these runs.
     const double drift =
         double(sharded.cycles) - double(seq.cycles);
-    EXPECT_LT(drift / double(seq.cycles), 0.01);
+    EXPECT_LT(drift / double(seq.cycles), 0.02);
     EXPECT_GE(drift, 0.0);
 }
 
-TEST(ShardLayoutTest, DomainToWorkerMapping)
+TEST(ShardLayoutTest, PerTileDomainToWorkerMapping)
 {
-    // 4 MCs, 3 workers: cache complex on the leader, MCs round-robin
-    // over workers 1..2.
-    ShardLayout l = ShardLayout::make(3, 4);
+    // 8 cores, 8 L2 slices, 4 MCs: 20 domains. 3 workers: core 0's
+    // tile on the leader, the rest dealt round-robin over workers
+    // 1..2.
+    ShardLayout l = ShardLayout::make(3, 8, 8, 4);
     EXPECT_EQ(l.workers, 3u);
-    EXPECT_EQ(l.domains(), 5u);
+    EXPECT_EQ(l.domains(), 20u);
+    EXPECT_EQ(l.coreDomain(0), 0u);
+    EXPECT_EQ(l.coreDomain(7), 7u);
+    EXPECT_EQ(l.tileDomain(0), 8u);
+    EXPECT_EQ(l.tileDomain(7), 15u);
+    EXPECT_EQ(l.mcDomain(0), 16u);
+    EXPECT_EQ(l.mcDomain(3), 19u);
     EXPECT_EQ(l.workerOfDomain(0), 0u);
-    EXPECT_EQ(l.workerOfDomain(l.mcDomain(0)), 1u);
-    EXPECT_EQ(l.workerOfDomain(l.mcDomain(1)), 2u);
-    EXPECT_EQ(l.workerOfDomain(l.mcDomain(2)), 1u);
-    EXPECT_EQ(l.workerOfDomain(l.mcDomain(3)), 2u);
+    EXPECT_EQ(l.workerOfDomain(1), 1u);
+    EXPECT_EQ(l.workerOfDomain(2), 2u);
+    EXPECT_EQ(l.workerOfDomain(3), 1u);
+    EXPECT_EQ(l.workerOfDomain(l.mcDomain(3)), 1u + (19u - 1u) % 2u);
 
-    // Requests beyond 1 + numMcs clamp.
-    EXPECT_EQ(ShardLayout::make(64, 4).workers, 5u);
+    // Requests beyond the domain count clamp.
+    EXPECT_EQ(ShardLayout::make(64, 8, 8, 4).workers, 20u);
 
     // Single worker drives everything.
-    ShardLayout one = ShardLayout::make(1, 4);
+    ShardLayout one = ShardLayout::make(1, 8, 8, 4);
     for (std::uint32_t d = 0; d < one.domains(); ++d)
         EXPECT_EQ(one.workerOfDomain(d), 0u);
 }
