@@ -41,6 +41,8 @@
 #include <new>
 #include <thread>
 
+#include "bench_common.hh"
+#include "harness/report.hh"
 #include "harness/runner.hh"
 #include "net/mesh.hh"
 #include "workloads/hash_workload.hh"
@@ -81,28 +83,9 @@ namespace
 
 using namespace atomsim;
 
-class HashTracer : public Mesh::Tracer
-{
-  public:
-    void
-    onDeliver(Tick tick, std::uint32_t node, MsgType type) override
-    {
-        mix(tick);
-        mix(node);
-        mix(std::uint64_t(type));
-    }
-    std::uint64_t hash = 14695981039346656037ull;
-
-  private:
-    void
-    mix(std::uint64_t v)
-    {
-        for (int i = 0; i < 8; ++i) {
-            hash ^= (v >> (8 * i)) & 0xff;
-            hash *= 1099511628211ull;
-        }
-    }
-};
+/** `--stats-json` export: one row per (load, shard count) run. */
+JsonWriter g_json;
+bool g_jsonOpen = false;
 
 struct BenchRun
 {
@@ -173,7 +156,7 @@ runOne(Load load, std::uint32_t shards, std::uint32_t txns_per_core,
     }
 
     Runner runner(cfg, *workload, txns_per_core, data_bytes);
-    HashTracer tracer;
+    bench::StreamHashTracer tracer;
     runner.system().mesh().setTracer(&tracer);
     runner.setUp();
 
@@ -241,6 +224,24 @@ scalingSection(Load load, std::uint32_t txns_per_core)
                     shards == 0 ? "seq" : std::to_string(shards).c_str(),
                     (unsigned long long)r.events, r.wallMs, rate,
                     rate / seq_rate, (unsigned long long)r.hash);
+        if (g_jsonOpen) {
+            g_json.beginObject();
+            g_json.kv("section", "scaling");
+            g_json.kv("load", loadName(load));
+            g_json.kv("txns_per_core", txns_per_core);
+            g_json.kv("shards", shards);
+            g_json.kv("events", r.events);
+            g_json.kv("txns", r.txns);
+            g_json.kv("cycles", std::uint64_t(r.cycles));
+            g_json.kv("wall_ms", r.wallMs);
+            g_json.kv("events_per_sec", rate);
+            g_json.kv("spill_ratio", r.spillRatio);
+            char hash[24];
+            std::snprintf(hash, sizeof(hash), "%016llx",
+                          (unsigned long long)r.hash);
+            g_json.kv("trace_hash", hash);
+            g_json.endObject();
+        }
     }
     return ok;
 }
@@ -310,12 +311,21 @@ allocSection()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     std::printf("parallel_scaling: conservative-window sharded kernel\n");
     std::printf("hardware threads: %u (speedup requires > 1; a "
                 "single-CPU host measures pure overhead)\n",
                 std::thread::hardware_concurrency());
+
+    const std::string json_path = statsJsonPathFromArgs(argc, argv);
+    g_jsonOpen = !json_path.empty();
+    if (g_jsonOpen) {
+        g_json.beginObject();
+        g_json.kv("bench", "parallel_scaling");
+        g_json.key("rows");
+        g_json.beginArray();
+    }
 
     bool ok = true;
     ok &= scalingSection(Load::Quickstart, 6);
@@ -323,5 +333,18 @@ main()
     ok &= scalingSection(Load::TpccFull, 2);
     wheelSection();
     ok &= allocSection();
+
+    if (g_jsonOpen) {
+        g_json.endArray();
+        g_json.kv("ok", ok);
+        g_json.endObject();
+        if (!g_json.writeFile(json_path)) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         json_path.c_str());
+            ok = false;
+        } else {
+            std::printf("wrote %s\n", json_path.c_str());
+        }
+    }
     return ok ? 0 : 1;
 }

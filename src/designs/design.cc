@@ -8,6 +8,22 @@
 namespace atomsim
 {
 
+const char *
+logPlacementName(const SystemConfig &cfg)
+{
+    switch (cfg.hybridMode) {
+      case HybridMode::NvmOnly:
+        return "flat-nvm";
+      case HybridMode::MemoryMode:
+        return "dram-cached";
+      case HybridMode::AppDirect:
+        return cfg.appDirectRegion == AppDirectRegion::LogRegion
+                   ? "direct"
+                   : "dram-cached";
+    }
+    return "?";
+}
+
 AusPool::AusPool(EventQueue &eq, std::uint32_t slots, std::uint32_t cores,
                  StatSet &stats)
     : _eq(eq),

@@ -36,6 +36,18 @@ class LogM;
 class RedoEngine;
 
 /**
+ * Log-placement policy of the hybrid memory system, as it applies to
+ * the configured design: where ATOM's log region lands relative to the
+ * DRAM tier. "direct" = log pages bypass the DRAM cache (straight to
+ * NVM); "dram-cached" = the log region sits behind the cache (log
+ * *writes* still persist write-through -- only log reads, i.e. the
+ * REDO backend's replay traffic, gain DRAM locality); "flat-nvm" =
+ * no DRAM tier at all. bench/hybrid_sweep.cc labels its design points
+ * with this.
+ */
+const char *logPlacementName(const SystemConfig &cfg);
+
+/**
  * Pool of AUS slots shared by the cores.
  *
  * The paper supports one atomic update per core (32 AUS); when fewer

@@ -2,7 +2,10 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <sstream>
+
+#include "sim/stats.hh"
 
 namespace atomsim
 {
@@ -75,6 +78,181 @@ geomean(const std::vector<double> &values)
     for (double v : values)
         log_sum += std::log(v);
     return std::exp(log_sum / double(values.size()));
+}
+
+// --- JsonWriter ------------------------------------------------------
+
+void
+JsonWriter::separate()
+{
+    if (_afterKey) {
+        _afterKey = false;
+        return;
+    }
+    if (!_hasElem.empty()) {
+        if (_hasElem.back())
+            _out += ',';
+        _hasElem.back() = true;
+    }
+}
+
+void
+JsonWriter::escape(const std::string &s)
+{
+    _out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            _out += "\\\"";
+            break;
+          case '\\':
+            _out += "\\\\";
+            break;
+          case '\n':
+            _out += "\\n";
+            break;
+          case '\t':
+            _out += "\\t";
+            break;
+          case '\r':
+            _out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                _out += buf;
+            } else {
+                _out += c;
+            }
+        }
+    }
+    _out += '"';
+}
+
+void
+JsonWriter::beginObject()
+{
+    separate();
+    _out += '{';
+    _hasElem.push_back(false);
+}
+
+void
+JsonWriter::endObject()
+{
+    _hasElem.pop_back();
+    _out += '}';
+}
+
+void
+JsonWriter::beginArray()
+{
+    separate();
+    _out += '[';
+    _hasElem.push_back(false);
+}
+
+void
+JsonWriter::endArray()
+{
+    _hasElem.pop_back();
+    _out += ']';
+}
+
+void
+JsonWriter::key(const std::string &k)
+{
+    separate();
+    escape(k);
+    _out += ':';
+    _afterKey = true;
+}
+
+void
+JsonWriter::value(const std::string &v)
+{
+    separate();
+    escape(v);
+}
+
+void
+JsonWriter::value(const char *v)
+{
+    value(std::string(v));
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    separate();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu", (unsigned long long)v);
+    _out += buf;
+}
+
+void
+JsonWriter::value(std::int64_t v)
+{
+    separate();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", (long long)v);
+    _out += buf;
+}
+
+void
+JsonWriter::value(double v)
+{
+    separate();
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    _out += buf;
+}
+
+void
+JsonWriter::value(bool v)
+{
+    separate();
+    _out += v ? "true" : "false";
+}
+
+void
+JsonWriter::statsObject(const std::string &k, const StatSet &stats)
+{
+    key(k);
+    beginObject();
+    for (const auto &entry : stats.dump())
+        kv(entry.first, entry.second);
+    endObject();
+}
+
+bool
+JsonWriter::writeFile(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fputs(_out.c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    return true;
+}
+
+std::string
+statsJsonPathFromArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--stats-json") != 0)
+            continue;
+        if (i + 1 >= argc) {
+            std::fprintf(stderr,
+                         "--stats-json requires a path argument; no "
+                         "JSON will be written\n");
+            return "";
+        }
+        return argv[i + 1];
+    }
+    return "";
 }
 
 } // namespace atomsim

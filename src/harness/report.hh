@@ -1,16 +1,22 @@
 /**
  * @file
- * Paper-style table/figure printing for the bench harnesses.
+ * Paper-style table/figure printing for the bench harnesses, plus the
+ * machine-readable JSON export behind the benches' `--stats-json`
+ * flag (bench/hybrid_sweep.cc, bench/parallel_scaling.cc).
  */
 
 #ifndef ATOMSIM_HARNESS_REPORT_HH
 #define ATOMSIM_HARNESS_REPORT_HH
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace atomsim
 {
+
+class StatSet;
 
 /** A simple fixed-width text table writer. */
 class ReportTable
@@ -36,6 +42,79 @@ class ReportTable
 
 /** Geometric mean of a series (paper figures report gmean bars). */
 double geomean(const std::vector<double> &values);
+
+/**
+ * Minimal streaming JSON emitter for the `--stats-json` exports: the
+ * benches build one document per run (metadata + rows + raw stat
+ * dumps) instead of forcing downstream tooling to scrape stdout
+ * tables. Comma placement and nesting are managed internally; strings
+ * are escaped; numbers print round-trippably.
+ *
+ * Usage:
+ *     JsonWriter j;
+ *     j.beginObject();
+ *     j.kv("bench", "hybrid_sweep");
+ *     j.key("rows"); j.beginArray();
+ *       j.beginObject(); j.kv("mode", "memoryMode"); j.endObject();
+ *     j.endArray();
+ *     j.endObject();
+ *     j.writeFile(path);
+ */
+class JsonWriter
+{
+  public:
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Emit an object key (must be inside an object). */
+    void key(const std::string &k);
+
+    void value(const std::string &v);
+    void value(const char *v);
+    void value(std::uint64_t v);
+    void value(std::int64_t v);
+    void value(double v);
+    void value(bool v);
+    void value(int v) { value(std::int64_t(v)); }
+    void value(unsigned v) { value(std::uint64_t(v)); }
+
+    /** key + value in one call. */
+    template <typename T>
+    void
+    kv(const std::string &k, const T &v)
+    {
+        key(k);
+        value(v);
+    }
+
+    /** Emit every counter of @p stats as one flat "name: value"
+     * object under @p k (sorted by name, so diffs are stable). */
+    void statsObject(const std::string &k, const StatSet &stats);
+
+    /** The document so far. */
+    const std::string &str() const { return _out; }
+
+    /** Write the document to @p path (returns false on I/O error). */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    void separate();
+    void escape(const std::string &s);
+
+    std::string _out;
+    /** Nesting stack: true = some element already emitted at this
+     * level (a separating comma is due). */
+    std::vector<bool> _hasElem;
+    bool _afterKey = false;
+};
+
+/**
+ * Scan argv for `--stats-json <path>`; returns the path or "" when
+ * absent. Shared by the always-built benches.
+ */
+std::string statsJsonPathFromArgs(int argc, char **argv);
 
 } // namespace atomsim
 

@@ -119,6 +119,10 @@ Runner::collect(Tick start_tick, Tick end_tick) const
     r.memDataWrites = stats.sum("mc", "data_writes");
     r.memDemandReads = stats.sum("mc", "demand_reads");
     r.memLogReads = stats.sum("mc", "log_reads");
+    r.dramHits = stats.sum("mc", "dram_hits");
+    r.dramMisses = stats.sum("mc", "dram_misses");
+    r.dramRowHits = stats.sum("mc", "row_hits");
+    r.dramWbEvictions = stats.sum("mc", "wb_evictions");
     return r;
 }
 

@@ -33,6 +33,11 @@ struct RunResult
     std::uint64_t memDataWrites = 0;
     std::uint64_t memDemandReads = 0;
     std::uint64_t memLogReads = 0;
+    // Hybrid memory (zero when hybridMode == NvmOnly):
+    std::uint64_t dramHits = 0;        //!< DRAM-cache read hits
+    std::uint64_t dramMisses = 0;      //!< DRAM-cache read misses
+    std::uint64_t dramRowHits = 0;     //!< DRAM row-buffer hits
+    std::uint64_t dramWbEvictions = 0; //!< dirty victims pushed to NVM
 };
 
 /**

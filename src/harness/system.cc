@@ -44,6 +44,10 @@ System::System(const SystemConfig &cfg, Addr data_bytes)
     for (McId m = 0; m < _cfg.numMemCtrls; ++m) {
         _mcs.push_back(std::make_unique<MemoryController>(
             m, mc_queue(m), _cfg, _nvm, _stats));
+        // Hybrid memory: the app-direct window (empty outside
+        // AppDirect mode) bypasses the controller's DRAM cache.
+        _mcs.back()->setUncacheableWindow(_amap.appDirectBase(),
+                                          _amap.appDirectEnd());
         _mcPorts.push_back(
             std::make_unique<McPort>(m, *_mesh, *_mcs.back()));
     }

@@ -21,6 +21,19 @@ AddressMap::AddressMap(const SystemConfig &cfg, Addr data_bytes)
     panic_if(_recordsPerBucket * kRecordBytes != kPageBytes,
              "bucket must be exactly one page (%u records of 512 B)",
              unsigned(kPageBytes / kRecordBytes));
+
+    if (cfg.hybridMode == HybridMode::AppDirect) {
+        if (cfg.appDirectRegion == AppDirectRegion::LogRegion) {
+            // Log placement "direct": the log and ADR pages bypass
+            // the DRAM cache; data pages are cached.
+            _appDirectBase = _logBase;
+            _appDirectEnd = reservedEnd();
+        } else {
+            // Inverse design point: data pages direct, log cached.
+            _appDirectBase = 0;
+            _appDirectEnd = _logBase;
+        }
+    }
 }
 
 McId

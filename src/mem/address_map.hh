@@ -12,6 +12,10 @@
  * log/data co-location well defined: ATOM sends a log entry to the MC
  * owning the *data* page, and allocates the entry in a log bucket that
  * lives behind that same MC.
+ *
+ * The map also owns the hybrid-memory *app-direct window*: in
+ * HybridMode::AppDirect, one region (log+ADR or data, per
+ * SystemConfig::appDirectRegion) bypasses the per-MC DRAM cache.
  */
 
 #ifndef ATOMSIM_MEM_ADDRESS_MAP_HH
@@ -81,6 +85,26 @@ class AddressMap
         return _logEnd + Addr(_numMc) * kPageBytes;
     }
 
+    // --- Hybrid memory: app-direct partitioning ----------------------
+
+    /**
+     * First byte of the app-direct window -- the region that bypasses
+     * the per-MC DRAM cache and talks straight to NVM. Empty (base ==
+     * end == 0) unless hybridMode == AppDirect, where
+     * SystemConfig::appDirectRegion picks either the log + ADR region
+     * (log placement: direct-to-NVM, data DRAM-cached) or the data
+     * region (the inverse design point).
+     */
+    Addr appDirectBase() const { return _appDirectBase; }
+
+    /** One past the last byte of the app-direct window. The
+     * controllers test addresses against [base, end) through the
+     * single shared predicate (sim/types.hh::inAddrWindow); whether a
+     * DRAM tier exists at all is the controller's _dram null-check,
+     * so there is exactly one source of truth for each half of the
+     * decision. */
+    Addr appDirectEnd() const { return _appDirectEnd; }
+
     /** Bytes in one log record (8 lines). */
     static constexpr Addr kRecordBytes = 8 * kLineBytes;
 
@@ -95,6 +119,8 @@ class AddressMap
     std::uint32_t _recordsPerBucket;
     Addr _logBase;
     Addr _logEnd;
+    Addr _appDirectBase = 0;
+    Addr _appDirectEnd = 0;
 };
 
 } // namespace atomsim

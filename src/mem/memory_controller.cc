@@ -20,7 +20,8 @@ MemoryController::MemoryController(McId id, EventQueue &eq,
       _statLogReads(stats.counter(_statName, "log_reads")),
       _statWrites(stats.counter(_statName, "data_writes")),
       _statLogWrites(stats.counter(_statName, "log_writes")),
-      _statGateBlocks(stats.counter(_statName, "gate_blocks"))
+      _statGateBlocks(stats.counter(_statName, "gate_blocks")),
+      _statDramCleanses(stats.counter(_statName, "dram_cleanses"))
 {
     for (std::uint32_t c = 0; c < cfg.channelsPerMc; ++c)
         _channels.emplace_back(eq, cfg);
@@ -28,6 +29,12 @@ MemoryController::MemoryController(McId id, EventQueue &eq,
     for (std::uint32_t c = 0; c < cfg.channelsPerMc; ++c) {
         _chState[c].kickEvent = std::make_unique<TickEvent>(
             [this, c] { kick(c); }, "mc.kick");
+    }
+    if (cfg.hybrid()) {
+        _dram = std::make_unique<DramCache>(cfg, stats, _statName);
+        _dramDev = std::make_unique<DramDevice>(
+            eq, cfg, stats.counter(_statName, "row_hits"),
+            stats.counter(_statName, "row_misses"));
     }
 }
 
@@ -106,6 +113,48 @@ MemoryController::addWcb(Request *r, WriteCallback cb)
     *tail = n;
 }
 
+MemoryController::DramOp *
+MemoryController::acquireDramOp()
+{
+    DramOp *op = _dramOpPool.acquire();
+    op->activeNext = _dramActive;
+    _dramActive = op;
+    return op;
+}
+
+void
+MemoryController::releaseDramOp(DramOp *op)
+{
+    DramOp *prev = nullptr;
+    DramOp *cur = _dramActive;
+    while (cur && cur != op) {
+        prev = cur;
+        cur = cur->activeNext;
+    }
+    panic_if(!cur, "releasing a DramOp that is not in flight");
+    if (prev)
+        prev->activeNext = op->activeNext;
+    else
+        _dramActive = op->activeNext;
+    op->activeNext = nullptr;
+    op->rcb = nullptr;
+    op->wcb = nullptr;
+    _dramOpPool.release(op);
+}
+
+void
+MemoryController::writeBackVictim(const DramCache::Victim &victim)
+{
+    // Displaced dirty DRAM line: push it to NVM through the ordinary
+    // write queue. DataWb keeps it behind the ATOM write gate -- the
+    // absorbed write that dirtied it never consulted the gate (DRAM is
+    // volatile, so Invariant 2 was not at stake), but this write
+    // reaches NVM and must wait out a not-yet-persisted record header
+    // like any other data writeback.
+    writeNvm(victim.addr, victim.data, WriteKind::DataWb,
+             WriteCallback{});
+}
+
 void
 MemoryController::readLine(Addr addr, ReadKind kind, ReadCallback cb)
 {
@@ -115,6 +164,68 @@ MemoryController::readLine(Addr addr, ReadKind kind, ReadCallback cb)
     else
         _statLogReads.inc();
 
+    if (_dram && dramCacheable(addr)) {
+        DramOp *op = acquireDramOp();
+        op->addr = addr;
+        op->rcb = std::move(cb);
+        if (_dram->read(addr, op->data)) {
+            // DRAM hit: the data snapshot rides the op; completion at
+            // device timing, never touching the NVM channel.
+            ++_pendingReads;
+            const std::uint64_t epoch = _epoch;
+            _dramDev->access(
+                addr, false, _eq.now() + _cfg.mcFrontendLatency,
+                [this, op, epoch] {
+                    if (epoch != _epoch)
+                        return;
+                    --_pendingReads;
+                    ReadCallback done = std::move(op->rcb);
+                    const Line data = op->data;
+                    releaseDramOp(op);
+                    done(data);
+                });
+            return;
+        }
+        // Miss: read NVM as usual, demand-fill the cache when the
+        // data returns (unless an absorbed write landed a newer copy
+        // meanwhile), and charge the fill's bank occupancy.
+        readNvm(addr, kind, ReadCallback([this, op](const Line &data) {
+            // Fill with the *newest* accepted bytes, not the read's
+            // issue-time snapshot: a write-through write of this line
+            // (a log write, a REDO apply -- traffic that does not
+            // come from the home tile and so is not FIFO-ordered
+            // against the read) can be accepted during the NVM
+            // device window. Its writeThrough() was a no-op while the
+            // line was absent, so installing the snapshot would leave
+            // a permanently stale clean line for later reads to hit.
+            const auto fwd = _inflightWrites.find(op->addr);
+            const Line &newest = fwd != _inflightWrites.end()
+                                     ? fwd->second.data
+                                     : data;
+            const DramCache::Victim victim = _dram->fill(op->addr,
+                                                         newest);
+            if (victim.dirty)
+                writeBackVictim(victim);
+            _dramDev->access(op->addr, true, _eq.now(),
+                             DramDevice::Callback([] {}));
+            // If an absorbed write raced the fill, fill() kept the
+            // (even newer) cached copy -- it is the authoritative
+            // answer.
+            const Line *cached = _dram->peek(op->addr);
+            const Line result = cached ? *cached : newest;
+            ReadCallback done = std::move(op->rcb);
+            releaseDramOp(op);
+            done(result);
+        }));
+        return;
+    }
+
+    readNvm(addr, kind, std::move(cb));
+}
+
+void
+MemoryController::readNvm(Addr addr, ReadKind kind, ReadCallback cb)
+{
     const std::uint32_t ch = channelFor(kind == ReadKind::LogRead);
     Request *req = acquireReq();
     req->isWrite = false;
@@ -132,6 +243,54 @@ MemoryController::writeLine(Addr addr, const Line &data, WriteKind kind,
                             WriteCallback cb)
 {
     addr = lineAlign(addr);
+
+    if (_dram && dramCacheable(addr)) {
+        if (kind == WriteKind::DataWb) {
+            // Absorb the eviction writeback at DRAM latency. Its
+            // completion has never been a durability promise (commit
+            // persistence travels as Flush), so acking from volatile
+            // DRAM is architecturally honest -- and exactly what
+            // powerFail dropping the dirty line models.
+            const DramCache::Victim victim = _dram->absorb(addr, data);
+            if (victim.dirty)
+                writeBackVictim(victim);
+            DramOp *op = acquireDramOp();
+            op->addr = addr;
+            if (cb)
+                op->wcb = std::move(cb);
+            ++_pendingWrites;
+            const std::uint64_t epoch = _epoch;
+            _dramDev->access(
+                addr, true, _eq.now() + _cfg.mcFrontendLatency,
+                [this, op, epoch] {
+                    if (epoch != _epoch)
+                        return;
+                    --_pendingWrites;
+                    WriteCallback done = std::move(op->wcb);
+                    releaseDramOp(op);
+                    if (done)
+                        done();
+                });
+            return;
+        }
+        // Durability-bearing kinds stay write-through: refresh the
+        // cached copy (clean -- NVM receives these very bytes) and
+        // let the NVM completion drive the ack.
+        _dram->writeThrough(addr, data);
+    }
+
+    writeNvm(addr, data, kind, std::move(cb));
+}
+
+void
+MemoryController::writeNvm(Addr addr, const Line &data, WriteKind kind,
+                           WriteCallback cb)
+{
+    // Counted here -- on the NVM path -- so data_writes / log_writes
+    // mean "writes reaching NVM" in every mode: absorbed DataWbs are
+    // counted by dram_wr_absorbed instead, while DRAM victim
+    // writebacks and durability cleanses (which enter through this
+    // function) are real NVM writes and show up here.
     if (isLogTraffic(kind))
         _statLogWrites.inc();
     else
@@ -145,6 +304,13 @@ MemoryController::writeLine(Addr addr, const Line &data, WriteKind kind,
     for (Request *queued = wq.head; queued; queued = queued->next) {
         if (queued->addr == addr && queued->wkind == kind) {
             queued->data = data;
+            // The read-forwarding snapshot must track the newest
+            // accepted value too, or a read (and, in hybrid mode, the
+            // DRAM demand fill it feeds) observes the pre-combine
+            // bytes. The count stays put: still one queued request.
+            auto it = _inflightWrites.find(addr);
+            if (it != _inflightWrites.end())
+                it->second.data = data;
             if (cb)
                 addWcb(queued, std::move(cb));
             return;
@@ -171,6 +337,20 @@ void
 MemoryController::whenLineDurable(Addr addr, WriteCallback cb)
 {
     addr = lineAlign(addr);
+    if (_dram && _dram->isDirty(addr)) {
+        // Durability cleanse: the newest copy of the line lives only
+        // in volatile DRAM (an absorbed writeback). Push it to NVM --
+        // through the gated write path, like any data write -- and
+        // ack when *that* write persists. Without this, a commit
+        // whose dirty line was evicted L1->L2->DRAM before the flush
+        // would be reported durable while its bytes were one power
+        // failure away from vanishing.
+        _statDramCleanses.inc();
+        const Line data = *_dram->peek(addr);
+        _dram->markClean(addr);
+        writeNvm(addr, data, WriteKind::Flush, std::move(cb));
+        return;
+    }
     auto it = _inflightWrites.find(addr);
     if (it == _inflightWrites.end() || it->second.count == 0) {
         cb();
@@ -327,6 +507,21 @@ MemoryController::powerFail()
     _durWaiters.clear();
     _pendingWrites = 0;
     _pendingReads = 0;
+    if (_dram) {
+        // The DRAM tier is volatile: every cached line -- dirty
+        // absorbed writebacks included -- is lost. Only bytes the NVM
+        // device had completed survive into the recovery image.
+        _dram->invalidateAll();
+        _dramDev->clear();
+        while (_dramActive) {
+            DramOp *op = _dramActive;
+            _dramActive = op->activeNext;
+            op->activeNext = nullptr;
+            op->rcb = nullptr;
+            op->wcb = nullptr;
+            _dramOpPool.release(op);
+        }
+    }
 }
 
 std::uint64_t

@@ -7,6 +7,17 @@
  * crosses a high-water mark or no reads are pending). The durable image
  * of memory is updated when a write completes at the device.
  *
+ * When SystemConfig::hybridMode != NvmOnly the controller additionally
+ * owns a DRAM tier (mem/dram_cache.hh + mem/dram_device.hh) consulted
+ * before the NVM channel: reads probe the cache (hit = DRAM latency,
+ * miss = NVM read + demand fill, dirty victims written back through
+ * the ordinary gated write queue), DataWb writes are absorbed at DRAM
+ * latency, and every durability-bearing write kind stays write-through
+ * to NVM. An app-direct address window (setUncacheableWindow) bypasses
+ * the tier entirely. The DRAM contents are volatile: powerFail drops
+ * dirty cached lines, so only NVM-resident bytes survive into the
+ * recovery image.
+ *
  * Two hooks let the ATOM log manager (atom/logm.hh) attach:
  *
  *  - a WriteGate consulted when a *data* write is scheduled out of the
@@ -27,6 +38,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "mem/dram_cache.hh"
+#include "mem/dram_device.hh"
 #include "mem/nvm_channel.hh"
 #include "mem/phys_mem.hh"
 #include "sim/callback.hh"
@@ -126,6 +139,23 @@ class MemoryController
     /** Install the ATOM write gate (nullptr to remove). */
     void setWriteGate(WriteGate *gate) { _gate = gate; }
 
+    /**
+     * App-direct partitioning: addresses in [base, end) bypass the
+     * DRAM cache and talk straight to NVM (no-op without a DRAM
+     * tier). The System derives the window from the AddressMap
+     * (AddressMap::appDirectBase/appDirectEnd).
+     */
+    void
+    setUncacheableWindow(Addr base, Addr end)
+    {
+        _directBase = base;
+        _directEnd = end;
+    }
+
+    /** The DRAM tier (nullptr when hybridMode == NvmOnly). */
+    DramCache *dramCache() { return _dram.get(); }
+    DramDevice *dramDevice() { return _dramDev.get(); }
+
     /** Drop all queued work (power failure). In-flight writes that have
      * not completed at the device are lost, matching Section IV-D. */
     void powerFail();
@@ -223,11 +253,57 @@ class MemoryController
         std::unique_ptr<TickEvent> kickEvent;
     };
 
+    /**
+     * In-flight state of one DRAM-tier operation: a hit read's data
+     * snapshot + completion, a miss's parked fill target, or an
+     * absorbed write's completion ack. Pooled, and chained into
+     * _dramActive so powerFail can reclaim slots whose continuations
+     * went inert with the epoch bump.
+     */
+    struct DramOp
+    {
+        DramOp *next = nullptr;       //!< pool free-list link
+        DramOp *activeNext = nullptr; //!< in-flight list link
+        Addr addr = 0;
+        Line data{};
+        ReadCallback rcb;
+        WriteCallback wcb;
+    };
+
     /** Channel a request of this kind steers to. */
     std::uint32_t channelFor(bool is_log_traffic) const;
 
     static bool isLogTraffic(WriteKind kind);
     static bool isGated(WriteKind kind);
+
+    /** True when the DRAM tier fronts @p addr (outside the app-direct
+     * window). Only meaningful with a DRAM tier configured. */
+    bool
+    dramCacheable(Addr addr) const
+    {
+        return !inAddrWindow(addr, _directBase, _directEnd);
+    }
+
+    DramOp *acquireDramOp();
+    void releaseDramOp(DramOp *op);
+
+    /** Write a displaced dirty DRAM victim back to NVM (gated). */
+    void writeBackVictim(const DramCache::Victim &victim);
+
+    /**
+     * Enqueue a read on the NVM channel path (the pre-hybrid
+     * readLine body): forwarding from in-flight writes happens at
+     * issue time.
+     */
+    void readNvm(Addr addr, ReadKind kind, ReadCallback cb);
+
+    /**
+     * Enqueue a write on the NVM channel path (the pre-hybrid
+     * writeLine body): write combining, gate consultation at issue,
+     * durable-image update and ack at device completion.
+     */
+    void writeNvm(Addr addr, const Line &data, WriteKind kind,
+                  WriteCallback cb);
 
     Request *acquireReq();
     /** Scrub callbacks / overflow chain and return the node. */
@@ -254,6 +330,14 @@ class MemoryController
     FreeListPool<WcbNode> _wcbPool;
     WriteGate *_gate = nullptr;
 
+    // --- Hybrid DRAM tier (null when hybridMode == NvmOnly) ----------
+    std::unique_ptr<DramCache> _dram;
+    std::unique_ptr<DramDevice> _dramDev;
+    FreeListPool<DramOp> _dramOpPool;
+    DramOp *_dramActive = nullptr;  //!< in-flight DRAM ops
+    Addr _directBase = 0;  //!< app-direct (uncacheable) window
+    Addr _directEnd = 0;
+
     /** Writes accepted but not yet durable, by line address: the
      * outstanding count plus the *newest* accepted data, so reads can
      * forward even while a write is on the device (popped from the
@@ -277,6 +361,7 @@ class MemoryController
     Counter &_statWrites;
     Counter &_statLogWrites;
     Counter &_statGateBlocks;
+    Counter &_statDramCleanses;
 };
 
 } // namespace atomsim

@@ -41,10 +41,44 @@ designFromName(const std::string &name)
     fatal("unknown design name '%s'", name.c_str());
 }
 
+const char *
+hybridModeName(HybridMode mode)
+{
+    switch (mode) {
+      case HybridMode::NvmOnly:
+        return "nvmOnly";
+      case HybridMode::MemoryMode:
+        return "memoryMode";
+      case HybridMode::AppDirect:
+        return "appDirect";
+    }
+    return "?";
+}
+
+HybridMode
+hybridModeFromName(const std::string &name)
+{
+    if (name == "nvmOnly")
+        return HybridMode::NvmOnly;
+    if (name == "memoryMode")
+        return HybridMode::MemoryMode;
+    if (name == "appDirect")
+        return HybridMode::AppDirect;
+    fatal("unknown hybrid mode '%s'", name.c_str());
+}
+
 Cycles
 SystemConfig::lineTransferCycles() const
 {
     const double bytes_per_cycle = channelBandwidthBytesPerSec / clockHz;
+    return static_cast<Cycles>(
+        std::ceil(double(kLineBytes) / bytes_per_cycle));
+}
+
+Cycles
+SystemConfig::dramTransferCycles() const
+{
+    const double bytes_per_cycle = dramBandwidthBytesPerSec / clockHz;
     return static_cast<Cycles>(
         std::ceil(double(kLineBytes) / bytes_per_cycle));
 }
@@ -78,6 +112,22 @@ SystemConfig::validate() const
     fatal_if(wheelBuckets < 64 ||
                  (wheelBuckets & (wheelBuckets - 1)) != 0,
              "wheelBuckets must be a power of two >= 64");
+    if (hybrid()) {
+        fatal_if(dramCacheMBPerMc == 0,
+                 "hybrid memory needs dramCacheMBPerMc > 0");
+        fatal_if(dramCacheAssoc == 0,
+                 "dramCacheAssoc must be > 0");
+        fatal_if(Addr(dramCacheMBPerMc) * 1024 * 1024 %
+                         (Addr(dramCacheAssoc) * kLineBytes) !=
+                     0,
+                 "DRAM cache size must be a multiple of assoc * line "
+                 "size");
+        fatal_if(dramBanksPerMc == 0, "dramBanksPerMc must be > 0");
+        fatal_if(dramRowBytes < kLineBytes ||
+                     (dramRowBytes & (dramRowBytes - 1)) != 0,
+                 "dramRowBytes must be a power of two >= the line "
+                 "size");
+    }
     if (numShards > 0) {
         fatal_if(numMemCtrls > 32,
                  "sharded simulation supports at most 32 memory "

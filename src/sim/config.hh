@@ -46,6 +46,54 @@ const char *designName(DesignKind kind);
 /** Parse a design name ("BASE", "ATOM", "ATOM-OPT", ...). */
 DesignKind designFromName(const std::string &name);
 
+/**
+ * Memory-system organization behind the controllers.
+ *
+ * The paper evaluates a flat NVM main memory; real NVM deployments
+ * (Peng et al., arXiv:2002.06499; Liu et al., arXiv:1705.03598) put a
+ * DRAM tier in front of it, either transparently or as an explicitly
+ * partitioned region.
+ */
+enum class HybridMode : std::uint8_t
+{
+    /** Flat NVM (the paper's machine). No DRAM is modeled at all;
+     * every timing-model byte behaves exactly as before this knob
+     * existed. */
+    NvmOnly,
+    /** Memory mode: every address is backed by a per-MC set-
+     * associative DRAM cache in front of the NVM channel (demand
+     * fill on read miss, dirty-victim writeback to NVM). The DRAM
+     * tier is volatile: powerFail drops dirty cached lines, and only
+     * NVM-resident bytes survive into the recovery image. */
+    MemoryMode,
+    /** App-direct: as MemoryMode, but an address window (chosen by
+     * SystemConfig::appDirectRegion) bypasses the DRAM cache and
+     * talks straight to NVM. */
+    AppDirect,
+};
+
+/** Human-readable hybrid-mode name ("nvmOnly", "memoryMode", ...). */
+const char *hybridModeName(HybridMode mode);
+
+/** Parse a hybrid-mode name. */
+HybridMode hybridModeFromName(const std::string &name);
+
+/**
+ * Which region bypasses the DRAM cache in HybridMode::AppDirect: the
+ * log placement policy. LogRegion steers ATOM's log (and the ADR
+ * pages) direct-to-NVM while data pages are DRAM-cached — the natural
+ * fit for undo logging, whose log writes are durability-critical and
+ * whose data writebacks are not. DataRegion is the inverse design
+ * point: data pages direct, the log region behind the DRAM cache
+ * (log *writes* still persist write-through; only log reads — the
+ * REDO backend's replay traffic — gain DRAM locality).
+ */
+enum class AppDirectRegion : std::uint8_t
+{
+    LogRegion,
+    DataRegion,
+};
+
 /** Full machine + design configuration. */
 struct SystemConfig
 {
@@ -76,6 +124,18 @@ struct SystemConfig
     std::uint32_t l1Assoc = 4;
     Cycles l1Latency = 3;
     std::uint32_t mshrs = 32;
+    /**
+     * L1 writeback-buffer snoop-hit fast path: a *load* miss whose
+     * line sits in the L1's own writeback buffer (PutM in flight to
+     * home) completes locally from the buffered copy instead of a
+     * full round trip through the home tile. Default off to keep the
+     * goldens; store misses always refetch through home — reviving a
+     * line whose PutM is already in the mesh would need a
+     * writeback-cancel handshake the protocol does not have (the home
+     * would stop tracking us as owner once the PutM lands, making a
+     * locally-revived Modified copy invisible to the directory).
+     */
+    bool l1WbHit = false;
 
     // --- L2 (Table I) ----------------------------------------------------
     std::uint32_t l2Tiles = 32;
@@ -102,6 +162,35 @@ struct SystemConfig
     std::uint32_t mcReadQueue = 64;
     /** Write queue entries per controller. */
     std::uint32_t mcWriteQueue = 64;
+
+    // --- Hybrid DRAM/NVM memory (src/mem/dram_{device,cache}) --------
+    /**
+     * Memory organization behind the controllers. The default,
+     * NvmOnly, models the paper's flat NVM machine and leaves every
+     * golden byte-identical; MemoryMode/AppDirect put a per-MC DRAM
+     * cache in front of the NVM channel.
+     */
+    HybridMode hybridMode = HybridMode::NvmOnly;
+    /** Which region bypasses the cache in AppDirect mode (the log
+     * placement policy; see designs/design.hh::logPlacementName). */
+    AppDirectRegion appDirectRegion = AppDirectRegion::LogRegion;
+    /** DRAM-cache capacity per memory controller, in MB. */
+    std::uint32_t dramCacheMBPerMc = 16;
+    /** DRAM-cache associativity. */
+    std::uint32_t dramCacheAssoc = 8;
+    /** DRAM banks per controller (row buffers / busy reservations). */
+    std::uint32_t dramBanksPerMc = 8;
+    /** DRAM row-buffer size in bytes (power of two >= line size). */
+    std::uint32_t dramRowBytes = 2048;
+    /** Device latency when the access hits the open row. */
+    Cycles dramRowHitLatency = 18;
+    /** Device latency on a row-buffer miss (precharge + activate). */
+    Cycles dramRowMissLatency = 36;
+    /**
+     * Peak DRAM bandwidth per controller in bytes/second (12.8 GB/s,
+     * one DDR channel); converted to a per-64B-transfer occupancy.
+     */
+    double dramBandwidthBytesPerSec = 12.8e9;
 
     // --- Network (Table I) -----------------------------------------------
     std::uint32_t meshRows = 4;
@@ -183,6 +272,10 @@ struct SystemConfig
     // --- Derived -----------------------------------------------------
     /** Channel occupancy of one 64-byte transfer, in core cycles. */
     Cycles lineTransferCycles() const;
+    /** DRAM occupancy of one 64-byte transfer, in core cycles. */
+    Cycles dramTransferCycles() const;
+    /** True when a DRAM tier is configured (hybridMode != NvmOnly). */
+    bool hybrid() const { return hybridMode != HybridMode::NvmOnly; }
     /** Mesh columns = total tiles / rows (cores co-located with tiles). */
     std::uint32_t meshCols() const;
 

@@ -53,6 +53,19 @@ lineNumber(Addr a)
     return a >> kLineShift;
 }
 
+/**
+ * Half-open address-window membership, with [0, 0) as the canonical
+ * empty window. The single definition behind the hybrid memory
+ * system's app-direct bypass: AddressMap derives the window and the
+ * MemoryController tests addresses against it -- both through this
+ * predicate, so the empty-window sentinel can never diverge.
+ */
+constexpr bool
+inAddrWindow(Addr a, Addr base, Addr end)
+{
+    return a >= base && a < end;
+}
+
 } // namespace atomsim
 
 #endif // ATOMSIM_SIM_TYPES_HH

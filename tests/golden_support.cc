@@ -1,6 +1,7 @@
 #include "golden_support.hh"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <utility>
@@ -80,19 +81,9 @@ runGoldenTpcc(std::uint32_t shards, bool record_stream)
     return collect(runner, tracer);
 }
 
-bool
-maybeDumpGoldens(int argc, char **argv)
+std::string
+renderGoldens()
 {
-    bool dump = false;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--dump-goldens") == 0)
-            dump = true;
-    }
-    if (!dump)
-        return false;
-
-    std::printf("regenerating goldens (sequential + windowed runs)"
-                "...\n");
     const GoldenRun seq_quick = runGoldenQuickstart(0);
     const GoldenRun seq_tpcc = runGoldenTpcc(0);
     // The windowed kernel's stream is byte-identical for every shard
@@ -101,14 +92,9 @@ maybeDumpGoldens(int argc, char **argv)
     const GoldenRun win_quick = runGoldenQuickstart(1);
     const GoldenRun win_tpcc = runGoldenTpcc(1);
 
-    const char *path = ATOMSIM_GOLDENS_PATH;
-    std::FILE *f = std::fopen(path, "w");
-    if (!f) {
-        std::fprintf(stderr, "cannot write %s\n", path);
-        return true;
-    }
-    std::fprintf(
-        f,
+    char buf[2048];
+    const int len = std::snprintf(
+        buf, sizeof(buf),
         "// Golden delivery-stream constants. GENERATED -- never\n"
         "// hand-edit: run `test_golden_trace --dump-goldens` (or\n"
         "// `test_sharded --dump-goldens`) and commit the rewritten\n"
@@ -132,21 +118,42 @@ maybeDumpGoldens(int argc, char **argv)
         (unsigned long long)seq_tpcc.deliveries,
         (unsigned long long)win_quick.hash,
         (unsigned long long)win_tpcc.hash);
+    if (len < 0 || std::size_t(len) >= sizeof(buf)) {
+        // A truncated render would silently regenerate a truncated
+        // goldens.inc (and the idempotence test would then bless it).
+        std::fprintf(stderr,
+                     "renderGoldens: buffer too small (%d bytes "
+                     "needed)\n", len);
+        std::abort();
+    }
+    return std::string(buf, std::size_t(len));
+}
+
+bool
+maybeDumpGoldens(int argc, char **argv)
+{
+    bool dump = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--dump-goldens") == 0)
+            dump = true;
+    }
+    if (!dump)
+        return false;
+
+    std::printf("regenerating goldens (sequential + windowed runs)"
+                "...\n");
+    const std::string contents = renderGoldens();
+
+    const char *path = ATOMSIM_GOLDENS_PATH;
+    std::FILE *f = std::fopen(path, "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return true;
+    }
+    std::fputs(contents.c_str(), f);
     std::fclose(f);
 
-    std::printf("wrote %s:\n", path);
-    std::printf("  kGoldenQuickstartHash       = 0x%016llx (%llu "
-                "deliveries)\n",
-                (unsigned long long)seq_quick.hash,
-                (unsigned long long)seq_quick.deliveries);
-    std::printf("  kGoldenTpccHash             = 0x%016llx (%llu "
-                "deliveries)\n",
-                (unsigned long long)seq_tpcc.hash,
-                (unsigned long long)seq_tpcc.deliveries);
-    std::printf("  kWindowedQuickstartHash     = 0x%016llx\n",
-                (unsigned long long)win_quick.hash);
-    std::printf("  kWindowedTpccHash           = 0x%016llx\n",
-                (unsigned long long)win_tpcc.hash);
+    std::printf("wrote %s:\n%s", path, contents.c_str());
     return true;
 }
 

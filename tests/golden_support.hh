@@ -115,6 +115,15 @@ GoldenRun runGoldenTpcc(std::uint32_t shards,
                         bool record_stream = false);
 
 /**
+ * Recompute every golden constant (sequential + windowed runs) and
+ * render the full goldens.inc file contents. This is the single
+ * formatter `--dump-goldens` writes through, so the idempotence test
+ * can assert that regenerating with no timing change reproduces the
+ * checked-in file byte-identically.
+ */
+std::string renderGoldens();
+
+/**
  * `--dump-goldens` entry point, shared by both test binaries' mains:
  * if argv contains the flag, recompute every golden constant, rewrite
  * tests/goldens.inc, print the new values, and return true (the

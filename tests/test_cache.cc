@@ -625,6 +625,131 @@ TEST(SplitPhaseEvictionRaceTest, QueuedDemandMissWaitsOutEvictionRound)
     EXPECT_EQ(sys.nvmImage().load64(lineB), value2);
 }
 
+TEST(WbHitFastPathTest, LoadMissServedFromOwnWritebackBuffer)
+{
+    // SystemConfig::l1WbHit: a load miss whose line sits in the L1's
+    // own writeback buffer (PutM in flight) completes locally -- no
+    // GetS, no array install -- and once the buffer drains the next
+    // access refetches through home as usual. The race under test:
+    // the load lands in the window between the eviction and the
+    // home's WbAck.
+    SystemConfig cfg;
+    cfg.numCores = 4;
+    cfg.l2Tiles = 4;
+    cfg.meshRows = 2;
+    cfg.ausPerMc = 4;
+    cfg.design = DesignKind::NonAtomic;
+    cfg.l1WbHit = true;
+    System sys(cfg, Addr(16) * 1024 * 1024);
+    EventQueue &eq = sys.eventQueue();
+
+    // Dirty a line, then evict it by filling its L1 set.
+    const std::uint32_t sets =
+        cfg.l1SizeBytes / (cfg.l1Assoc * kLineBytes);
+    const Addr stride = Addr(sets) * kLineBytes;
+    const Addr base = 0x40000;
+    const std::uint64_t value = 0x1234cafeULL;
+    bool wrote = false;
+    sys.l1(0).store(base, reinterpret_cast<const std::uint8_t *>(&value),
+                    8, [&] { wrote = true; });
+    eq.run();
+    ASSERT_TRUE(wrote);
+
+    for (std::uint32_t i = 1; i <= cfg.l1Assoc; ++i) {
+        bool done = false;
+        sys.l1(0).load(base + i * stride, [&] { done = true; });
+        // Single-step so we can catch the PutM window mid-flight.
+        while (!done)
+            eq.run(eq.now() + 1);
+        if (sys.l1(0).outstandingWritebacks() > 0)
+            break;
+    }
+    ASSERT_GT(sys.l1(0).outstandingWritebacks(), 0u)
+        << "eviction produced no in-flight writeback";
+    ASSERT_EQ(sys.l1(0).array().find(base), nullptr);
+
+    // Load the evicted line while its PutM is still in flight: the
+    // WB-buffer snoop hit must complete it with zero mesh traffic.
+    KindCounter kinds;
+    sys.mesh().setTracer(&kinds);
+    bool loaded = false;
+    sys.l1(0).load(base, [&] { loaded = true; });
+    for (Cycles c = 0; c <= cfg.l1Latency && !loaded; ++c)
+        eq.run(eq.now() + 1);
+    EXPECT_TRUE(loaded) << "WB hit did not complete at L1 latency";
+    EXPECT_EQ(kinds.of(MsgType::GetS), 0u);
+    EXPECT_EQ(sys.stats().value("l1c0", "wb_hits"), 1u);
+    // Timing shortcut only: the line was not revived in the array.
+    EXPECT_EQ(sys.l1(0).array().find(base), nullptr);
+
+    // Drain the WbAck; the buffer frees and the fast path disarms.
+    eq.run();
+    EXPECT_EQ(sys.l1(0).outstandingWritebacks(), 0u);
+    bool reloaded = false;
+    sys.l1(0).load(base, [&] { reloaded = true; });
+    eq.run();
+    ASSERT_TRUE(reloaded);
+    EXPECT_EQ(kinds.of(MsgType::GetS), 1u);  // normal refetch now
+    EXPECT_EQ(sys.stats().value("l1c0", "wb_hits"), 1u);
+    sys.mesh().setTracer(nullptr);
+
+    // Coherence aftermath: another core takes the line and sees the
+    // written value -- the fast path left no stale state behind.
+    bool other = false;
+    sys.l1(1).load(base, [&] { other = true; });
+    eq.run();
+    ASSERT_TRUE(other);
+    const CacheLineState *line = sys.l1(1).array().find(base);
+    ASSERT_NE(line, nullptr);
+    std::uint64_t back;
+    std::memcpy(&back, line->data.data(), 8);
+    EXPECT_EQ(back, value);
+}
+
+TEST(WbHitFastPathTest, DisabledByDefaultTakesTheFullMissPath)
+{
+    // Same setup with the knob off (the default): the load mid-window
+    // must go through home (GetS), keeping the goldens' behavior.
+    SystemConfig cfg;
+    cfg.numCores = 4;
+    cfg.l2Tiles = 4;
+    cfg.meshRows = 2;
+    cfg.ausPerMc = 4;
+    cfg.design = DesignKind::NonAtomic;
+    System sys(cfg, Addr(16) * 1024 * 1024);
+    EventQueue &eq = sys.eventQueue();
+
+    const std::uint32_t sets =
+        cfg.l1SizeBytes / (cfg.l1Assoc * kLineBytes);
+    const Addr stride = Addr(sets) * kLineBytes;
+    const Addr base = 0x40000;
+    const std::uint64_t value = 1;
+    bool wrote = false;
+    sys.l1(0).store(base, reinterpret_cast<const std::uint8_t *>(&value),
+                    8, [&] { wrote = true; });
+    eq.run();
+    ASSERT_TRUE(wrote);
+    for (std::uint32_t i = 1; i <= cfg.l1Assoc; ++i) {
+        bool done = false;
+        sys.l1(0).load(base + i * stride, [&] { done = true; });
+        while (!done)
+            eq.run(eq.now() + 1);
+        if (sys.l1(0).outstandingWritebacks() > 0)
+            break;
+    }
+    ASSERT_GT(sys.l1(0).outstandingWritebacks(), 0u);
+
+    KindCounter kinds;
+    sys.mesh().setTracer(&kinds);
+    bool loaded = false;
+    sys.l1(0).load(base, [&] { loaded = true; });
+    eq.run();
+    ASSERT_TRUE(loaded);
+    EXPECT_EQ(kinds.of(MsgType::GetS), 1u);
+    EXPECT_EQ(sys.stats().value("l1c0", "wb_hits"), 0u);
+    sys.mesh().setTracer(nullptr);
+}
+
 TEST(DirectoryStatTest, CtrlBlockOccupancyGrowsAndIsCappedAt64K)
 {
     StatSet stats;

@@ -20,6 +20,9 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
+
 #include "golden_support.hh"
 
 namespace atomsim
@@ -64,6 +67,22 @@ TEST(GoldenTraceTest, BackToBackRunsProduceIdenticalTraces)
     const GoldenRun b = runGoldenQuickstart(0);
     EXPECT_EQ(a.hash, b.hash);
     EXPECT_EQ(a.deliveries, b.deliveries);
+}
+
+// The regeneration machinery itself: running `--dump-goldens` with no
+// timing change must reproduce the checked-in tests/goldens.inc
+// byte-identically -- constants, comments, formatting, everything.
+// This guards the regeneration path (shared renderer, workload
+// configs, hash definition) against silent drift: if this test fails
+// while the hash tests above pass, the *dump machinery* changed, not
+// the simulation.
+TEST(GoldenTraceTest, DumpGoldensIsIdempotent)
+{
+    std::ifstream in(ATOMSIM_GOLDENS_PATH, std::ios::binary);
+    ASSERT_TRUE(in.good()) << "cannot read " << ATOMSIM_GOLDENS_PATH;
+    std::ostringstream checked_in;
+    checked_in << in.rdbuf();
+    EXPECT_EQ(golden::renderGoldens(), checked_in.str());
 }
 
 } // namespace

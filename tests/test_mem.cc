@@ -7,8 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <vector>
 
 #include "mem/address_map.hh"
+#include "mem/dram_cache.hh"
+#include "mem/dram_device.hh"
 #include "mem/memory_controller.hh"
 #include "mem/nvm_channel.hh"
 #include "mem/phys_mem.hh"
@@ -218,6 +221,27 @@ TEST_F(MemCtrlTest, WriteCombiningMergesSameLine)
     EXPECT_EQ(stats.value("mc0", "data_writes"), 2u);
 }
 
+TEST_F(MemCtrlTest, ReadForwardsNewestDataAfterWriteCombining)
+{
+    // Regression: combining a second write into a queued request must
+    // also refresh the read-forwarding snapshot -- a read accepted
+    // after the combine has to observe the combined bytes, not the
+    // first write's.
+    Line a{};
+    a[0] = 1;
+    Line b{};
+    b[0] = 2;
+    mc.writeLine(0x3100, a, WriteKind::DataWb, {});
+    mc.writeLine(0x3100, b, WriteKind::DataWb, {});
+    bool read = false;
+    mc.readLine(0x3100, ReadKind::Demand, [&](const Line &line) {
+        read = true;
+        EXPECT_EQ(line[0], 2);
+    });
+    eq.run();
+    EXPECT_TRUE(read);
+}
+
 TEST_F(MemCtrlTest, WhenLineDurableWaitsForPendingWrite)
 {
     Line data{};
@@ -340,6 +364,378 @@ TEST_F(MemCtrlTest, TwoChannelSteeringSeparatesLogTraffic)
     // If they shared one channel one of them would finish ~25 cycles
     // later than the other; with two they finish within a cycle.
     EXPECT_LE(t_data > t_log ? t_data - t_log : t_log - t_data, 2u);
+}
+
+// --- Hybrid memory: DRAM device timing -------------------------------
+
+class DramDeviceTest : public ::testing::Test
+{
+  protected:
+    DramDeviceTest()
+        : rowHits(stats.counter("mc0", "row_hits")),
+          rowMisses(stats.counter("mc0", "row_misses")),
+          dev(eq, cfg, rowHits, rowMisses)
+    {
+    }
+
+    Tick
+    accessDone(Addr addr, bool write, Tick ready = 0)
+    {
+        Tick done = 0;
+        dev.access(addr, write, ready,
+                   [&done, this] { done = eq.now(); });
+        eq.run();
+        return done;
+    }
+
+    SystemConfig cfg;
+    EventQueue eq;
+    StatSet stats;
+    Counter &rowHits;
+    Counter &rowMisses;
+    DramDevice dev;
+};
+
+TEST_F(DramDeviceTest, RowHitIsFasterThanRowMiss)
+{
+    // Cold access: transfer (10 cycles at 12.8 GB/s) + row miss (36).
+    const Tick first = accessDone(0x10000, false);
+    EXPECT_EQ(first, cfg.dramTransferCycles() + cfg.dramRowMissLatency);
+    EXPECT_EQ(rowMisses.value(), 1u);
+
+    // Same row again: row hit, only the hit latency after the bank
+    // frees.
+    const Tick second = accessDone(0x10040, false);
+    EXPECT_EQ(second - first,
+              cfg.dramTransferCycles() + cfg.dramRowHitLatency);
+    EXPECT_EQ(rowHits.value(), 1u);
+
+    // Different row, same bank: row miss again.
+    const Addr other_row =
+        0x10000 + Addr(cfg.dramRowBytes) * cfg.dramBanksPerMc;
+    accessDone(other_row, false);
+    EXPECT_EQ(rowMisses.value(), 2u);
+}
+
+TEST_F(DramDeviceTest, BanksPipelineIndependently)
+{
+    // Two accesses to different banks issued together overlap their
+    // row latencies; only the shared data bus serializes them.
+    Tick done_a = 0;
+    Tick done_b = 0;
+    dev.access(0x0, false, 0, [&] { done_a = eq.now(); });
+    dev.access(Addr(cfg.dramRowBytes), false, 0,
+               [&] { done_b = eq.now(); });
+    eq.run();
+    const Tick xfer = cfg.dramTransferCycles();
+    EXPECT_EQ(done_a, xfer + cfg.dramRowMissLatency);
+    EXPECT_EQ(done_b, 2 * xfer + cfg.dramRowMissLatency);
+}
+
+TEST_F(DramDeviceTest, FrFcfsPrefersTheOpenRow)
+{
+    // Open row 0 of bank 0, then queue a row-miss request ahead of a
+    // row-hit request: the picker reorders, completing the hit first.
+    accessDone(0x0, false);
+    const Addr miss_addr =
+        Addr(cfg.dramRowBytes) * cfg.dramBanksPerMc;  // bank 0, row N
+    std::vector<int> order;
+    dev.access(miss_addr, false, 0, [&] { order.push_back(1); });
+    dev.access(0x40, false, 0, [&] { order.push_back(2); });
+    eq.run();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 2);  // the open-row request jumped the queue
+    EXPECT_EQ(order[1], 1);
+}
+
+TEST_F(DramDeviceTest, RequestPoolIsReused)
+{
+    for (int i = 0; i < 100; ++i)
+        accessDone(Addr(i % 4) * kLineBytes, i % 2 == 0);
+    EXPECT_LE(dev.poolAllocated(), 2u);
+    EXPECT_EQ(dev.poolFree(), dev.poolAllocated());
+}
+
+// --- Hybrid memory: the controller's DRAM tier -----------------------
+
+class HybridMcTest : public ::testing::Test
+{
+  protected:
+    HybridMcTest()
+    {
+        cfg.hybridMode = HybridMode::MemoryMode;
+        cfg.dramCacheMBPerMc = 1;
+        mc = std::make_unique<MemoryController>(0, eq, cfg, nvm,
+                                                stats);
+    }
+
+    Tick
+    readDone(Addr addr, Line *out = nullptr)
+    {
+        const Tick start = eq.now();
+        Tick done = 0;
+        mc->readLine(addr, ReadKind::Demand, [&, out](const Line &l) {
+            done = eq.now();
+            if (out)
+                *out = l;
+        });
+        eq.run();
+        return done - start;
+    }
+
+    SystemConfig cfg;
+    EventQueue eq;
+    DataImage nvm;
+    StatSet stats;
+    std::unique_ptr<MemoryController> mc;
+};
+
+TEST_F(HybridMcTest, ReadMissFillsThenHitsAtDramLatency)
+{
+    Line data{};
+    data[3] = 0x5a;
+    nvm.writeLine(0x40000, data);
+
+    Line back{};
+    const Tick miss = readDone(0x40000, &back);
+    EXPECT_EQ(back[3], 0x5a);
+    EXPECT_EQ(stats.value("mc0", "dram_misses"), 1u);
+    EXPECT_EQ(stats.value("mc0", "dram_hits"), 0u);
+
+    const Tick hit = readDone(0x40000, &back);
+    EXPECT_EQ(back[3], 0x5a);
+    EXPECT_EQ(stats.value("mc0", "dram_hits"), 1u);
+    EXPECT_LT(hit, miss);
+    EXPECT_LT(hit, cfg.nvmReadLatency);
+}
+
+TEST_F(HybridMcTest, AbsorbedWritebackIsFastButNotDurable)
+{
+    Line data{};
+    data[0] = 0x77;
+    Tick acked = 0;
+    mc->writeLine(0x50000, data, WriteKind::DataWb,
+                  [&] { acked = eq.now(); });
+    eq.run();
+    // Acked at DRAM latency, well under the NVM device write.
+    EXPECT_GT(acked, 0u);
+    EXPECT_LT(acked, cfg.nvmWriteLatency);
+    EXPECT_EQ(stats.value("mc0", "dram_wr_absorbed"), 1u);
+
+    // The bytes are visible to reads...
+    Line back{};
+    readDone(0x50000, &back);
+    EXPECT_EQ(back[0], 0x77);
+    // ...but never reached NVM: the line is one power failure away
+    // from vanishing.
+    EXPECT_EQ(nvm.readLine(0x50000)[0], 0);
+    EXPECT_EQ(mc->dramCache()->dirtyLines(), 1u);
+}
+
+TEST_F(HybridMcTest, FillPrefersWriteAcceptedDuringNvmReadWindow)
+{
+    // A read miss is in flight when a write-through write of the same
+    // line is accepted (log/REDO traffic is not FIFO-ordered against
+    // home-tile reads, so this race is reachable). writeThrough() was
+    // a no-op -- the line was absent -- so the demand fill must
+    // install the in-flight write's bytes, not the read's issue-time
+    // snapshot; otherwise later reads hit a permanently stale clean
+    // line.
+    Line oldv{};
+    oldv[0] = 1;
+    nvm.writeLine(0xa0000, oldv);
+
+    Tick read_done = 0;
+    mc->readLine(0xa0000, ReadKind::Demand,
+                 [&](const Line &) { read_done = eq.now(); });
+    eq.run(100);  // read issued to the device, completion pending
+    ASSERT_EQ(read_done, 0u);
+
+    Line newv{};
+    newv[0] = 2;
+    mc->writeLine(0xa0000, newv, WriteKind::Flush, {});
+    eq.run();
+    ASSERT_GT(read_done, 0u);
+
+    // The cached copy must carry the newer bytes.
+    Line back{};
+    readDone(0xa0000, &back);
+    EXPECT_EQ(stats.value("mc0", "dram_hits"), 1u);
+    EXPECT_EQ(back[0], 2);
+    EXPECT_EQ(nvm.readLine(0xa0000)[0], 2);
+}
+
+TEST_F(HybridMcTest, PowerFailDropsDirtyDramLines)
+{
+    Line data{};
+    data[0] = 0x42;
+    mc->writeLine(0x60000, data, WriteKind::DataWb, {});
+    eq.run();
+    ASSERT_EQ(mc->dramCache()->dirtyLines(), 1u);
+
+    mc->powerFail();
+    EXPECT_EQ(mc->dramCache()->dirtyLines(), 0u);
+    EXPECT_FALSE(mc->dramCache()->contains(0x60000));
+    // Only NVM-resident bytes survive: the absorbed write is gone.
+    EXPECT_EQ(nvm.readLine(0x60000)[0], 0);
+}
+
+TEST_F(HybridMcTest, FlushWritesThroughToNvm)
+{
+    Line data{};
+    data[7] = 0x99;
+    bool durable = false;
+    mc->writeLine(0x70000, data, WriteKind::Flush,
+                  [&] { durable = true; });
+    eq.run();
+    EXPECT_TRUE(durable);
+    EXPECT_EQ(nvm.readLine(0x70000)[7], 0x99);
+}
+
+TEST_F(HybridMcTest, LogWritesAreNeverAbsorbed)
+{
+    Line data{};
+    data[1] = 0x13;
+    mc->writeLine(0x80000, data, WriteKind::LogData, {});
+    mc->writeLine(0x80040, data, WriteKind::LogHeader, {});
+    eq.run();
+    EXPECT_EQ(nvm.readLine(0x80000)[1], 0x13);
+    EXPECT_EQ(nvm.readLine(0x80040)[1], 0x13);
+    EXPECT_EQ(stats.value("mc0", "dram_wr_absorbed"), 0u);
+}
+
+TEST_F(HybridMcTest, WhenLineDurableCleansesDirtyDramLine)
+{
+    // A committed line whose only current copy is a dirty absorbed
+    // writeback: whenLineDurable must push it to NVM before acking,
+    // or "durable" would be a lie.
+    Line data{};
+    data[0] = 0xcd;
+    mc->writeLine(0x90000, data, WriteKind::DataWb, {});
+    eq.run();
+    ASSERT_EQ(nvm.readLine(0x90000)[0], 0);
+
+    bool durable = false;
+    mc->whenLineDurable(0x90000, [&] { durable = true; });
+    EXPECT_FALSE(durable);
+    eq.run();
+    EXPECT_TRUE(durable);
+    EXPECT_EQ(nvm.readLine(0x90000)[0], 0xcd);
+    EXPECT_EQ(stats.value("mc0", "dram_cleanses"), 1u);
+    EXPECT_EQ(mc->dramCache()->dirtyLines(), 0u);
+}
+
+TEST_F(HybridMcTest, DirtyVictimWritesBackToNvm)
+{
+    // Direct-mapped 1 MB cache: two lines one cache-stride apart
+    // conflict; the second absorb displaces the first, whose dirty
+    // data must reach NVM through the ordinary write queue.
+    SystemConfig cfg1 = cfg;
+    cfg1.dramCacheAssoc = 1;
+    MemoryController mc1(1, eq, cfg1, nvm, stats);
+    const Addr stride =
+        Addr(cfg1.dramCacheMBPerMc) * 1024 * 1024;
+
+    Line a{};
+    a[0] = 0xaa;
+    Line b{};
+    b[0] = 0xbb;
+    mc1.writeLine(0x1000, a, WriteKind::DataWb, {});
+    eq.run();
+    mc1.writeLine(0x1000 + stride, b, WriteKind::DataWb, {});
+    eq.run();
+
+    EXPECT_EQ(stats.value("mc1", "wb_evictions"), 1u);
+    EXPECT_EQ(nvm.readLine(0x1000)[0], 0xaa);      // evicted victim
+    EXPECT_EQ(nvm.readLine(0x1000 + stride)[0], 0);  // still absorbed
+    EXPECT_EQ(mc1.dramCache()->dirtyLines(), 1u);
+}
+
+TEST_F(HybridMcTest, AppDirectWindowBypassesTheCache)
+{
+    mc->setUncacheableWindow(0x100000, 0x200000);
+
+    // Inside the window: straight to NVM, no DRAM involvement.
+    Line data{};
+    data[0] = 0x11;
+    mc->writeLine(0x100000, data, WriteKind::DataWb, {});
+    eq.run();
+    EXPECT_EQ(nvm.readLine(0x100000)[0], 0x11);
+    EXPECT_FALSE(mc->dramCache()->contains(0x100000));
+    readDone(0x100000);
+    EXPECT_EQ(stats.value("mc0", "dram_hits"), 0u);
+    EXPECT_EQ(stats.value("mc0", "dram_misses"), 0u);
+
+    // Outside the window: cached as usual.
+    mc->writeLine(0x300000, data, WriteKind::DataWb, {});
+    eq.run();
+    EXPECT_TRUE(mc->dramCache()->contains(0x300000));
+    EXPECT_EQ(nvm.readLine(0x300000)[0], 0);
+}
+
+TEST_F(HybridMcTest, GateBlocksDramVictimWriteback)
+{
+    // Invariant 2 end to end: a dirty DRAM victim's writeback is a
+    // data write reaching NVM, so it must consult the ATOM write gate
+    // like any other.
+    SystemConfig cfg1 = cfg;
+    cfg1.dramCacheAssoc = 1;
+    MemoryController mc1(2, eq, cfg1, nvm, stats);
+    const Addr stride = Addr(cfg1.dramCacheMBPerMc) * 1024 * 1024;
+
+    TestGate gate;
+    gate.locked = 0x2000;
+    mc1.setWriteGate(&gate);
+
+    Line a{};
+    a[0] = 0xa1;
+    mc1.writeLine(0x2000, a, WriteKind::DataWb, {});
+    eq.run();
+    mc1.writeLine(0x2000 + stride, a, WriteKind::DataWb, {});
+    eq.run();
+    EXPECT_EQ(nvm.readLine(0x2000)[0], 0);  // victim blocked
+
+    gate.release();
+    eq.run();
+    EXPECT_EQ(nvm.readLine(0x2000)[0], 0xa1);
+    mc1.setWriteGate(nullptr);
+}
+
+TEST(HybridAddressMapTest, AppDirectWindowFollowsThePolicy)
+{
+    SystemConfig cfg;
+    cfg.hybridMode = HybridMode::AppDirect;
+    {
+        AddressMap amap(cfg, Addr(16) * 1024 * 1024);
+        // Log placement "direct": log + ADR bypass, data cached.
+        EXPECT_EQ(amap.appDirectBase(), amap.logBase());
+        EXPECT_EQ(amap.appDirectEnd(), amap.reservedEnd());
+        EXPECT_FALSE(inAddrWindow(0x1000, amap.appDirectBase(),
+                                  amap.appDirectEnd()));
+        EXPECT_TRUE(inAddrWindow(amap.logBase(), amap.appDirectBase(),
+                                 amap.appDirectEnd()));
+        EXPECT_TRUE(inAddrWindow(amap.adrBase(0), amap.appDirectBase(),
+                                 amap.appDirectEnd()));
+    }
+    cfg.appDirectRegion = AppDirectRegion::DataRegion;
+    {
+        AddressMap amap(cfg, Addr(16) * 1024 * 1024);
+        EXPECT_EQ(amap.appDirectBase(), 0u);
+        EXPECT_EQ(amap.appDirectEnd(), amap.logBase());
+        EXPECT_TRUE(inAddrWindow(0x1000, amap.appDirectBase(),
+                                 amap.appDirectEnd()));
+        EXPECT_FALSE(inAddrWindow(amap.logBase(), amap.appDirectBase(),
+                                  amap.appDirectEnd()));
+    }
+    cfg.hybridMode = HybridMode::NvmOnly;
+    {
+        // No tier at all: the window is the canonical empty [0, 0).
+        AddressMap amap(cfg, Addr(16) * 1024 * 1024);
+        EXPECT_EQ(amap.appDirectBase(), 0u);
+        EXPECT_EQ(amap.appDirectEnd(), 0u);
+        EXPECT_FALSE(inAddrWindow(0x1000, amap.appDirectBase(),
+                                  amap.appDirectEnd()));
+    }
 }
 
 } // namespace

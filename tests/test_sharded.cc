@@ -28,6 +28,7 @@
 #include "harness/runner.hh"
 #include "net/mesh.hh"
 #include "sim/shard.hh"
+#include "workloads/hash_workload.hh"
 
 namespace atomsim
 {
@@ -108,6 +109,92 @@ TEST(ShardedDeterminismTest, ShardedMatchesSequentialWork)
         double(sharded.cycles) - double(seq.cycles);
     EXPECT_LT(drift / double(seq.cycles), 0.02);
     EXPECT_GE(drift, 0.0);
+}
+
+// --- Hybrid memory under sharding ------------------------------------
+//
+// The DRAM tier (cache + device) lives entirely inside its owning
+// MC's simulation domain, so the determinism contract must extend to
+// it unchanged: with memoryMode / appDirect enabled, the delivery
+// stream, stats and committed transactions are byte-identical for
+// every shard count. A small L2 forces writebacks + re-reads through
+// the controllers so the DRAM tier actually processes traffic.
+
+golden::GoldenRun
+runHybridQuickstart(HybridMode mode, AppDirectRegion region,
+                    std::uint32_t shards)
+{
+    SystemConfig cfg;
+    cfg.numCores = 8;
+    cfg.l2Tiles = 8;
+    cfg.meshRows = 2;
+    cfg.ausPerMc = 8;
+    cfg.design = DesignKind::AtomOpt;
+    cfg.numShards = shards;
+    cfg.hybridMode = mode;
+    cfg.appDirectRegion = region;
+    cfg.dramCacheMBPerMc = 1;
+    cfg.l2TileBytes = 64 * 1024;
+    cfg.l2Assoc = 4;
+
+    MicroParams params;
+    params.entryBytes = 512;
+    params.initialItems = 48;
+    params.txnsPerCore = 6;
+
+    HashWorkload workload(params);
+    Runner runner(cfg, workload, params.txnsPerCore);
+    golden::TraceHasher tracer(true);
+    runner.system().mesh().setTracer(&tracer);
+    runner.setUp();
+    const RunResult result = runner.run();
+    golden::GoldenRun r;
+    r.hash = tracer.hash();
+    r.deliveries = tracer.deliveries();
+    r.txns = result.txns;
+    r.cycles = result.cycles;
+    r.stream = std::move(tracer.stream());
+    r.stats = std::as_const(runner.system()).stats().dump();
+    return r;
+}
+
+TEST(ShardedHybridTest, MemoryModeByteIdenticalAcrossShards)
+{
+    const golden::GoldenRun one = runHybridQuickstart(
+        HybridMode::MemoryMode, AppDirectRegion::LogRegion, 1);
+    const golden::GoldenRun two = runHybridQuickstart(
+        HybridMode::MemoryMode, AppDirectRegion::LogRegion, 2);
+    const golden::GoldenRun four = runHybridQuickstart(
+        HybridMode::MemoryMode, AppDirectRegion::LogRegion, 4);
+    const golden::GoldenRun eight = runHybridQuickstart(
+        HybridMode::MemoryMode, AppDirectRegion::LogRegion, 8);
+    expectIdentical(one, two, "memoryMode 1 vs 2 shards");
+    expectIdentical(one, four, "memoryMode 1 vs 4 shards");
+    expectIdentical(one, eight, "memoryMode 1 vs 8 shards");
+
+    // The tier must have seen real traffic or the test is vacuous.
+    std::uint64_t hits = 0;
+    for (const auto &s : one.stats) {
+        if (s.first.find("dram_hits") != std::string::npos)
+            hits += s.second;
+    }
+    EXPECT_GT(hits, 0u);
+}
+
+TEST(ShardedHybridTest, AppDirectByteIdenticalAcrossShards)
+{
+    const golden::GoldenRun one = runHybridQuickstart(
+        HybridMode::AppDirect, AppDirectRegion::LogRegion, 1);
+    const golden::GoldenRun four = runHybridQuickstart(
+        HybridMode::AppDirect, AppDirectRegion::LogRegion, 4);
+    expectIdentical(one, four, "appDirect/log 1 vs 4 shards");
+
+    const golden::GoldenRun data_one = runHybridQuickstart(
+        HybridMode::AppDirect, AppDirectRegion::DataRegion, 1);
+    const golden::GoldenRun data_four = runHybridQuickstart(
+        HybridMode::AppDirect, AppDirectRegion::DataRegion, 4);
+    expectIdentical(data_one, data_four,
+                    "appDirect/data 1 vs 4 shards");
 }
 
 TEST(ShardLayoutTest, PerTileDomainToWorkerMapping)
