@@ -38,6 +38,7 @@ Core::nextTransaction()
     _source->fetchNext(_id, [this](std::optional<Transaction> txn) {
         _txn = std::move(txn);
         if (!_txn) {
+            _ctrlLB = kTickNever;
             // Drain outstanding stores, then go idle.
             _sq.whenEmpty([this] { _done = true; });
             return;
@@ -47,12 +48,32 @@ Core::nextTransaction()
 }
 
 void
+Core::updateCtrlBound(std::size_t idx)
+{
+    const auto &ops = _txn->ops;
+    if (idx == 0 || idx > _ctrlNextIdx) {
+        std::size_t j = idx;
+        while (j < ops.size() && ops[j].kind != OpKind::AtomicBegin &&
+               ops[j].kind != OpKind::AtomicEnd)
+            ++j;
+        _ctrlNextIdx = j;
+    }
+    // Every later op issues at least computeGap after the previous
+    // one's completion, and the boundary submission happens no earlier
+    // than the boundary op's own issue (the end-of-stream fetch at
+    // idx == ops.size() counts as a boundary too).
+    _ctrlLB = _eq.now() + Cycles(_ctrlNextIdx - idx) * _cfg.computeGap;
+}
+
+void
 Core::execOp(std::size_t idx)
 {
     if (idx >= _txn->ops.size()) {
+        _ctrlLB = _eq.now();
         nextTransaction();
         return;
     }
+    updateCtrlBound(idx);
     _statOps.inc();
     const MemOp &op = _txn->ops[idx];
 

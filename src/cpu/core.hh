@@ -100,10 +100,25 @@ class Core
 
     std::uint64_t committed() const { return _statCommitted.value(); }
 
+    /**
+     * Lower bound on the tick of this core's next control-plane
+     * submission (Atomic_Begin/End hook call or transaction fetch).
+     *
+     * The in-order core inserts a computeGap between consecutive ops,
+     * so from the currently executing op the next transaction-boundary
+     * op is at least (ops until boundary) x computeGap away. The bound
+     * is updated at op issue and goes kTickNever once the source is
+     * exhausted. It may be stale-low while the core idles inside a
+     * window (the sharded engine maxes it with live queue bounds); it
+     * is never higher than the true next submission tick.
+     */
+    Tick ctrlLowerBound() const { return _ctrlLB; }
+
   private:
     void nextTransaction();
     void execOp(std::size_t idx);
     void opDone(std::size_t idx);
+    void updateCtrlBound(std::size_t idx);
 
     CoreId _id;
     EventQueue &_eq;
@@ -116,6 +131,9 @@ class Core
 
     std::optional<Transaction> _txn;
     bool _done = false;
+
+    Tick _ctrlLB = 0;             //!< see ctrlLowerBound()
+    std::size_t _ctrlNextIdx = 0; //!< cached next boundary-op index
 
     // Recurring kernel events (one of each pending at most; the core
     // is in-order, so op completion and the inter-op gap alternate).

@@ -113,6 +113,22 @@ class DesignContext : public DesignHooks
     void setSharded(std::vector<SimDomain *> domains,
                     const ShardLayout &layout);
 
+    /**
+     * True while any core's commit-time truncate is waiting on MC
+     * completions (sharded mode). The completions arrive as control
+     * submissions from MC-domain events, so while one is in flight the
+     * sharded engine must bound the control plane by the MC domains'
+     * own progress, not just the cores'.
+     */
+    bool
+    truncInFlight() const
+    {
+        for (std::uint32_t p : _truncPending)
+            if (p != 0)
+                return true;
+        return false;
+    }
+
   private:
     /** Leader-executed: acquire an AUS + arm every LogM. */
     void shardedBegin(CoreId core, std::function<void()> done);

@@ -16,7 +16,9 @@ System::System(const SystemConfig &cfg, Addr data_bytes)
     // share a worker*, so per-domain event order is identical for
     // every shard count (see sim/shard.hh).
     _layout = ShardLayout::make(_cfg.numShards, _cfg.numCores,
-                                _cfg.l2Tiles, _cfg.numMemCtrls);
+                                _cfg.l2Tiles, _cfg.numMemCtrls,
+                                _cfg.shardPlacement, _cfg.meshRows,
+                                _cfg.meshCols());
     const std::uint32_t ndomains = _layout.sharded() ? _layout.domains()
                                                      : 1;
     for (std::uint32_t d = 0; d < ndomains; ++d)
@@ -167,7 +169,7 @@ System::System(const SystemConfig &cfg, Addr data_bytes)
         for (CoreId c = 0; c < _l1s.size(); ++c)
             _sinkDomain[_l1s[c].get()] = _layout.coreDomain(c);
 
-        _mesh->shardAttach(domains, [this](const Packet &p) {
+        _mesh->shardAttach(domains, _layout, [this](const Packet &p) {
             if (p.receiver) {
                 if (_logi && p.receiver == _logi.get())
                     return _layout.mcDomain(_amap.memCtrl(p.addr));

@@ -67,6 +67,28 @@ hybridModeFromName(const std::string &name)
     fatal("unknown hybrid mode '%s'", name.c_str());
 }
 
+const char *
+shardPlacementName(ShardPlacement placement)
+{
+    switch (placement) {
+      case ShardPlacement::RoundRobin:
+        return "roundRobin";
+      case ShardPlacement::Locality:
+        return "locality";
+    }
+    return "?";
+}
+
+ShardPlacement
+shardPlacementFromName(const std::string &name)
+{
+    if (name == "roundRobin" || name == "round-robin")
+        return ShardPlacement::RoundRobin;
+    if (name == "locality")
+        return ShardPlacement::Locality;
+    fatal("unknown shard placement '%s'", name.c_str());
+}
+
 Cycles
 SystemConfig::lineTransferCycles() const
 {
@@ -145,9 +167,12 @@ SystemConfig::validate() const
                  "sharded simulation requires hopLatency > 0 (the "
                  "lookahead, and so the window width, would be zero)");
         fatal_if(windowTicks > hopLatency,
-                 "windowTicks (%llu) exceeds the conservative lookahead "
-                 "(hopLatency = %llu): a packet sent early in a window "
-                 "could demand delivery inside the same window",
+                 "windowTicks (%llu) exceeds the minimum cross-domain "
+                 "lookahead (hopLatency = %llu): the canonical window "
+                 "tiling must keep every send's delivery beyond its own "
+                 "window, or the tiling stops being reconstructible "
+                 "from executed ticks and control-plane anchoring "
+                 "diverges across shard counts",
                  (unsigned long long)windowTicks,
                  (unsigned long long)hopLatency);
     }

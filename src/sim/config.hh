@@ -79,6 +79,30 @@ const char *hybridModeName(HybridMode mode);
 HybridMode hybridModeFromName(const std::string &name);
 
 /**
+ * Domain-to-worker placement policy for sharded runs.
+ *
+ * Placement never changes simulated behavior (the byte-identity
+ * goldens pin that); it only decides which worker thread drives which
+ * simulation domains, which moves the same-worker send fraction and
+ * hence the parallel speedup.
+ */
+enum class ShardPlacement : std::uint8_t
+{
+    /** Deal domains round-robin over the non-leader workers. Worst
+     * case for locality; the TSan CI job uses it adversarially. */
+    RoundRobin,
+    /** Group domains of adjacent mesh nodes onto the same worker, so
+     * most mesh sends stay worker-local (the default). */
+    Locality,
+};
+
+/** Human-readable placement name ("roundRobin", "locality"). */
+const char *shardPlacementName(ShardPlacement placement);
+
+/** Parse a placement name. */
+ShardPlacement shardPlacementFromName(const std::string &name);
+
+/**
  * Which region bypasses the DRAM cache in HybridMode::AppDirect: the
  * log placement policy. LogRegion steers ATOM's log (and the ADR
  * pages) direct-to-NVM while data pages are DRAM-cached — the natural
@@ -226,30 +250,41 @@ struct SystemConfig
 
     // --- Simulation kernel -------------------------------------------
     /**
-     * Event-queue shards the simulation runs on.
+     * Worker threads the simulation runs on.
      *
      *  - 0 (default): classic single-queue sequential simulation.
-     *  - N >= 1: sharded mode -- the cache complex (cores, L1s, L2
-     *    tiles) forms one shard and the memory-controller domains
-     *    (MC + LogM + NVM channels) are distributed over the rest,
-     *    each shard free-running on its own calendar queue inside a
-     *    conservative lookahead window and exchanging mesh packets
-     *    through mailboxes at window barriers. Clamped to
-     *    1 + numMemCtrls. Sharded runs are deterministic and
-     *    byte-identical across shard counts (see README, "Parallel
-     *    simulation"); numShards = 1 runs the identical windowed
-     *    semantics on one worker thread.
+     *  - N >= 1: sharded mode -- the system splits into per-tile
+     *    simulation domains (one per core+L1, one per L2 slice, one
+     *    per memory controller), each free-running on its own calendar
+     *    queue inside a per-domain distance-based lookahead window and
+     *    exchanging mesh packets through mailboxes at window barriers.
+     *    Domains are dealt over the workers by shardPlacement; the
+     *    worker count is clamped to the domain count. Sharded runs are
+     *    deterministic and byte-identical across shard counts and
+     *    placements (see README, "Parallel simulation"); numShards = 1
+     *    runs the identical windowed semantics on one worker thread.
      *
      * Requires linkQueueDepth == 0 and design != Redo.
      */
     std::uint32_t numShards = 0;
     /**
-     * Conservative window width in ticks for sharded runs. Must not
-     * exceed the cross-shard lookahead (hopLatency: the minimum time
-     * between a mesh send and its earliest possible delivery). 0 picks
-     * hopLatency automatically.
+     * Width in ticks of the *canonical* window tiling that anchors
+     * control-plane operations in sharded runs (sim/shard.hh,
+     * FlatTiling). Must not exceed hopLatency -- the tiling must stay
+     * reconstructible from executed ticks alone, which needs every
+     * send's delivery to land beyond its own window. 0 picks
+     * hopLatency automatically. This does NOT bound how far domains
+     * free-run: data-path windows widen to the per-domain
+     * distance-based lookahead bound.
      */
     Cycles windowTicks = 0;
+    /**
+     * Domain-to-worker placement policy for sharded runs. Locality
+     * placement keeps adjacent mesh tiles on the same worker (fewer
+     * cross-worker sends); round-robin is the adversarial
+     * interleaving. Simulated behavior is identical under both.
+     */
+    ShardPlacement shardPlacement = ShardPlacement::Locality;
     /**
      * Calendar-wheel width of every event queue, in one-tick buckets
      * (power of two >= 64). Tune against EventQueue::spillRatio() --

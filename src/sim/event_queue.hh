@@ -293,6 +293,21 @@ class EventQueue
     /** Total events executed over the queue's lifetime. */
     std::uint64_t executed() const { return _executed; }
 
+    /**
+     * Record every *distinct* executed tick into @p log (nullptr
+     * disables). The sharded scheduler uses the per-domain tick logs
+     * to replay the sequential windowed tiling exactly (see
+     * sim/shard.hh FlatTiling): the leader drains the log between
+     * window barriers, so the vector is single-writer per phase. The
+     * log survives across run() calls; the consumer compacts it.
+     */
+    void
+    setTickLog(std::vector<Tick> *log)
+    {
+        _tickLog = log;
+        _tickLast = kTickNever;
+    }
+
     // --- pool introspection (tests / diagnostics) ---------------------
 
     /** FuncEvents ever allocated (pool high-water mark). */
@@ -380,6 +395,8 @@ class EventQueue
     std::vector<Event *> _spill;  //!< indexed min-heap of far events
 
     Tick _now = 0;
+    std::vector<Tick> *_tickLog = nullptr;
+    Tick _tickLast = kTickNever;  //!< last logged tick (sentinel: none)
     std::uint64_t _seq = 0;
     std::uint64_t _executed = 0;
     std::uint64_t _wheelInserts = 0;

@@ -19,19 +19,7 @@ drainControlOps(const std::vector<SimDomain *> &domains,
         }
         if (scratch.empty())
             return;
-        std::sort(scratch.begin(), scratch.end(),
-                  [](const SimDomain::ControlOp &a,
-                     const SimDomain::ControlOp &b) {
-                      if (a.tick != b.tick)
-                          return a.tick < b.tick;
-                      if (a.actor != b.actor)
-                          return a.actor < b.actor;
-                      if (a.sub != b.sub)
-                          return a.sub < b.sub;
-                      if (a.domain != b.domain)
-                          return a.domain < b.domain;
-                      return a.idx < b.idx;
-                  });
+        std::sort(scratch.begin(), scratch.end(), controlOpBefore);
         for (auto &op : scratch)
             op.fn();
     }

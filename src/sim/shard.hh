@@ -1,6 +1,6 @@
 /**
  * @file
- * Sharded simulation: domains, mailboxes, window barrier.
+ * Sharded simulation: domains, mailboxes, window barrier, layout.
  *
  * Sharded runs split the System into *simulation domains* that only
  * interact through the mesh (plus a thin, barrier-synchronized control
@@ -12,11 +12,6 @@
  *  - domain numCores+numTiles+m: memory controller m with its NVM
  *    channels, mesh port, LogM and OS log-space slice.
  *
- * This granularity exists because every L1<->L2 protocol leg is a
- * split-phase mesh transaction (see cache/l2_cache.hh): with no
- * synchronous shortcuts left, the whole cache complex partitions and
- * events/s can scale with cores.
- *
  * Every domain owns its own calendar-queue EventQueue *even when
  * several domains share a worker thread*: the queue is the domain
  * identity, so per-domain event order, FIFO sequence numbers and mesh
@@ -24,21 +19,43 @@
  * That is what makes an N-shard run byte-identical to a 1-shard run
  * (see README, "Parallel simulation").
  *
- * Execution is conservative-window parallel simulation: workers
- * free-run their domains' queues inside a lookahead window bounded by
- * the minimum mesh send-to-delivery latency (hopLatency), then meet at
- * a window barrier where the leader (worker 0)
+ * Execution is conservative-window parallel simulation with
+ * *distance-based lookahead*. A packet from domain s to domain d takes
+ * at least hopLatency x (1 + meshDistance(node(s), node(d))) ticks
+ * from send to delivery, so the window a domain may free-run is not a
+ * flat 2-tick floor but a per-domain earliest-inbound bound computed
+ * from the mesh lookahead matrix (net/mesh.hh) and CMB-style null
+ * progress: quiescent domains advertise the earliest tick they could
+ * possibly send (their next event, or never), so idle tiles don't hold
+ * their neighbors hostage. The leader (worker 0) runs a fixpoint over
+ * those bounds at every window barrier and grants each domain an
+ * individual window end (harness/runner.cc, ShardEngine).
  *
- *  1. canonically merges the domains' send mailboxes (sorted by
- *     (send tick, domain, per-domain FIFO index)), routes and reserves
- *     each packet against the shared link state, and posts its
- *     delivery into the receiving domain's queue at the stamped tick;
- *  2. executes queued control operations (AUS acquisition, log-manager
- *     arm/truncate) in canonical (tick, core) order;
- *  3. routes freed packets back to their origin pools and merges the
- *     per-domain trace buffers into the installed tracer;
- *  4. picks the next window [t, t + W) with t = the minimum pending
- *     tick across all queues (idle regions are skipped wholesale).
+ * Determinism is anchored by replaying the sequential windowed
+ * schedule exactly where it matters:
+ *
+ *  - mesh sends are routed against the shared link-reservation state
+ *    in the canonical (send tick, domain, FIFO index) order, with
+ *    control-plane sends interleaved exactly where the sequential
+ *    2-tick tiling would place them (FlatTiling below reconstructs
+ *    that tiling from the executed-tick logs);
+ *  - control operations (AUS acquisition, LogM arm/truncate, txn
+ *    fetch) execute at the same reconstructed window boundary, with
+ *    every control-plane domain paused at the same tick, in canonical
+ *    (tick, actor, sub, domain, idx) order;
+ *  - route/reserve itself is region-parallel: the mesh partitions
+ *    links and ejection ports into mesh quadrants, XY-routed packets
+ *    whose path stays inside one quadrant are routed by assisting
+ *    workers in parallel (disjoint link state, disjoint destination
+ *    domains), and only seam-crossing packets are merged serially by
+ *    the leader.
+ *
+ * Worker placement is configurable (sim/config.hh ShardPlacement):
+ * locality placement co-schedules domains of adjacent mesh tiles on
+ * the same worker so most sends stay worker-local; round-robin is the
+ * adversarial interleaving used by the TSan CI job. Placement, worker
+ * count and thread schedule never change simulated behavior -- the
+ * byte-identity goldens pin that.
  *
  * All cross-domain containers (DomainMailbox) are single-writer and
  * are only read by the leader between a worker's barrier arrival and
@@ -55,6 +72,7 @@
 #include <vector>
 
 #include "sim/callback.hh"
+#include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/types.hh"
 
@@ -172,6 +190,23 @@ class SimDomain
     std::uint32_t _sendIdx = 0;
 };
 
+/** Canonical cross-domain control-op order: (tick, actor, sub,
+ * domain, idx). Shared by the flat drain and the sharded engine so
+ * the two schedules can never disagree. */
+inline bool
+controlOpBefore(const SimDomain::ControlOp &a, const SimDomain::ControlOp &b)
+{
+    if (a.tick != b.tick)
+        return a.tick < b.tick;
+    if (a.actor != b.actor)
+        return a.actor < b.actor;
+    if (a.sub != b.sub)
+        return a.sub < b.sub;
+    if (a.domain != b.domain)
+        return a.domain < b.domain;
+    return a.idx < b.idx;
+}
+
 /**
  * Control-op `sub` key registry: disambiguates ops submitted by the
  * same (tick, actor). Per-MC completions use their raw mc id, which
@@ -184,6 +219,73 @@ constexpr std::uint32_t kBegin = 250;     //!< AUS acquire + LogM arm
 constexpr std::uint32_t kTruncate = 251;  //!< commit-time truncate
 constexpr std::uint32_t kFetchTxn = 252;  //!< workload txn dispatch
 } // namespace ctrlsub
+
+/**
+ * Reconstruction of the sequential windowed tiling from the stream of
+ * *executed* ticks.
+ *
+ * The sequential scheduler tiles simulated time greedily: a window
+ * starts at the globally earliest pending tick P and ends at
+ * min(P + W, limit + 1); the next window starts at the earliest
+ * pending tick at or past that end. Because the earliest pending tick
+ * always executes, the tiling is a pure function of the executed-tick
+ * stream -- which the sharded engine records per domain
+ * (EventQueue::setTickLog) and feeds here in global sorted order.
+ *
+ * The engine uses the reconstructed window end as the canonical
+ * barrier tick for control-plane operations: ops execute exactly when
+ * the sequential run would have executed them, which is what keeps
+ * AUS stall stamps and log-manager interleavings byte-identical.
+ *
+ * consume() must see ticks in nondecreasing order. reset() re-anchors
+ * the tiling (used at advanceTo() boundaries: the sequential loop
+ * re-anchors its first window at the earliest pending tick of the new
+ * call).
+ */
+class FlatTiling
+{
+  public:
+    /** @param window the sequential window width W (>= 1) */
+    void
+    configure(Tick window, Tick limit)
+    {
+        _window = window;
+        _limit = limit;
+    }
+
+    void setLimit(Tick limit) { _limit = limit; }
+
+    /** Forget the anchor; the next consumed tick starts a window. */
+    void reset() { _anchored = false; }
+
+    /** Feed the next executed tick (globally sorted). */
+    void
+    consume(Tick t)
+    {
+        if (_anchored && t < end())
+            return;
+        _p = t;
+        _anchored = true;
+    }
+
+    bool anchored() const { return _anchored; }
+
+    /** End of the window covering the last consumed tick. */
+    Tick
+    end() const
+    {
+        Tick e = _p + _window;
+        if (_limit != kTickNever && e > _limit + 1)
+            e = _limit + 1;
+        return e;
+    }
+
+  private:
+    Tick _window = 1;
+    Tick _limit = kTickNever;
+    Tick _p = 0;
+    bool _anchored = false;
+};
 
 /**
  * Sense-reversing spin barrier with a distinguished leader.
@@ -199,7 +301,10 @@ class WindowBarrier
 {
   public:
     /** @param workers number of non-leader workers */
-    explicit WindowBarrier(std::uint32_t workers) : _workers(workers) {}
+    explicit WindowBarrier(std::uint32_t workers)
+        : _workers(workers), _spinBudget(pickSpinBudget(workers + 1))
+    {
+    }
 
     /** Worker: arrive and block until the leader releases. */
     void
@@ -225,6 +330,23 @@ class WindowBarrier
     /** Leader: open the next window (pairs with workerArrive). */
     void leaderRelease() { _phase.fetch_add(1, std::memory_order_acq_rel); }
 
+    /** Pause-loop iterations before falling back to yield(), for
+     * @p threads runnable barrier participants. Exposed for tests. */
+    static std::uint32_t
+    pickSpinBudget(std::uint32_t threads)
+    {
+        const unsigned hw = std::thread::hardware_concurrency();
+        // Oversubscribed (more runnable threads than cores, or unknown
+        // topology): spinning only delays the thread that owns the
+        // work, so hand the core over almost immediately. The CI case
+        // -- 8 shards on 1-2 cores -- lives here.
+        if (hw == 0 || threads > hw)
+            return 64;
+        return 4096;
+    }
+
+    std::uint32_t spinBudget() const { return _spinBudget; }
+
   private:
     template <typename Pred>
     void
@@ -237,25 +359,13 @@ class WindowBarrier
                 __builtin_ia32_pause();
 #endif
             } else {
-                // Oversubscribed (or a long leader phase): hand the
-                // core over instead of burning it.
                 std::this_thread::yield();
             }
         }
     }
 
-    /** Pause-loop iterations before falling back to yield(). On a
-     * machine with fewer cores than workers, spinning only delays the
-     * thread that owns the work. */
-    static std::uint32_t
-    pickSpinBudget()
-    {
-        const unsigned hw = std::thread::hardware_concurrency();
-        return hw > 1 ? 4096 : 1;
-    }
-
     const std::uint32_t _workers;
-    const std::uint32_t _spinBudget = pickSpinBudget();
+    const std::uint32_t _spinBudget;
     /** The two phases live on separate cache lines: workers hammer
      * _phase while the leader works, and _arrived is the leader's. */
     alignas(64) std::atomic<std::uint32_t> _arrived{0};
@@ -267,10 +377,13 @@ class WindowBarrier
  *
  * Domains are per-tile: one per core+L1 pair, one per L2 slice, one
  * per memory controller. Worker 0 (the leader) always drives domain 0
- * (core 0's tile); the remaining domains are dealt round-robin over
- * the other workers -- or all onto worker 0 for a single-worker run,
- * which executes the identical windowed semantics on one thread (the
- * determinism baseline).
+ * (core 0's tile). The remaining domains are assigned by placement
+ * policy: round-robin deals them over the other workers (the
+ * adversarial interleaving), locality placement groups domains of
+ * adjacent mesh nodes onto the same worker so most mesh traffic stays
+ * worker-local. A single-worker run executes the identical windowed
+ * semantics on one thread (the determinism baseline); placement never
+ * changes simulated behavior, only which thread runs which domain.
  */
 struct ShardLayout
 {
@@ -278,15 +391,23 @@ struct ShardLayout
     std::uint32_t numCores = 0;
     std::uint32_t numTiles = 0;  //!< L2 slices
     std::uint32_t numMcs = 0;
+    std::uint32_t meshRows = 0;  //!< 0 = no mesh geometry known
+    std::uint32_t meshCols = 0;
+    ShardPlacement placement = ShardPlacement::RoundRobin;
 
     static ShardLayout
     make(std::uint32_t requested_shards, std::uint32_t num_cores,
-         std::uint32_t num_tiles, std::uint32_t num_mcs)
+         std::uint32_t num_tiles, std::uint32_t num_mcs,
+         ShardPlacement placement = ShardPlacement::RoundRobin,
+         std::uint32_t mesh_rows = 0, std::uint32_t mesh_cols = 0)
     {
         ShardLayout l;
         l.numCores = num_cores;
         l.numTiles = num_tiles;
         l.numMcs = num_mcs;
+        l.meshRows = mesh_rows;
+        l.meshCols = mesh_cols;
+        l.placement = placement;
         const std::uint32_t doms = l.domains();
         l.workers = requested_shards > doms ? doms : requested_shards;
         return l;
@@ -318,22 +439,57 @@ struct ShardLayout
         return numCores + numTiles + m;
     }
 
+    std::uint32_t numNodes() const { return meshRows * meshCols; }
+
+    /**
+     * Mesh node hosting domain @p d. Mirrors the component placement
+     * in net/mesh.cc (coreNode/tileNode/mcNode) -- cores and L2 slices
+     * stripe over the nodes, MCs sit on the corners.
+     */
+    std::uint32_t
+    nodeOfDomain(std::uint32_t d) const
+    {
+        const std::uint32_t nn = numNodes();
+        if (nn == 0)
+            return 0;
+        if (d < numCores)
+            return d % nn;
+        if (d < numCores + numTiles)
+            return (d - numCores) % nn;
+        const std::uint32_t m = d - numCores - numTiles;
+        const std::uint32_t r = meshRows - 1;
+        const std::uint32_t c = meshCols - 1;
+        switch (m % 4) {
+          case 0: return 0;
+          case 1: return c;
+          case 2: return r * meshCols;
+          default: return r * meshCols + c;
+        }
+    }
+
     /** Worker that drives domain @p d. */
     std::uint32_t
     workerOfDomain(std::uint32_t d) const
     {
         if (d == 0 || workers <= 1)
             return 0;
+        if (placement == ShardPlacement::Locality && numNodes() > 0) {
+            // Contiguous node ranges per worker: adjacent tiles (and
+            // the core/L2/MC domains that live on them) co-schedule,
+            // so most mesh sends stay on one worker. Node 0 lands on
+            // worker 0, keeping the leader = domain 0 invariant.
+            return nodeOfDomain(d) * workers / numNodes();
+        }
         return 1 + (d - 1) % (workers - 1);
     }
 };
 
 /**
  * Leader barrier phase: gather every domain's queued control ops,
- * execute them in canonical (tick, actor, sub, domain, idx) order, and
- * repeat for ops submitted *during* execution (e.g. a quiesced LogM
- * truncate completing inline) until none remain. @p scratch is reused
- * across barriers so the steady state allocates nothing.
+ * execute them in canonical controlOpBefore() order, and repeat for
+ * ops submitted *during* execution (e.g. a quiesced LogM truncate
+ * completing inline) until none remain. @p scratch is reused across
+ * barriers so the steady state allocates nothing.
  */
 void drainControlOps(const std::vector<SimDomain *> &domains,
                      std::vector<SimDomain::ControlOp> &scratch);

@@ -226,6 +226,135 @@ TEST(ShardLayoutTest, PerTileDomainToWorkerMapping)
         EXPECT_EQ(one.workerOfDomain(d), 0u);
 }
 
+TEST(ShardLayoutTest, LocalityPlacementGroupsAdjacentNodes)
+{
+    // 8 cores, 8 slices, 4 MCs on a 2x4 mesh (8 nodes), 4 workers.
+    ShardLayout l = ShardLayout::make(4, 8, 8, 4,
+                                      ShardPlacement::Locality, 2, 4);
+    EXPECT_EQ(l.numNodes(), 8u);
+    // Cores and slices stripe over the nodes; MCs sit on the corners.
+    EXPECT_EQ(l.nodeOfDomain(l.coreDomain(5)), 5u);
+    EXPECT_EQ(l.nodeOfDomain(l.tileDomain(5)), 5u);
+    EXPECT_EQ(l.nodeOfDomain(l.mcDomain(0)), 0u);
+    EXPECT_EQ(l.nodeOfDomain(l.mcDomain(1)), 3u);
+    EXPECT_EQ(l.nodeOfDomain(l.mcDomain(2)), 4u);
+    EXPECT_EQ(l.nodeOfDomain(l.mcDomain(3)), 7u);
+    // Contiguous node ranges per worker: node n -> worker n*W/N, so
+    // every domain on one node (core, L2 slice, MC) shares a worker.
+    for (std::uint32_t d = 0; d < l.domains(); ++d) {
+        EXPECT_EQ(l.workerOfDomain(d),
+                  l.nodeOfDomain(d) * l.workers / l.numNodes())
+            << "domain " << d;
+    }
+    EXPECT_EQ(l.workerOfDomain(l.coreDomain(6)),
+              l.workerOfDomain(l.tileDomain(6)));
+    // The leader invariant holds: node 0 lands on worker 0.
+    EXPECT_EQ(l.workerOfDomain(0), 0u);
+
+    // Without mesh geometry, locality placement degrades to
+    // round-robin rather than collapsing onto one worker.
+    ShardLayout flat = ShardLayout::make(4, 8, 8, 4,
+                                         ShardPlacement::Locality);
+    EXPECT_EQ(flat.numNodes(), 0u);
+    EXPECT_EQ(flat.workerOfDomain(5), 1u + (5u - 1u) % 3u);
+}
+
+// Worker placement must never change simulated behavior: the
+// adversarial round-robin deal and the locality deal produce the
+// byte-identical delivery stream, stats and cycle count as the
+// single-worker baseline (which is itself pinned against the golden).
+golden::GoldenRun
+runPlacedQuickstart(std::uint32_t shards, ShardPlacement placement)
+{
+    SystemConfig cfg;
+    cfg.numCores = 8;
+    cfg.l2Tiles = 8;
+    cfg.meshRows = 2;
+    cfg.ausPerMc = 8;
+    cfg.design = DesignKind::AtomOpt;
+    cfg.numShards = shards;
+    cfg.shardPlacement = placement;
+
+    MicroParams params;
+    params.entryBytes = 256;
+    params.initialItems = 24;
+    params.txnsPerCore = 6;
+
+    HashWorkload workload(params);
+    Runner runner(cfg, workload, params.txnsPerCore);
+    golden::TraceHasher tracer(true);
+    runner.system().mesh().setTracer(&tracer);
+    runner.setUp();
+    const RunResult result = runner.run();
+    golden::GoldenRun r;
+    r.hash = tracer.hash();
+    r.deliveries = tracer.deliveries();
+    r.txns = result.txns;
+    r.cycles = result.cycles;
+    r.stream = std::move(tracer.stream());
+    r.stats = std::as_const(runner.system()).stats().dump();
+    return r;
+}
+
+TEST(ShardedDeterminismTest, PlacementPoliciesAreByteIdentical)
+{
+    const GoldenRun base = runGoldenQuickstart(1, true);
+    const GoldenRun rr2 =
+        runPlacedQuickstart(2, ShardPlacement::RoundRobin);
+    const GoldenRun rr4 =
+        runPlacedQuickstart(4, ShardPlacement::RoundRobin);
+    const GoldenRun loc4 =
+        runPlacedQuickstart(4, ShardPlacement::Locality);
+    expectIdentical(base, rr2, "round-robin 2 shards vs baseline");
+    expectIdentical(base, rr4, "round-robin 4 shards vs baseline");
+    expectIdentical(base, loc4, "locality 4 shards vs baseline");
+    EXPECT_EQ(base.hash, golden::kWindowedQuickstartHash);
+}
+
+TEST(FlatTilingTest, ReconstructsGreedyWindows)
+{
+    FlatTiling t;
+    t.configure(2, kTickNever);
+    EXPECT_FALSE(t.anchored());
+    t.consume(5); // anchors window [5, 7)
+    EXPECT_TRUE(t.anchored());
+    EXPECT_EQ(t.end(), Tick(7));
+    t.consume(6); // inside the window: no re-anchor
+    EXPECT_EQ(t.end(), Tick(7));
+    t.consume(7); // at the end: next window [7, 9)
+    EXPECT_EQ(t.end(), Tick(9));
+    t.consume(20); // gap: greedy re-anchor at the next executed tick
+    EXPECT_EQ(t.end(), Tick(22));
+
+    t.setLimit(30);
+    t.consume(29);
+    EXPECT_EQ(t.end(), Tick(31)); // min(29 + 2, limit + 1)
+    t.consume(30);                // still inside the clamped window
+    EXPECT_EQ(t.end(), Tick(31));
+
+    // advanceTo() boundary: the sequential loop re-anchors its first
+    // window at the new call's earliest pending tick.
+    t.reset();
+    EXPECT_FALSE(t.anchored());
+    t.setLimit(kTickNever);
+    t.consume(3);
+    EXPECT_EQ(t.end(), Tick(5));
+}
+
+TEST(WindowBarrierTest, SpinBudgetShrinksWhenOversubscribed)
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    // More runnable barrier threads than cores: spinning only delays
+    // the thread that owns the work, so the budget collapses.
+    EXPECT_EQ(WindowBarrier::pickSpinBudget(hw + 1), 64u);
+    if (hw > 0) {
+        EXPECT_EQ(WindowBarrier::pickSpinBudget(hw), 4096u);
+    }
+    // The constructed budget counts the leader as a participant.
+    WindowBarrier oversub(hw + 4);
+    EXPECT_EQ(oversub.spinBudget(), 64u);
+}
+
 TEST(DomainMailboxTest, PreservesFifoOrder)
 {
     DomainMailbox<int> box;
