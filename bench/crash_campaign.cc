@@ -1,0 +1,421 @@
+/**
+ * @file
+ * Deterministic crash-fuzzing campaign (the recovery bug hunter).
+ *
+ * Sweeps a grid of (seed x design x crash-fraction x config-shape)
+ * cells; every cell runs a micro workload to a crash point, cuts
+ * power, recovers from the durable image alone, and checks the
+ * workload's structural invariants on that image. Everything is
+ * seeded, so every failure is replayable by ID.
+ *
+ * Each cell runs in a forked child (`--cell <id>` re-invokes this
+ * binary on exactly one cell): a wedged or crashing simulation kills
+ * only the child, and on a single-CPU container the parent can still
+ * overlap children that block on I/O. Failing cells are auto-shrunk
+ * (bisect the crash tick, then greedily halve cores / L2 capacity /
+ * run length) and emitted as ready-to-paste gtest regression bodies
+ * for tests/test_recovery.cc.
+ *
+ * Modes:
+ *   crash_campaign                      full sweep (respects filters)
+ *   crash_campaign --cell <id>          run one cell; exit 0 pass,
+ *                                       1 inconsistent, 2 error
+ *   crash_campaign --list               print cell IDs and exit
+ * Options:
+ *   --slice k/N    only cells with index % N == k (CI rotation)
+ *   --jobs J       children to keep in flight (default 4)
+ *   --seeds a,b,c  override the seed list
+ *   --limit N      stop enumerating after N cells (smoke runs)
+ *   --no-shrink    report failures without shrinking them
+ *   --out DIR      write one report file per failing cell into DIR
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "harness/crash_cell.hh"
+
+using namespace atomsim;
+
+namespace
+{
+
+/** One machine shape of the sweep: knobs that stress different
+ * eviction / pressure regimes (tiny assoc-starved L2s force
+ * writebacks of lines with live undo records; core count scales
+ * WriteGate contention; the hybrid tier reorders the NVM stream). */
+struct Shape
+{
+    std::uint32_t cores, l2Kb, l2Assoc, entryBytes, items, txns;
+    bool hybrid;
+};
+
+const Shape kShapes[] = {
+    {4, 8, 2, 512, 32, 10, false},   // the torn-payload bug's shape
+    {4, 16, 4, 512, 24, 10, false},  // roomier L2, higher assoc
+    {2, 8, 2, 512, 32, 12, false},   // small machine, longer run
+    {8, 8, 2, 512, 16, 8, false},    // wide machine, shared pressure
+    {4, 8, 2, 4096, 4, 6, false},    // huge entries: multi-line tears
+    {4, 8, 2, 512, 32, 10, true},    // hybrid tier in front of NVM
+    {8, 16, 2, 512, 24, 8, false},   // wide + low assoc
+    {2, 4, 2, 512, 48, 12, false},   // tiny L2: eviction storm
+};
+
+const DesignKind kDesigns[] = {DesignKind::Base, DesignKind::Atom,
+                               DesignKind::AtomOpt};
+const char *kWorkloads[] = {"hash", "queue", "btree",
+                            "rbtree", "sdg", "sps"};
+const double kFractions[] = {0.25, 0.5, 0.75};
+const std::uint64_t kDefaultSeeds[] = {60, 61, 62, 63, 64};
+
+std::vector<CrashCell>
+enumerateCells(const std::vector<std::uint64_t> &seeds)
+{
+    std::vector<CrashCell> cells;
+    for (const Shape &sh : kShapes) {
+        for (DesignKind design : kDesigns) {
+            for (const char *wl : kWorkloads) {
+                for (double fraction : kFractions) {
+                    for (std::uint64_t seed : seeds) {
+                        CrashCell cell;
+                        cell.workload = wl;
+                        cell.design = design;
+                        cell.fraction = fraction;
+                        cell.cores = sh.cores;
+                        cell.l2TileKb = sh.l2Kb;
+                        cell.l2Assoc = sh.l2Assoc;
+                        cell.hybrid = sh.hybrid;
+                        cell.entryBytes = sh.entryBytes;
+                        cell.initialItems = sh.items;
+                        cell.txnsPerCore = sh.txns;
+                        cell.seed = seed;
+                        cells.push_back(cell);
+                    }
+                }
+            }
+        }
+    }
+    return cells;
+}
+
+// --- child mode ------------------------------------------------------------
+
+/** Run one cell in this process. Prints a small line protocol the
+ * parent parses (tick/fault), exit code is the verdict. */
+int
+childMain(const std::string &id)
+{
+    const auto cell = CrashCell::parse(id);
+    if (!cell) {
+        std::fprintf(stderr, "malformed cell ID: %s\n", id.c_str());
+        return 2;
+    }
+    const CellOutcome out = runCrashCell(*cell);
+    std::printf("tick %llu\n", (unsigned long long)out.crashTick);
+    std::printf("rolledback %u applied %u restored %u\n",
+                out.report.incompleteUpdates, out.report.recordsApplied,
+                out.report.linesRestored);
+    if (out.consistent) {
+        std::printf("outcome pass\n");
+        return 0;
+    }
+    std::printf("fault %s\n", out.fault.c_str());
+    std::printf("outcome fail\n");
+    return 1;
+}
+
+// --- parent-side child runner ----------------------------------------------
+
+struct ChildResult
+{
+    int code = 2;  //!< 0 pass, 1 fail, 2 error/signal
+    Tick tick = 0;
+    std::string fault;
+};
+
+struct Child
+{
+    pid_t pid = -1;
+    int fd = -1;
+    std::size_t index = 0;
+    std::string output;
+};
+
+pid_t
+spawnChild(const char *exe, const CrashCell &cell, int *out_fd)
+{
+    int fds[2];
+    if (pipe(fds) != 0)
+        return -1;
+    const std::string id = cell.id();
+    const pid_t pid = fork();
+    if (pid == 0) {
+        dup2(fds[1], STDOUT_FILENO);
+        close(fds[0]);
+        close(fds[1]);
+        alarm(300);  // a wedged cell dies instead of stalling the sweep
+        execl(exe, exe, "--cell", id.c_str(), (char *)nullptr);
+        _exit(2);
+    }
+    close(fds[1]);
+    if (pid < 0) {
+        close(fds[0]);
+        return -1;
+    }
+    *out_fd = fds[0];
+    return pid;
+}
+
+void
+drainChild(Child &ch)
+{
+    char buf[4096];
+    ssize_t n;
+    while ((n = read(ch.fd, buf, sizeof(buf))) > 0)
+        ch.output.append(buf, std::size_t(n));
+    close(ch.fd);
+    ch.fd = -1;
+}
+
+ChildResult
+parseChild(const std::string &output, int status)
+{
+    ChildResult r;
+    r.code = WIFEXITED(status) ? WEXITSTATUS(status) : 2;
+    std::size_t pos = 0;
+    while (pos < output.size()) {
+        std::size_t eol = output.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = output.size();
+        const std::string line = output.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (line.rfind("tick ", 0) == 0)
+            r.tick = std::strtoull(line.c_str() + 5, nullptr, 10);
+        else if (line.rfind("fault ", 0) == 0)
+            r.fault = line.substr(6);
+    }
+    return r;
+}
+
+/** Run one cell to completion in a child and wait for it. */
+ChildResult
+runCellChild(const char *exe, const CrashCell &cell)
+{
+    Child ch;
+    ch.pid = spawnChild(exe, cell, &ch.fd);
+    if (ch.pid < 0)
+        return ChildResult{};
+    drainChild(ch);
+    int status = 0;
+    waitpid(ch.pid, &status, 0);
+    return parseChild(ch.output, status);
+}
+
+// --- report ----------------------------------------------------------------
+
+std::string
+sanitize(const std::string &id)
+{
+    std::string s = id;
+    for (char &c : s) {
+        if (c == ':')
+            c = '_';
+    }
+    return s;
+}
+
+struct Failure
+{
+    CrashCell cell;
+    ChildResult result;
+    CrashCell shrunk;
+    std::string shrinkLog;
+    std::string regression;
+};
+
+void
+writeReport(const std::string &dir, const Failure &f)
+{
+    const std::string path = dir + "/" + sanitize(f.shrunk.id()) + ".txt";
+    std::ofstream out(path);
+    out << "original cell: " << f.cell.id() << "\n"
+        << "crash tick:    " << f.result.tick << "\n"
+        << "fault:         " << f.result.fault << "\n"
+        << "shrunk cell:   " << f.shrunk.id() << "\n\n"
+        << "replay: crash_campaign --cell '" << f.shrunk.id() << "'\n\n"
+        << "shrink log:\n" << f.shrinkLog << "\n"
+        << "regression test body (tests/test_recovery.cc):\n\n"
+        << f.regression;
+}
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--cell ID | --list] [--slice k/N] "
+                 "[--jobs J] [--seeds a,b,..] [--limit N] "
+                 "[--no-shrink] [--out DIR]\n",
+                 argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string cellId, outDir;
+    bool list = false, shrink = true;
+    unsigned jobs = 4;
+    std::size_t sliceK = 0, sliceN = 1, limit = 0;
+    std::vector<std::uint64_t> seeds(std::begin(kDefaultSeeds),
+                                     std::end(kDefaultSeeds));
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const char *next = i + 1 < argc ? argv[i + 1] : nullptr;
+        if (arg == "--cell" && next) {
+            cellId = argv[++i];
+        } else if (arg == "--list") {
+            list = true;
+        } else if (arg == "--slice" && next) {
+            if (std::sscanf(argv[++i], "%zu/%zu", &sliceK, &sliceN) != 2 ||
+                sliceN == 0 || sliceK >= sliceN) {
+                usage(argv[0]);
+                return 2;
+            }
+        } else if (arg == "--jobs" && next) {
+            jobs = std::max(1u, unsigned(std::atoi(argv[++i])));
+        } else if (arg == "--limit" && next) {
+            limit = std::size_t(std::atoll(argv[++i]));
+        } else if (arg == "--seeds" && next) {
+            seeds.clear();
+            for (const char *p = argv[++i]; *p;) {
+                char *end = nullptr;
+                seeds.push_back(std::strtoull(p, &end, 10));
+                p = *end == ',' ? end + 1 : end;
+            }
+            if (seeds.empty()) {
+                usage(argv[0]);
+                return 2;
+            }
+        } else if (arg == "--no-shrink") {
+            shrink = false;
+        } else if (arg == "--out" && next) {
+            outDir = argv[++i];
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    if (!cellId.empty())
+        return childMain(cellId);
+
+    std::vector<CrashCell> all = enumerateCells(seeds);
+    std::vector<std::size_t> picked;
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        if (i % sliceN == sliceK)
+            picked.push_back(i);
+    }
+    if (limit != 0 && picked.size() > limit)
+        picked.resize(limit);
+
+    if (list) {
+        for (std::size_t i : picked)
+            std::printf("%s\n", all[i].id().c_str());
+        return 0;
+    }
+
+    std::printf("crash campaign: %zu cells (of %zu; slice %zu/%zu, "
+                "%u jobs)\n",
+                picked.size(), all.size(), sliceK, sliceN, jobs);
+
+    // Fan the cells out over up to `jobs` children. Results are
+    // deterministic per cell regardless of completion order.
+    std::map<pid_t, Child> running;
+    std::vector<Failure> failures;
+    std::size_t done = 0, errors = 0, nextCell = 0;
+    const char *exe = argv[0];
+
+    while (nextCell < picked.size() || !running.empty()) {
+        while (nextCell < picked.size() && running.size() < jobs) {
+            Child ch;
+            ch.index = picked[nextCell++];
+            ch.pid = spawnChild(exe, all[ch.index], &ch.fd);
+            if (ch.pid < 0) {
+                std::fprintf(stderr, "spawn failed for %s\n",
+                             all[ch.index].id().c_str());
+                ++errors;
+                continue;
+            }
+            running.emplace(ch.pid, std::move(ch));
+        }
+        if (running.empty())
+            break;
+        int status = 0;
+        const pid_t pid = waitpid(-1, &status, 0);
+        const auto it = running.find(pid);
+        if (it == running.end())
+            continue;
+        Child ch = std::move(it->second);
+        running.erase(it);
+        drainChild(ch);
+        const ChildResult res = parseChild(ch.output, status);
+        ++done;
+        if (res.code == 1) {
+            std::printf("FAIL %s\n  tick=%llu fault=%s\n",
+                        all[ch.index].id().c_str(),
+                        (unsigned long long)res.tick, res.fault.c_str());
+            failures.push_back(
+                Failure{all[ch.index], res, all[ch.index], "", ""});
+        } else if (res.code != 0) {
+            std::printf("ERROR %s (child status %d)\n",
+                        all[ch.index].id().c_str(), res.code);
+            ++errors;
+        }
+        if (done % 100 == 0) {
+            std::printf("  ... %zu/%zu done, %zu failures\n", done,
+                        picked.size(), failures.size());
+            std::fflush(stdout);
+        }
+    }
+
+    std::printf("sweep done: %zu cells, %zu failures, %zu errors\n",
+                done, failures.size(), errors);
+
+    // Shrink each failure to a minimal reproducer. The predicate is
+    // the child verdict itself, so every accepted shrink is a replay-
+    // verified reproducer.
+    for (Failure &f : failures) {
+        if (shrink) {
+            const CellPredicate fails = [&](const CrashCell &cand) {
+                return runCellChild(exe, cand).code == 1;
+            };
+            f.shrunk =
+                shrinkCell(f.cell, f.result.tick, fails, &f.shrinkLog);
+        }
+        const ChildResult final = runCellChild(exe, f.shrunk);
+        f.regression = regressionBody(
+            f.shrunk, final.fault.empty() ? f.result.fault : final.fault);
+        std::printf("\n=== failing cell %s\n", f.cell.id().c_str());
+        if (shrink) {
+            std::printf("shrunk to %s\n%s", f.shrunk.id().c_str(),
+                        f.shrinkLog.c_str());
+        }
+        std::printf("replay: %s --cell '%s'\n%s", exe,
+                    f.shrunk.id().c_str(), f.regression.c_str());
+        if (!outDir.empty())
+            writeReport(outDir, f);
+    }
+    return failures.empty() ? 0 : 1;
+}

@@ -18,6 +18,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include <unordered_set>
+
 #include "atom/log_record.hh"
 #include "sim/callback.hh"
 #include "sim/types.hh"
@@ -67,6 +69,19 @@ struct AusState
     std::unique_ptr<OpenRecord> open;
     /** Sealed records whose headers have not yet persisted. */
     std::vector<std::unique_ptr<OpenRecord>> sealing;
+    /**
+     * Lines already logged by the running update. An undo log needs
+     * exactly one pre-image per line per update (recovery applies
+     * records newest-first, so the oldest entry decides the restored
+     * value); a re-log -- an L1 retrying a store after losing the line
+     * between log-ack and store-apply -- is matched here and acked
+     * without burning a record. Without this, a store thrashing
+     * against recalls in a small L2 seals a one-entry record per
+     * retry until the log region is exhausted, and since buckets are
+     * only reclaimed at commit, the overflow interrupt can never be
+     * satisfied: the machine livelocks.
+     */
+    std::unordered_set<Addr> loggedLines;
     /** Outstanding log (data or header) writes for this AUS. */
     std::uint32_t outstandingWrites = 0;
     /** Callbacks waiting for outstandingWrites to hit zero. */

@@ -29,6 +29,8 @@ LogM::LogM(McId mc, EventQueue &eq, const SystemConfig &cfg,
           stats.counter("logm" + std::to_string(mc), "log_overflows")),
       _statForcedSeals(
           stats.counter("logm" + std::to_string(mc), "forced_seals")),
+      _statDupEntries(
+          stats.counter("logm" + std::to_string(mc), "dup_entries")),
       _statTruncations(
           stats.counter("logm" + std::to_string(mc), "truncations"))
 {
@@ -44,6 +46,7 @@ LogM::beginUpdate(std::uint32_t aus)
     st.currentBucket = kNoBucket;
     st.currentRecord = 0;
     st.txnStartSeq = st.nextSeq;
+    st.loggedLines.clear();
 }
 
 void
@@ -156,6 +159,54 @@ LogM::postLogEntry(std::uint32_t aus, Addr line_addr,
                    LogAckCallback ack)
 {
     const Addr line = lineAlign(line_addr);
+
+    // Duplicate-undo suppression: the line is already covered by this
+    // update's log (the address matches an AUS header register or an
+    // already-persisted record). Recovery applies records newest-first,
+    // so only the first pre-image per line decides the restored value;
+    // a second entry would be dead weight -- and worse, each re-log of
+    // a store thrashing against recalls seals a fresh record, which
+    // can exhaust the log region and livelock the overflow interrupt
+    // (buckets are only reclaimed at commit). Ack against the existing
+    // entry instead of appending a new one.
+    {
+        AusState &st = _aus[aus];
+        panic_if(!st.active, "log entry for inactive AUS %u", aus);
+        if (st.loggedLines.count(line)) {
+            _statDupEntries.inc();
+            if (!ack)
+                return;
+            if (!posted) {
+                // BASE: the ack still means "this entry is durable".
+                // If the covering record's header has not persisted
+                // yet, ride its persist; otherwise the entry is
+                // already durable and only the address match costs.
+                OpenRecord *cover = nullptr;
+                if (st.open) {
+                    for (Addr e : st.open->entries)
+                        if (e == line)
+                            cover = st.open.get();
+                }
+                if (!cover) {
+                    for (auto &sealing : st.sealing) {
+                        for (Addr e : sealing->entries)
+                            if (e == line)
+                                cover = sealing.get();
+                        if (cover)
+                            break;
+                    }
+                }
+                if (cover) {
+                    cover->persistAcks.push_back(std::move(ack));
+                    return;
+                }
+            }
+            _eq.postIn(_cfg.mcAddrMatchLatency, std::move(ack));
+            return;
+        }
+        st.loggedLines.insert(line);
+    }
+
     withOpenRecord(aus, [this, aus, line, old_value, posted,
                          ack = std::move(ack)]() mutable {
         AusState &st = _aus[aus];
@@ -325,6 +376,7 @@ LogM::truncate(std::uint32_t aus, std::function<void()> done)
                  "truncate with unpersisted sealed records");
         _buckets.truncate(aus);
         _statTruncations.inc();
+        s.loggedLines.clear();
         s.active = false;
         s.currentBucket = kNoBucket;
         s.currentRecord = 0;

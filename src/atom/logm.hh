@@ -155,6 +155,7 @@ class LogM : public WriteGate, public SourceLogger
     Counter &_statSourceLogged;
     Counter &_statOverflows;
     Counter &_statForcedSeals;
+    Counter &_statDupEntries;
     Counter &_statTruncations;
 };
 

@@ -503,8 +503,12 @@ L1Cache::applyStore(PendingStore *ps, bool set_log_bit)
     CacheLineState *fr = _array.find(ps->addr);
     if (!fr || !fr->valid || !fr->writable()) {
         // Lost permission while waiting on the logger (rare): the
-        // log entry exists, so redo the access; the fresh log
-        // request that may result is harmless (duplicate undo).
+        // log entry exists, so redo the access. The fresh log request
+        // that may result is matched against the AUS's already-logged
+        // lines at the LogM and acked without a new entry -- were it
+        // appended instead, a store thrashing against recalls would
+        // seal a one-entry record per retry until the log region ran
+        // out, wedging the machine in the overflow interrupt.
         finishStore(ps);
         return;
     }

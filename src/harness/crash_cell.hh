@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Crash-campaign cells: one (workload x design x crash-point x
+ * config-shape x seed) coordinate of the crash-fuzzing sweep
+ * (bench/crash_campaign.cc), serializable to a compact ID so a cell
+ * can cross a process boundary (the campaign fan-out runs every cell
+ * in a child process) and be replayed from a bug report verbatim.
+ *
+ * The shrinker reduces a failing cell to a minimal reproducer: bisect
+ * the crash tick, then greedily shrink cores / L2 size / run length
+ * while the failure still reproduces. It is parameterized over the
+ * failure predicate, so tests can drive it against a synthetic
+ * failure with a known minimal cell (tests/test_crash_cell.cc) and
+ * the campaign can point it at real child-process runs.
+ */
+
+#ifndef ATOMSIM_HARNESS_CRASH_CELL_HH
+#define ATOMSIM_HARNESS_CRASH_CELL_HH
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "atom/recovery.hh"
+#include "sim/config.hh"
+#include "sim/types.hh"
+#include "workloads/workload.hh"
+
+namespace atomsim
+{
+
+/** One coordinate of the crash-fuzzing sweep. */
+struct CrashCell
+{
+    /** Workload name: hash, queue, btree, rbtree, sdg or sps. */
+    std::string workload = "hash";
+    DesignKind design = DesignKind::Atom;
+    /** Fraction of the work completed before the (jittered) crash.
+     * Ignored when crashTick pins an exact crash point. */
+    double fraction = 0.5;
+    /** Exact crash tick (0 = crash by fraction + seed jitter). The
+     * shrinker pins this so tick bisection has a stable axis. */
+    Tick crashTick = 0;
+    std::uint32_t cores = 4;
+    std::uint32_t l2TileKb = 8;    //!< L2 slice capacity in KB
+    std::uint32_t l2Assoc = 2;
+    /** Put the volatile DRAM tier (memoryMode, deliberately small:
+     * 1 MB per MC) in front of the NVM channels. */
+    bool hybrid = false;
+    std::uint32_t entryBytes = 512;
+    std::uint32_t initialItems = 32;
+    std::uint32_t txnsPerCore = 10;
+    std::uint64_t seed = 62;
+
+    /** Compact, order-stable ID, e.g.
+     * "hash:atom:f50:c4:l8x2:e512:i32:t10:h0:s62" (+":k<tick>" when
+     * the crash tick is pinned). parse(id()) round-trips. */
+    std::string id() const;
+
+    /** Parse an ID back into a cell (nullopt on malformed input). */
+    static std::optional<CrashCell> parse(const std::string &id);
+
+    /** Machine configuration this cell runs (validated). */
+    SystemConfig config() const;
+
+    /** Workload-size parameters this cell runs. */
+    MicroParams params() const;
+
+    /** Instantiate the cell's workload (nullptr for a bad name). */
+    std::unique_ptr<Workload> makeWorkload() const;
+};
+
+/** Verdict of one cell run. */
+struct CellOutcome
+{
+    /** Consistent after crash + recovery (fault empty). */
+    bool consistent = false;
+    /** Tick the power failure was injected at. */
+    Tick crashTick = 0;
+    RecoveryReport report;
+    /** Structured checkConsistency diagnostic ("" when consistent). */
+    std::string fault;
+};
+
+/**
+ * Run one cell end to end: build the system, run to the crash point,
+ * cut power, recover from the durable image alone, and check the
+ * workload's structural invariants on that image.
+ */
+CellOutcome runCrashCell(const CrashCell &cell);
+
+/** Failure predicate: true when @p cell still reproduces the bug. */
+using CellPredicate = std::function<bool(const CrashCell &)>;
+
+/**
+ * Shrink @p failing (which @p fails must accept) to a minimal
+ * reproducer: pin + bisect the crash tick, then greedily halve cores,
+ * L2 capacity, transactions, initial items and entry bytes while the
+ * failure reproduces, re-bisecting the tick after each pass until a
+ * fixed point. Every candidate the shrinker accepts satisfies
+ * @p fails, so the result is always a true reproducer.
+ *
+ * @param failing   the failing cell (crashTick may be 0)
+ * @param failTick  observed crash tick of the failing run (bisection
+ *                  upper bound; used when failing.crashTick == 0)
+ * @param fails     the failure predicate (child-process run, or a
+ *                  synthetic predicate in tests)
+ * @param log       optional: appended with one line per shrink step
+ */
+CrashCell shrinkCell(const CrashCell &failing, Tick failTick,
+                     const CellPredicate &fails,
+                     std::string *log = nullptr);
+
+/**
+ * Render a minimal cell as a ready-to-paste gtest regression body for
+ * tests/test_recovery.cc (see the "campaign regressions" section
+ * there for landed examples).
+ */
+std::string regressionBody(const CrashCell &cell,
+                           const std::string &fault);
+
+} // namespace atomsim
+
+#endif // ATOMSIM_HARNESS_CRASH_CELL_HH

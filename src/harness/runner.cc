@@ -738,4 +738,16 @@ Runner::runUntilCrash(double fraction, std::uint64_t crash_seed)
     return eq.now();
 }
 
+Tick
+Runner::crashAt(Tick tick)
+{
+    fatal_if(_system->sharded(),
+             "crash injection requires the sequential kernel "
+             "(numShards = 0)");
+    EventQueue &eq = _system->eventQueue();
+    eq.run(tick);
+    _system->powerFail();
+    return eq.now();
+}
+
 } // namespace atomsim

@@ -119,6 +119,14 @@ class Runner : public TransactionSource
      */
     Tick runUntilCrash(double fraction, std::uint64_t crash_seed = 1);
 
+    /**
+     * Run until simulated time reaches @p tick exactly, then cut
+     * power. Replays a runUntilCrash run whose crash landed at
+     * @p tick event-for-event (the crash-campaign shrinker's pinned
+     * bisection axis). Returns the tick of the crash.
+     */
+    Tick crashAt(Tick tick);
+
     System &system() { return *_system; }
     Workload &workload() { return _workload; }
     PersistentHeap &heap() { return *_heap; }

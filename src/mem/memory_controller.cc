@@ -304,6 +304,7 @@ MemoryController::writeNvm(Addr addr, const Line &data, WriteKind kind,
     for (Request *queued = wq.head; queued; queued = queued->next) {
         if (queued->addr == addr && queued->wkind == kind) {
             queued->data = data;
+            queued->acceptSeq = ++_acceptSeq;
             // The read-forwarding snapshot must track the newest
             // accepted value too, or a read (and, in hybrid mode, the
             // DRAM demand fill it feeds) observes the pre-combine
@@ -325,6 +326,7 @@ MemoryController::writeNvm(Addr addr, const Line &data, WriteKind kind,
     if (cb)
         req->wcb = std::move(cb);
     req->enqueueTick = _eq.now();
+    req->acceptSeq = ++_acceptSeq;
     wq.push_back(req);
     ++_pendingWrites;
     PendingWrite &pw = _inflightWrites[addr];
@@ -455,9 +457,23 @@ MemoryController::issueWrite(std::uint32_t ch, Request *req)
             releaseReq(req);
             return;
         }
-        _nvm.writeLine(req->addr, req->data);
-        --_pendingWrites;
+        // Same-line commits land in the durable image in *acceptance*
+        // order, not device-completion order: a write-gate park can
+        // replay a blocked writeback behind a later-accepted commit
+        // flush of the same line (stacked push_fronts fire newest
+        // first), and letting the stale bytes clobber the flushed
+        // ones tears committed data after truncation discarded its
+        // undo record. The stale write keeps its device-slot timing
+        // and acks; only its image update is suppressed.
         auto it = _inflightWrites.find(req->addr);
+        const bool stale = it != _inflightWrites.end() &&
+                           req->acceptSeq < it->second.committedSeq;
+        if (!stale) {
+            _nvm.writeLine(req->addr, req->data);
+            if (it != _inflightWrites.end())
+                it->second.committedSeq = req->acceptSeq;
+        }
+        --_pendingWrites;
         if (it != _inflightWrites.end() && --it->second.count == 0) {
             _inflightWrites.erase(it);
             auto wit = _durWaiters.find(req->addr);

@@ -198,6 +198,8 @@ class MemoryController
         WriteCallback wcb;          //!< first durability ack (inline)
         WcbNode *extra = nullptr;   //!< combine overflow chain
         std::uint64_t enqueueTick = 0;
+        /** Acceptance order of the carried data (see PendingWrite). */
+        std::uint64_t acceptSeq = 0;
     };
 
     /** Intrusive FIFO of pooled Requests. */
@@ -342,13 +344,27 @@ class MemoryController
      * outstanding count plus the *newest* accepted data, so reads can
      * forward even while a write is on the device (popped from the
      * queue but not yet persisted -- a ~360-cycle window a chasing
-     * demand read can land in). */
+     * demand read can land in).
+     *
+     * committedSeq orders same-line commits into the durable image by
+     * acceptance: a write gate park can re-queue a blocked write ahead
+     * of a later-accepted one (several writes to a locked line each
+     * park in their own unlock continuation and are replayed through
+     * stacked push_fronts, newest first), so the device can drain a
+     * stale writeback *after* a newer commit flush of the same line.
+     * Real controllers never reorder same-address writes; the stale
+     * write still occupies its device slot, but its image update is
+     * suppressed. Without this, the stale writeback silently clobbers
+     * committed bytes whose undo record truncation just discarded --
+     * an unrecoverable tear (the seeds-62/63/64 torn-payload bug). */
     struct PendingWrite
     {
         std::uint32_t count = 0;
+        std::uint64_t committedSeq = 0;
         Line data{};
     };
     std::unordered_map<Addr, PendingWrite> _inflightWrites;
+    std::uint64_t _acceptSeq = 0;  //!< write-acceptance order stamp
     /** Callbacks waiting on line durability. */
     std::unordered_map<Addr, std::vector<WriteCallback>> _durWaiters;
 

@@ -95,8 +95,16 @@ BTreeWorkload::checkConsistency(DirectAccessor &mem,
             std::vector<std::uint64_t> words(_params.entryBytes / 8);
             mem.loadBytes(*val, _params.entryBytes, words.data());
             for (std::size_t i = 0; i < words.size(); ++i) {
-                if (words[i] != payloadWord(key, i))
-                    return "torn btree payload";
+                if (words[i] != payloadWord(key, i)) {
+                    return faultf(
+                        "torn btree payload: core=%u key=0x%llx "
+                        "word=%zu addr=0x%llx expected=0x%llx "
+                        "found=0x%llx",
+                        c, (unsigned long long)key, i,
+                        (unsigned long long)(*val + i * 8),
+                        (unsigned long long)payloadWord(key, i),
+                        (unsigned long long)words[i]);
+                }
             }
         }
     }

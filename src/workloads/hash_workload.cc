@@ -155,23 +155,49 @@ HashWorkload::checkConsistency(DirectAccessor &mem,
             std::uint32_t steps = 0;
             while (node != 0) {
                 const std::uint64_t key = mem.load64(node + kKeyOff);
-                if (key == ~std::uint64_t(0))
-                    return "dangling pointer to an unlinked node";
-                if (bucketOf(key) != b)
-                    return "key in the wrong bucket (torn insert?)";
-                if ((key >> 32) != c)
-                    return "key from another core's table";
+                if (key == ~std::uint64_t(0)) {
+                    return faultf("dangling pointer to an unlinked node:"
+                                  " core=%u bucket=%u node=0x%llx",
+                                  c, b, (unsigned long long)node);
+                }
+                if (bucketOf(key) != b) {
+                    return faultf(
+                        "key in the wrong bucket (torn insert?): core=%u "
+                        "bucket=%u node=0x%llx key=0x%llx belongs_in=%llu",
+                        c, b, (unsigned long long)node,
+                        (unsigned long long)key,
+                        (unsigned long long)bucketOf(key));
+                }
+                if ((key >> 32) != c) {
+                    return faultf("key from another core's table: core=%u "
+                                  "bucket=%u node=0x%llx key=0x%llx",
+                                  c, b, (unsigned long long)node,
+                                  (unsigned long long)key);
+                }
                 // Payload pattern must match the key entirely.
                 std::vector<std::uint64_t> words(_params.entryBytes / 8);
                 mem.loadBytes(node + kPayloadOff, _params.entryBytes,
                               words.data());
                 for (std::size_t i = 0; i < words.size(); ++i) {
-                    if (words[i] != key * 0x9e3779b97f4a7c15ULL + i)
-                        return "torn payload";
+                    if (words[i] != key * 0x9e3779b97f4a7c15ULL + i) {
+                        return faultf(
+                            "torn payload: core=%u bucket=%u node=0x%llx "
+                            "key=0x%llx word=%zu addr=0x%llx "
+                            "expected=0x%llx found=0x%llx",
+                            c, b, (unsigned long long)node,
+                            (unsigned long long)key, i,
+                            (unsigned long long)(node + kPayloadOff +
+                                                 i * 8),
+                            (unsigned long long)(
+                                key * 0x9e3779b97f4a7c15ULL + i),
+                            (unsigned long long)words[i]);
+                    }
                 }
                 node = mem.load64(node + kNextOff);
-                if (++steps > 1u << 20)
-                    return "cycle in a bucket chain";
+                if (++steps > 1u << 20) {
+                    return faultf("cycle in a bucket chain: core=%u "
+                                  "bucket=%u", c, b);
+                }
             }
         }
     }

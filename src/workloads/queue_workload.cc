@@ -129,29 +129,60 @@ QueueWorkload::checkConsistency(DirectAccessor &mem,
         std::uint64_t prev_seq = 0;
         while (node != 0) {
             const std::uint64_t seq = mem.load64(node + kSeqOff);
-            if (seq == ~std::uint64_t(0))
-                return "queue reaches a dequeued (poisoned) node";
-            if (seen > 0 && seq <= prev_seq)
-                return "queue sequence numbers not increasing";
+            if (seq == ~std::uint64_t(0)) {
+                return faultf("queue reaches a dequeued (poisoned) node:"
+                              " core=%u node=0x%llx position=%llu",
+                              c, (unsigned long long)node,
+                              (unsigned long long)seen);
+            }
+            if (seen > 0 && seq <= prev_seq) {
+                return faultf(
+                    "queue sequence numbers not increasing: core=%u "
+                    "node=0x%llx seq=0x%llx prev_seq=0x%llx",
+                    c, (unsigned long long)node, (unsigned long long)seq,
+                    (unsigned long long)prev_seq);
+            }
             std::vector<std::uint64_t> payload(_params.entryBytes / 8);
             mem.loadBytes(node + kPayloadOff, _params.entryBytes,
                           payload.data());
             for (std::size_t i = 0; i < payload.size(); ++i) {
-                if (payload[i] != seq * 0xc2b2ae3d27d4eb4fULL + i)
-                    return "torn queue payload";
+                if (payload[i] != seq * 0xc2b2ae3d27d4eb4fULL + i) {
+                    return faultf(
+                        "torn queue payload: core=%u node=0x%llx "
+                        "seq=0x%llx word=%zu addr=0x%llx expected=0x%llx "
+                        "found=0x%llx",
+                        c, (unsigned long long)node,
+                        (unsigned long long)seq, i,
+                        (unsigned long long)(node + kPayloadOff + i * 8),
+                        (unsigned long long)(
+                            seq * 0xc2b2ae3d27d4eb4fULL + i),
+                        (unsigned long long)payload[i]);
+                }
             }
             prev_seq = seq;
             last = node;
             node = mem.load64(node + kNextOff);
             if (++seen > (std::uint64_t(1) << 24))
-                return "cycle in the queue";
+                return faultf("cycle in the queue: core=%u", c);
         }
-        if (seen != count)
-            return "queue count disagrees with the chain length";
-        if (last != tail)
-            return "tail pointer does not reach the last node";
-        if ((head == 0) != (tail == 0))
-            return "head/tail emptiness mismatch";
+        if (seen != count) {
+            return faultf("queue count disagrees with the chain length:"
+                          " core=%u count=%llu chain=%llu",
+                          c, (unsigned long long)count,
+                          (unsigned long long)seen);
+        }
+        if (last != tail) {
+            return faultf("tail pointer does not reach the last node:"
+                          " core=%u tail=0x%llx last=0x%llx",
+                          c, (unsigned long long)tail,
+                          (unsigned long long)last);
+        }
+        if ((head == 0) != (tail == 0)) {
+            return faultf("head/tail emptiness mismatch: core=%u "
+                          "head=0x%llx tail=0x%llx",
+                          c, (unsigned long long)head,
+                          (unsigned long long)tail);
+        }
     }
     return "";
 }

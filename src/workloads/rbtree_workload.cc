@@ -391,33 +391,60 @@ RbTreeWorkload::checkSubtree(DirectAccessor &mem, const PerCore &pc,
         return "";
     }
     const std::uint64_t key = mem.load64(n + kKeyOff);
-    if (key == ~std::uint64_t(0))
-        return "tree reaches a deleted (poisoned) node";
-    if (key < lo || key >= hi)
-        return "BST ordering violated";
+    if (key == ~std::uint64_t(0)) {
+        return faultf("tree reaches a deleted (poisoned) node:"
+                      " node=0x%llx", (unsigned long long)n);
+    }
+    if (key < lo || key >= hi) {
+        return faultf("BST ordering violated: node=0x%llx key=0x%llx "
+                      "window=[0x%llx,0x%llx)",
+                      (unsigned long long)n, (unsigned long long)key,
+                      (unsigned long long)lo, (unsigned long long)hi);
+    }
     const std::uint64_t color = mem.load64(n + kColorOff);
-    if (color != kRed && color != kBlack)
-        return "invalid node color";
+    if (color != kRed && color != kBlack) {
+        return faultf("invalid node color: node=0x%llx key=0x%llx "
+                      "color=0x%llx", (unsigned long long)n,
+                      (unsigned long long)key,
+                      (unsigned long long)color);
+    }
     const Addr l = mem.load64(n + kLeftOff);
     const Addr r = mem.load64(n + kRightOff);
     if (color == kRed) {
         if (mem.load64(l + kColorOff) == kRed ||
             mem.load64(r + kColorOff) == kRed) {
-            return "red node with a red child";
+            return faultf("red node with a red child: node=0x%llx "
+                          "key=0x%llx", (unsigned long long)n,
+                          (unsigned long long)key);
         }
     }
     // Parent pointers must agree with the downward links.
-    if (l != pc.nil && mem.load64(l + kParentOff) != n)
-        return "left child's parent pointer is wrong";
-    if (r != pc.nil && mem.load64(r + kParentOff) != n)
-        return "right child's parent pointer is wrong";
+    if (l != pc.nil && mem.load64(l + kParentOff) != n) {
+        return faultf("left child's parent pointer is wrong: node=0x%llx"
+                      " child=0x%llx parent=0x%llx",
+                      (unsigned long long)n, (unsigned long long)l,
+                      (unsigned long long)mem.load64(l + kParentOff));
+    }
+    if (r != pc.nil && mem.load64(r + kParentOff) != n) {
+        return faultf("right child's parent pointer is wrong:"
+                      " node=0x%llx child=0x%llx parent=0x%llx",
+                      (unsigned long long)n, (unsigned long long)r,
+                      (unsigned long long)mem.load64(r + kParentOff));
+    }
 
     // Payload integrity.
     std::vector<std::uint64_t> words(_params.entryBytes / 8);
     mem.loadBytes(n + kPayloadOff, _params.entryBytes, words.data());
     for (std::size_t i = 0; i < words.size(); ++i) {
-        if (words[i] != payloadWord(key, i))
-            return "torn node payload";
+        if (words[i] != payloadWord(key, i)) {
+            return faultf("torn node payload: node=0x%llx key=0x%llx "
+                          "word=%zu addr=0x%llx expected=0x%llx "
+                          "found=0x%llx",
+                          (unsigned long long)n, (unsigned long long)key,
+                          i, (unsigned long long)(n + kPayloadOff + i * 8),
+                          (unsigned long long)payloadWord(key, i),
+                          (unsigned long long)words[i]);
+        }
     }
 
     int lbh = 0;
@@ -428,8 +455,12 @@ RbTreeWorkload::checkSubtree(DirectAccessor &mem, const PerCore &pc,
     err = checkSubtree(mem, pc, r, key + 1, hi, rbh);
     if (!err.empty())
         return err;
-    if (lbh != rbh)
-        return "black heights differ between siblings";
+    if (lbh != rbh) {
+        return faultf("black heights differ between siblings:"
+                      " node=0x%llx key=0x%llx left=%d right=%d",
+                      (unsigned long long)n, (unsigned long long)key,
+                      lbh, rbh);
+    }
     black_height = lbh + (color == kBlack ? 1 : 0);
     return "";
 }
@@ -445,8 +476,12 @@ RbTreeWorkload::checkConsistency(DirectAccessor &mem,
         const Addr rt = mem.load64(pc.anchor);
         if (rt == pc.nil)
             continue;
-        if (mem.load64(rt + kColorOff) != kBlack)
-            return "root is not black";
+        if (mem.load64(rt + kColorOff) != kBlack) {
+            return faultf("root is not black: core=%u root=0x%llx "
+                          "color=0x%llx", c, (unsigned long long)rt,
+                          (unsigned long long)
+                              mem.load64(rt + kColorOff));
+        }
         int bh = 0;
         const std::string err =
             checkSubtree(mem, pc, rt, 0, ~std::uint64_t(0), bh);

@@ -154,23 +154,52 @@ SdgWorkload::checkConsistency(DirectAccessor &mem,
             while (edge != 0) {
                 const std::uint64_t to = mem.load64(edge + kToOff);
                 const std::uint64_t w = mem.load64(edge + kWeightOff);
-                if (w == ~std::uint64_t(0))
-                    return "adjacency list reaches a removed edge";
-                if (w != edgeWeight(v, std::uint32_t(to)))
-                    return "edge weight mismatch (torn insert)";
+                if (w == ~std::uint64_t(0)) {
+                    return faultf("adjacency list reaches a removed "
+                                  "edge: core=%u vertex=%u edge=0x%llx",
+                                  c, v, (unsigned long long)edge);
+                }
+                if (w != edgeWeight(v, std::uint32_t(to))) {
+                    return faultf(
+                        "edge weight mismatch (torn insert): core=%u "
+                        "vertex=%u edge=0x%llx to=%llu expected=0x%llx "
+                        "found=0x%llx",
+                        c, v, (unsigned long long)edge,
+                        (unsigned long long)to,
+                        (unsigned long long)
+                            edgeWeight(v, std::uint32_t(to)),
+                        (unsigned long long)w);
+                }
                 ++chain;
                 edge = mem.load64(edge + kNextOff);
-                if (chain > (std::uint64_t(1) << 24))
-                    return "cycle in an adjacency list";
+                if (chain > (std::uint64_t(1) << 24)) {
+                    return faultf("cycle in an adjacency list: core=%u "
+                                  "vertex=%u", c, v);
+                }
             }
-            if (chain != mem.load64(vslot + 8))
-                return "vertex degree disagrees with its list";
+            if (chain != mem.load64(vslot + 8)) {
+                return faultf(
+                    "vertex degree disagrees with its list: core=%u "
+                    "vertex=%u degree=%llu chain=%llu",
+                    c, v, (unsigned long long)mem.load64(vslot + 8),
+                    (unsigned long long)chain);
+            }
             edge_total += chain;
         }
-        if (edge_total != mem.load64(pc.counters))
-            return "global edge count disagrees with the lists";
-        if (mem.load64(pc.counters) != mem.load64(pc.counters + 8))
-            return "edge count / degree sum mismatch";
+        if (edge_total != mem.load64(pc.counters)) {
+            return faultf(
+                "global edge count disagrees with the lists: core=%u "
+                "count=%llu lists=%llu",
+                c, (unsigned long long)mem.load64(pc.counters),
+                (unsigned long long)edge_total);
+        }
+        if (mem.load64(pc.counters) != mem.load64(pc.counters + 8)) {
+            return faultf(
+                "edge count / degree sum mismatch: core=%u count=%llu "
+                "degree_sum=%llu",
+                c, (unsigned long long)mem.load64(pc.counters),
+                (unsigned long long)mem.load64(pc.counters + 8));
+        }
     }
     return "";
 }

@@ -76,15 +76,33 @@ SpsWorkload::checkConsistency(DirectAccessor &mem,
             std::vector<std::uint64_t> words(_params.entryBytes / 8);
             mem.loadBytes(pc.array + Addr(e) * _params.entryBytes,
                           _params.entryBytes, words.data());
+            const Addr entry = pc.array + Addr(e) * _params.entryBytes;
             const std::uint64_t tag = words[0];
-            if (tag >= pc.entries)
-                return "entry tag out of range (torn swap)";
-            if (seen[std::size_t(tag)])
-                return "duplicate entry tag (half-applied swap)";
+            if (tag >= pc.entries) {
+                return faultf("entry tag out of range (torn swap):"
+                              " core=%u entry=%u addr=0x%llx tag=0x%llx"
+                              " entries=%u",
+                              c, e, (unsigned long long)entry,
+                              (unsigned long long)tag, pc.entries);
+            }
+            if (seen[std::size_t(tag)]) {
+                return faultf("duplicate entry tag (half-applied swap):"
+                              " core=%u entry=%u addr=0x%llx tag=0x%llx",
+                              c, e, (unsigned long long)entry,
+                              (unsigned long long)tag);
+            }
             seen[std::size_t(tag)] = true;
             for (std::size_t i = 1; i < words.size(); ++i) {
-                if (words[i] != payloadWord(tag, i))
-                    return "entry payload does not match its tag";
+                if (words[i] != payloadWord(tag, i)) {
+                    return faultf(
+                        "entry payload does not match its tag: core=%u "
+                        "entry=%u tag=0x%llx word=%zu addr=0x%llx "
+                        "expected=0x%llx found=0x%llx",
+                        c, e, (unsigned long long)tag, i,
+                        (unsigned long long)(entry + i * 8),
+                        (unsigned long long)payloadWord(tag, i),
+                        (unsigned long long)words[i]);
+                }
             }
         }
     }

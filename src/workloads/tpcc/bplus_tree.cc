@@ -309,30 +309,58 @@ BPlusTree::checkSubtree(Accessor &mem, Addr node, std::uint64_t lo,
     if (isLeaf(mem, node)) {
         if (leaf_depth == ~0u)
             leaf_depth = depth;
-        else if (leaf_depth != depth)
-            return "leaves at different depths";
+        else if (leaf_depth != depth) {
+            return faultf("leaves at different depths: node=0x%llx "
+                          "depth=%u expected=%u",
+                          (unsigned long long)node, depth, leaf_depth);
+        }
         std::uint64_t prev = lo;
         bool first = true;
         for (std::uint32_t i = 0; i < n; ++i) {
             const std::uint64_t k = mem.load64(leafKeySlot(node, i));
-            if (k < lo || k >= hi)
-                return "leaf key out of separator range";
-            if (!first && k <= prev)
-                return "leaf keys not strictly increasing";
+            if (k < lo || k >= hi) {
+                return faultf("leaf key out of separator range: "
+                              "node=0x%llx slot=%u key=0x%llx "
+                              "range=[0x%llx,0x%llx)",
+                              (unsigned long long)node, i,
+                              (unsigned long long)k,
+                              (unsigned long long)lo,
+                              (unsigned long long)hi);
+            }
+            if (!first && k <= prev) {
+                return faultf("leaf keys not strictly increasing: "
+                              "node=0x%llx slot=%u key=0x%llx "
+                              "prev=0x%llx",
+                              (unsigned long long)node, i,
+                              (unsigned long long)k,
+                              (unsigned long long)prev);
+            }
             prev = k;
             first = false;
         }
         return "";
     }
-    if (n == 0 || n > kIntKeys)
-        return "internal node count out of range";
+    if (n == 0 || n > kIntKeys) {
+        return faultf("internal node count out of range: node=0x%llx "
+                      "count=%u", (unsigned long long)node, n);
+    }
     std::uint64_t prev = 0;
     for (std::uint32_t i = 0; i < n; ++i) {
         const std::uint64_t k = mem.load64(intKeySlot(node, i));
-        if (k < lo || k > hi)
-            return "separator out of range";
-        if (i > 0 && k <= prev)
-            return "separators not strictly increasing";
+        if (k < lo || k > hi) {
+            return faultf("separator out of range: node=0x%llx slot=%u "
+                          "key=0x%llx range=[0x%llx,0x%llx]",
+                          (unsigned long long)node, i,
+                          (unsigned long long)k, (unsigned long long)lo,
+                          (unsigned long long)hi);
+        }
+        if (i > 0 && k <= prev) {
+            return faultf("separators not strictly increasing: "
+                          "node=0x%llx slot=%u key=0x%llx prev=0x%llx",
+                          (unsigned long long)node, i,
+                          (unsigned long long)k,
+                          (unsigned long long)prev);
+        }
         prev = k;
     }
     for (std::uint32_t i = 0; i <= n; ++i) {
@@ -341,8 +369,10 @@ BPlusTree::checkSubtree(Accessor &mem, Addr node, std::uint64_t lo,
         const std::uint64_t child_hi =
             (i == n) ? hi : mem.load64(intKeySlot(node, i));
         const Addr child = mem.load64(intChildSlot(node, i));
-        if (child == 0)
-            return "null child pointer";
+        if (child == 0) {
+            return faultf("null child pointer: node=0x%llx slot=%u",
+                          (unsigned long long)node, i);
+        }
         const std::string err = checkSubtree(mem, child, child_lo,
                                              child_hi, depth + 1,
                                              leaf_depth);
@@ -371,8 +401,13 @@ BPlusTree::checkStructure(Accessor &mem)
         const std::uint32_t n = countOf(mem, node);
         for (std::uint32_t i = 0; i < n; ++i) {
             const std::uint64_t k = mem.load64(leafKeySlot(node, i));
-            if (!first && k <= prev)
-                return "leaf chain not sorted";
+            if (!first && k <= prev) {
+                return faultf("leaf chain not sorted: node=0x%llx "
+                              "slot=%u key=0x%llx prev=0x%llx",
+                              (unsigned long long)node, i,
+                              (unsigned long long)k,
+                              (unsigned long long)prev);
+            }
             prev = k;
             first = false;
         }

@@ -125,14 +125,25 @@ TpccWorkload::checkConsistency(DirectAccessor &mem, std::uint32_t)
             const auto drow = _db->district().search(
                 mem, districtKey(w, d));
             if (!drow)
-                return "district row missing";
+                return faultf("district row missing: warehouse=%u "
+                              "district=%u", w, d);
             orders_expected += mem.load64(*drow + kDNextOidOff) - 1;
         }
     }
-    if (_db->orders().count(mem) != orders_expected)
-        return "orders table disagrees with district sequence counters";
-    if (_db->newOrders().count(mem) != orders_expected)
-        return "new_order table disagrees with district counters";
+    if (_db->orders().count(mem) != orders_expected) {
+        return faultf(
+            "orders table disagrees with district sequence counters: "
+            "orders=%llu expected=%llu",
+            (unsigned long long)_db->orders().count(mem),
+            (unsigned long long)orders_expected);
+    }
+    if (_db->newOrders().count(mem) != orders_expected) {
+        return faultf(
+            "new_order table disagrees with district counters: "
+            "new_orders=%llu expected=%llu",
+            (unsigned long long)_db->newOrders().count(mem),
+            (unsigned long long)orders_expected);
+    }
     return "";
 }
 

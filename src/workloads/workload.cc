@@ -1,12 +1,25 @@
 #include "workloads/workload.hh"
 
 #include <algorithm>
+#include <cstdarg>
+#include <cstdio>
 #include <cstring>
 
 #include "sim/logging.hh"
 
 namespace atomsim
 {
+
+std::string
+faultf(const char *fmt, ...)
+{
+    char buf[512];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    return buf;
+}
 
 RecordingAccessor::RecordingAccessor(DataImage &image, Transaction &txn)
     : _image(image), _txn(txn)

@@ -27,6 +27,19 @@ namespace atomsim
 
 class PersistentHeap;
 
+/**
+ * printf-style formatter for checkConsistency diagnostics. Keeps the
+ * string-returning contract (empty = consistent) while letting
+ * workloads report *what* tore -- core, address, expected vs found
+ * bytes -- so crash-campaign logs and shrunk reproducers carry the
+ * fault, not just its existence.
+ */
+std::string faultf(const char *fmt, ...)
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((format(printf, 1, 2)))
+#endif
+    ;
+
 /** Memory access interface data structures are written against. */
 class Accessor
 {

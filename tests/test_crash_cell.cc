@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Crash-campaign cell machinery: ID round-trips, single-cell runs,
+ * pinned-tick replay, and the shrinker driven by a synthetic failure
+ * predicate with a known minimal cell.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/crash_cell.hh"
+
+namespace atomsim
+{
+namespace
+{
+
+TEST(CrashCellTest, IdRoundTrips)
+{
+    CrashCell cell;
+    cell.workload = "rbtree";
+    cell.design = DesignKind::AtomOpt;
+    cell.fraction = 0.25;
+    cell.cores = 8;
+    cell.l2TileKb = 16;
+    cell.l2Assoc = 4;
+    cell.hybrid = true;
+    cell.entryBytes = 4096;
+    cell.initialItems = 4;
+    cell.txnsPerCore = 6;
+    cell.seed = 12345;
+
+    EXPECT_EQ(cell.id(),
+              "rbtree:atomopt:f25:c8:l16x4:e4096:i4:t6:h1:s12345");
+    const auto parsed = CrashCell::parse(cell.id());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->id(), cell.id());
+    EXPECT_EQ(parsed->workload, "rbtree");
+    EXPECT_EQ(parsed->design, DesignKind::AtomOpt);
+    EXPECT_DOUBLE_EQ(parsed->fraction, 0.25);
+    EXPECT_EQ(parsed->cores, 8u);
+    EXPECT_EQ(parsed->l2TileKb, 16u);
+    EXPECT_EQ(parsed->l2Assoc, 4u);
+    EXPECT_TRUE(parsed->hybrid);
+    EXPECT_EQ(parsed->entryBytes, 4096u);
+    EXPECT_EQ(parsed->initialItems, 4u);
+    EXPECT_EQ(parsed->txnsPerCore, 6u);
+    EXPECT_EQ(parsed->seed, 12345u);
+
+    // Pinned crash tick survives the round trip too.
+    cell.crashTick = 34357;
+    EXPECT_EQ(cell.id(),
+              "rbtree:atomopt:f25:c8:l16x4:e4096:i4:t6:h1:s12345:k34357");
+    const auto pinned = CrashCell::parse(cell.id());
+    ASSERT_TRUE(pinned.has_value());
+    EXPECT_EQ(pinned->crashTick, Tick(34357));
+    EXPECT_EQ(pinned->id(), cell.id());
+}
+
+TEST(CrashCellTest, ParseRejectsMalformedIds)
+{
+    EXPECT_FALSE(CrashCell::parse("").has_value());
+    EXPECT_FALSE(CrashCell::parse("hash").has_value());
+    // Unknown workload / design.
+    EXPECT_FALSE(
+        CrashCell::parse("nope:atom:f50:c4:l8x2:e512:i32:t10:h0:s62")
+            .has_value());
+    EXPECT_FALSE(
+        CrashCell::parse("hash:ATOM:f50:c4:l8x2:e512:i32:t10:h0:s62")
+            .has_value());
+    // Out-of-range / malformed fields.
+    EXPECT_FALSE(
+        CrashCell::parse("hash:atom:f150:c4:l8x2:e512:i32:t10:h0:s62")
+            .has_value());
+    EXPECT_FALSE(
+        CrashCell::parse("hash:atom:f50:c0:l8x2:e512:i32:t10:h0:s62")
+            .has_value());
+    EXPECT_FALSE(
+        CrashCell::parse("hash:atom:f50:c4:l8z2:e512:i32:t10:h0:s62")
+            .has_value());
+    EXPECT_FALSE(
+        CrashCell::parse("hash:atom:f50:c4:l8x2:e513:i32:t10:h0:s62")
+            .has_value());
+    EXPECT_FALSE(
+        CrashCell::parse("hash:atom:f50:c4:l8x2:e512:i32:t10:h2:s62")
+            .has_value());
+    // Trailing garbage.
+    EXPECT_FALSE(
+        CrashCell::parse("hash:atom:f50:c4:l8x2:e512:i32:t10:h0:s62:x1")
+            .has_value());
+    EXPECT_FALSE(
+        CrashCell::parse(
+            "hash:atom:f50:c4:l8x2:e512:i32:t10:h0:s62:k1:k2")
+            .has_value());
+}
+
+TEST(CrashCellTest, RunsOneCellEndToEnd)
+{
+    CrashCell cell;
+    cell.workload = "queue";
+    cell.design = DesignKind::Atom;
+    cell.fraction = 0.5;
+    cell.cores = 2;
+    cell.initialItems = 8;
+    cell.txnsPerCore = 4;
+    cell.seed = 9;
+
+    const CellOutcome out = runCrashCell(cell);
+    EXPECT_TRUE(out.consistent) << out.fault;
+    EXPECT_TRUE(out.report.criticalStateFound);
+    EXPECT_GT(out.crashTick, Tick(0));
+}
+
+TEST(CrashCellTest, PinnedTickReplaysTheFractionalRun)
+{
+    CrashCell cell;
+    cell.workload = "hash";
+    cell.design = DesignKind::Atom;
+    cell.cores = 2;
+    cell.initialItems = 8;
+    cell.txnsPerCore = 4;
+    cell.seed = 5;
+
+    const CellOutcome byFraction = runCrashCell(cell);
+    cell.crashTick = byFraction.crashTick;
+    const CellOutcome byTick = runCrashCell(cell);
+
+    EXPECT_EQ(byTick.crashTick, byFraction.crashTick);
+    EXPECT_EQ(byTick.consistent, byFraction.consistent);
+    EXPECT_EQ(byTick.report.incompleteUpdates,
+              byFraction.report.incompleteUpdates);
+    EXPECT_EQ(byTick.report.linesRestored,
+              byFraction.report.linesRestored);
+}
+
+// The shrinker is parameterized over the failure predicate, so a
+// synthetic bug with a known minimal cell pins its behavior exactly:
+// "fails whenever the crash tick is >= 1000, at least 2 cores and at
+// least 2 transactions per core" has the unique greedy minimum
+// {tick=1000, cores=2, txns=2, everything else floored}.
+TEST(CrashCellShrinkTest, FindsTheKnownMinimalCell)
+{
+    const CellPredicate fails = [](const CrashCell &cell) {
+        const Tick tick = cell.crashTick == 0 ? 50000 : cell.crashTick;
+        return tick >= 1000 && cell.cores >= 2 && cell.txnsPerCore >= 2;
+    };
+
+    CrashCell failing;
+    failing.cores = 8;
+    failing.l2TileKb = 16;
+    failing.initialItems = 32;
+    failing.txnsPerCore = 12;
+    failing.entryBytes = 512;
+    ASSERT_TRUE(fails(failing));
+
+    std::string log;
+    const CrashCell minimal = shrinkCell(failing, 50000, fails, &log);
+
+    EXPECT_EQ(minimal.crashTick, Tick(1000)) << log;
+    EXPECT_EQ(minimal.cores, 2u) << log;
+    EXPECT_EQ(minimal.txnsPerCore, 2u) << log;
+    // Axes the predicate ignores shrink to their floors.
+    EXPECT_EQ(minimal.l2TileKb, 1u) << log;
+    EXPECT_EQ(minimal.initialItems, 1u) << log;
+    EXPECT_EQ(minimal.entryBytes, 64u) << log;
+    // Whatever comes out must itself reproduce.
+    EXPECT_TRUE(fails(minimal)) << log;
+}
+
+// A predicate that couples axes (only an exact shape fails) must
+// never tempt the shrinker into a non-reproducing "minimum": every
+// accepted candidate satisfies the predicate by construction.
+TEST(CrashCellShrinkTest, NeverReturnsANonReproducingCell)
+{
+    const CellPredicate fails = [](const CrashCell &cell) {
+        const Tick tick = cell.crashTick == 0 ? 7777 : cell.crashTick;
+        // Shrinking cores below 4 makes the bug vanish.
+        return tick >= 500 && cell.cores == 4;
+    };
+
+    CrashCell failing;  // defaults: cores=4, txns=10, items=32
+    ASSERT_TRUE(fails(failing));
+
+    const CrashCell minimal = shrinkCell(failing, 7777, fails, nullptr);
+    EXPECT_TRUE(fails(minimal));
+    EXPECT_EQ(minimal.cores, 4u);
+    EXPECT_EQ(minimal.crashTick, Tick(500));
+}
+
+// regressionBody output must parse back to the same cell (the
+// round-trip a maintainer does when pasting a campaign report).
+TEST(CrashCellTest, RegressionBodyEmbedsAReplayableId)
+{
+    CrashCell cell;
+    cell.workload = "sps";
+    cell.design = DesignKind::Base;
+    cell.crashTick = 4242;
+    const std::string body = regressionBody(cell, "torn payload: ...");
+
+    EXPECT_NE(body.find("TEST(CampaignRegressionTest, sps_base_s62)"),
+              std::string::npos);
+    EXPECT_NE(body.find(cell.id()), std::string::npos);
+    EXPECT_NE(body.find("torn payload"), std::string::npos);
+
+    const std::size_t quote = body.find("parse(\"");
+    ASSERT_NE(quote, std::string::npos);
+    const std::size_t start = quote + 7;
+    const std::size_t end = body.find('"', start);
+    ASSERT_NE(end, std::string::npos);
+    const auto parsed = CrashCell::parse(body.substr(start, end - start));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->id(), cell.id());
+}
+
+} // namespace
+} // namespace atomsim
