@@ -31,6 +31,7 @@
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -53,54 +54,106 @@ namespace
 /** One machine shape of the sweep: knobs that stress different
  * eviction / pressure regimes (tiny assoc-starved L2s force
  * writebacks of lines with live undo records; core count scales
- * WriteGate contention; the hybrid tier reorders the NVM stream). */
+ * WriteGate contention; the hybrid tier reorders the NVM stream).
+ * hybrid is the cell h-axis: 0 flat NVM, 1 memoryMode, 2 appDirect
+ * log-direct, 3 appDirect data-direct. */
 struct Shape
 {
     std::uint32_t cores, l2Kb, l2Assoc, entryBytes, items, txns;
-    bool hybrid;
+    std::uint32_t hybrid;
 };
 
 const Shape kShapes[] = {
-    {4, 8, 2, 512, 32, 10, false},   // the torn-payload bug's shape
-    {4, 16, 4, 512, 24, 10, false},  // roomier L2, higher assoc
-    {2, 8, 2, 512, 32, 12, false},   // small machine, longer run
-    {8, 8, 2, 512, 16, 8, false},    // wide machine, shared pressure
-    {4, 8, 2, 4096, 4, 6, false},    // huge entries: multi-line tears
-    {4, 8, 2, 512, 32, 10, true},    // hybrid tier in front of NVM
-    {8, 16, 2, 512, 24, 8, false},   // wide + low assoc
-    {2, 4, 2, 512, 48, 12, false},   // tiny L2: eviction storm
+    {4, 8, 2, 512, 32, 10, 0},   // the torn-payload bug's shape
+    {4, 16, 4, 512, 24, 10, 0},  // roomier L2, higher assoc
+    {2, 8, 2, 512, 32, 12, 0},   // small machine, longer run
+    {8, 8, 2, 512, 16, 8, 0},    // wide machine, shared pressure
+    {4, 8, 2, 4096, 4, 6, 0},    // huge entries: multi-line tears
+    {4, 8, 2, 512, 32, 10, 1},   // hybrid tier in front of NVM
+    {8, 16, 2, 512, 24, 8, 0},   // wide + low assoc
+    {2, 4, 2, 512, 48, 12, 0},   // tiny L2: eviction storm
+    {4, 8, 2, 512, 32, 10, 2},   // appDirect: log region direct-to-NVM
+    {4, 8, 2, 512, 32, 10, 3},   // appDirect: data direct, log cached
 };
 
 const DesignKind kDesigns[] = {DesignKind::Base, DesignKind::Atom,
-                               DesignKind::AtomOpt};
+                               DesignKind::AtomOpt, DesignKind::NonAtomic,
+                               DesignKind::Redo};
 const char *kWorkloads[] = {"hash", "queue", "btree",
                             "rbtree", "sdg", "sps"};
 const double kFractions[] = {0.25, 0.5, 0.75};
 const std::uint64_t kDefaultSeeds[] = {60, 61, 62, 63, 64};
 
+/** One fault-model setting of the sweep (the w/m/r cell axes). The
+ * fault sub-grid runs on a focused shape subset (kFaultShapes) at one
+ * crash fraction so the widened sweep stays tractable on one CPU. */
+struct FaultMode
+{
+    std::uint32_t torn, media, rpct;
+};
+
+const FaultMode kFaultModes[] = {
+    {1, 0, 0},    // torn in-flight writes at power failure
+    {0, 200, 0},  // media read errors, 200/65536 ~ 0.3% per read
+    {0, 0, 50},   // crash recovery at 50% of its applications
+    {1, 0, 50},   // double failure: second crash tears recovery
+};
+
+/** Indices into kShapes the fault sub-grid runs on: the historical
+ * bug shape, the multi-line-tear shape and the hybrid-tier shape. */
+const std::size_t kFaultShapes[] = {0, 4, 5};
+
 std::vector<CrashCell>
 enumerateCells(const std::vector<std::uint64_t> &seeds)
 {
     std::vector<CrashCell> cells;
+    const auto push = [&cells](const Shape &sh, DesignKind design,
+                               const char *wl, double fraction,
+                               std::uint64_t seed, const FaultMode &fm) {
+        CrashCell cell;
+        cell.workload = wl;
+        cell.design = design;
+        cell.fraction = fraction;
+        cell.cores = sh.cores;
+        cell.l2TileKb = sh.l2Kb;
+        cell.l2Assoc = sh.l2Assoc;
+        cell.hybrid = sh.hybrid;
+        cell.entryBytes = sh.entryBytes;
+        cell.initialItems = sh.items;
+        cell.txnsPerCore = sh.txns;
+        cell.seed = seed;
+        cell.tornWords = fm.torn;
+        cell.mediaRate = fm.media;
+        cell.recoverPct = fm.rpct;
+        cells.push_back(cell);
+    };
+
+    // Base grid: every shape x design x workload x fraction x seed,
+    // fault model off.
     for (const Shape &sh : kShapes) {
         for (DesignKind design : kDesigns) {
             for (const char *wl : kWorkloads) {
                 for (double fraction : kFractions) {
-                    for (std::uint64_t seed : seeds) {
-                        CrashCell cell;
-                        cell.workload = wl;
-                        cell.design = design;
-                        cell.fraction = fraction;
-                        cell.cores = sh.cores;
-                        cell.l2TileKb = sh.l2Kb;
-                        cell.l2Assoc = sh.l2Assoc;
-                        cell.hybrid = sh.hybrid;
-                        cell.entryBytes = sh.entryBytes;
-                        cell.initialItems = sh.items;
-                        cell.txnsPerCore = sh.txns;
-                        cell.seed = seed;
-                        cells.push_back(cell);
-                    }
+                    for (std::uint64_t seed : seeds)
+                        push(sh, design, wl, fraction, seed,
+                             FaultMode{0, 0, 0});
+                }
+            }
+        }
+    }
+
+    // Fault sub-grid: each fault mode on the focused shapes, every
+    // design and workload, at the middle crash fraction. Torn-write
+    // modes skip REDO (its frame stream has no torn-write detector;
+    // CrashCell::parse rejects the combination).
+    for (const FaultMode &fm : kFaultModes) {
+        for (std::size_t si : kFaultShapes) {
+            for (DesignKind design : kDesigns) {
+                if (fm.torn != 0 && design == DesignKind::Redo)
+                    continue;
+                for (const char *wl : kWorkloads) {
+                    for (std::uint64_t seed : seeds)
+                        push(kShapes[si], design, wl, 0.5, seed, fm);
                 }
             }
         }
@@ -125,6 +178,9 @@ childMain(const std::string &id)
     std::printf("rolledback %u applied %u restored %u\n",
                 out.report.incompleteUpdates, out.report.recordsApplied,
                 out.report.linesRestored);
+    std::printf("faults torn %u retries %llu media %u\n",
+                out.report.tornRecords,
+                (unsigned long long)out.mediaRetries, out.hardMediaFaults);
     if (out.consistent) {
         std::printf("outcome pass\n");
         return 0;
@@ -149,7 +205,13 @@ struct Child
     int fd = -1;
     std::size_t index = 0;
     std::string output;
+    std::chrono::steady_clock::time_point start;
 };
+
+/** Per-cell wall-clock watchdog: cells slower than this are flagged
+ * in the sweep output (a livelock that still finishes shows up as a
+ * flagged slow cell, not a 300 s alarm kill). */
+constexpr long kSlowCellMs = 30000;
 
 pid_t
 spawnChild(const char *exe, const CrashCell &cell, int *out_fd)
@@ -344,6 +406,8 @@ main(int argc, char **argv)
     // deterministic per cell regardless of completion order.
     std::map<pid_t, Child> running;
     std::vector<Failure> failures;
+    /** (elapsed ms, cell index) of every cell over kSlowCellMs. */
+    std::vector<std::pair<long, std::size_t>> slowCells;
     std::size_t done = 0, errors = 0, nextCell = 0;
     const char *exe = argv[0];
 
@@ -351,6 +415,7 @@ main(int argc, char **argv)
         while (nextCell < picked.size() && running.size() < jobs) {
             Child ch;
             ch.index = picked[nextCell++];
+            ch.start = std::chrono::steady_clock::now();
             ch.pid = spawnChild(exe, all[ch.index], &ch.fd);
             if (ch.pid < 0) {
                 std::fprintf(stderr, "spawn failed for %s\n",
@@ -371,6 +436,15 @@ main(int argc, char **argv)
         running.erase(it);
         drainChild(ch);
         const ChildResult res = parseChild(ch.output, status);
+        const long ms = long(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - ch.start)
+                .count());
+        if (ms >= kSlowCellMs) {
+            slowCells.emplace_back(ms, ch.index);
+            std::printf("SLOW %s (%ld ms)\n", all[ch.index].id().c_str(),
+                        ms);
+        }
         ++done;
         if (res.code == 1) {
             std::printf("FAIL %s\n  tick=%llu fault=%s\n",
@@ -390,8 +464,19 @@ main(int argc, char **argv)
         }
     }
 
-    std::printf("sweep done: %zu cells, %zu failures, %zu errors\n",
-                done, failures.size(), errors);
+    std::printf("sweep done: %zu cells, %zu failures, %zu errors, "
+                "%zu slow (>%ld ms)\n",
+                done, failures.size(), errors, slowCells.size(),
+                kSlowCellMs);
+    if (!slowCells.empty()) {
+        std::sort(slowCells.rbegin(), slowCells.rend());
+        const std::size_t top = std::min<std::size_t>(slowCells.size(), 5);
+        std::printf("slowest cells:\n");
+        for (std::size_t i = 0; i < top; ++i) {
+            std::printf("  %8ld ms  %s\n", slowCells[i].first,
+                        all[slowCells[i].second].id().c_str());
+        }
+    }
 
     // Shrink each failure to a minimal reproducer. The predicate is
     // the child verdict itself, so every accepted shrink is a replay-

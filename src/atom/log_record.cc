@@ -2,8 +2,33 @@
 
 #include <cstring>
 
+#include "sim/logging.hh"
+
 namespace atomsim
 {
+
+namespace
+{
+
+constexpr std::size_t kChecksumOff = 8;
+constexpr std::size_t kAddrsOff = 16;
+constexpr std::size_t kAddrBytes = 6;  // 48-bit line numbers
+
+/** FNV-1a over the line with the checksum field treated as zero. */
+std::uint64_t
+headerChecksum(const Line &line)
+{
+    std::uint64_t h = 14695981039346656037ull;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        const std::uint8_t byte =
+            (i >= kChecksumOff && i < kChecksumOff + 8) ? 0 : line[i];
+        h ^= byte;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+} // namespace
 
 Line
 LogRecordHeader::toLine() const
@@ -15,28 +40,51 @@ LogRecordHeader::toLine() const
     line[3] = 0;
     std::memcpy(line.data() + 4, &seq, sizeof(seq));
     for (std::uint32_t i = 0; i < kMaxEntries; ++i) {
-        std::memcpy(line.data() + 8 + i * sizeof(Addr), &addrs[i],
-                    sizeof(Addr));
+        fatal_if(addrs[i] >> (8 * kAddrBytes + 6) != 0,
+                 "log entry address 0x%llx exceeds the header's 54-bit "
+                 "address space",
+                 (unsigned long long)addrs[i]);
+        const std::uint64_t line_num = addrs[i] >> 6;
+        std::memcpy(line.data() + kAddrsOff + i * kAddrBytes, &line_num,
+                    kAddrBytes);
     }
+    const std::uint64_t sum = headerChecksum(line);
+    std::memcpy(line.data() + kChecksumOff, &sum, sizeof(sum));
     return line;
+}
+
+ParsedHeader
+LogRecordHeader::parse(const Line &line)
+{
+    ParsedHeader out;
+    if (line[0] != kMagic)
+        return out;  // never a header; not torn
+    std::uint64_t stored = 0;
+    std::memcpy(&stored, line.data() + kChecksumOff, sizeof(stored));
+    if (stored != headerChecksum(line)) {
+        out.torn = true;
+        return out;
+    }
+    LogRecordHeader hdr;
+    hdr.ausId = line[1];
+    hdr.count = line[2];
+    if (hdr.count == 0 || hdr.count > kMaxEntries)
+        return out;  // checksum-valid but impossible: reject quietly
+    std::memcpy(&hdr.seq, line.data() + 4, sizeof(hdr.seq));
+    for (std::uint32_t i = 0; i < kMaxEntries; ++i) {
+        std::uint64_t line_num = 0;
+        std::memcpy(&line_num, line.data() + kAddrsOff + i * kAddrBytes,
+                    kAddrBytes);
+        hdr.addrs[i] = line_num << 6;
+    }
+    out.hdr = hdr;
+    return out;
 }
 
 std::optional<LogRecordHeader>
 LogRecordHeader::fromLine(const Line &line)
 {
-    if (line[0] != kMagic)
-        return std::nullopt;
-    LogRecordHeader hdr;
-    hdr.ausId = line[1];
-    hdr.count = line[2];
-    if (hdr.count == 0 || hdr.count > kMaxEntries)
-        return std::nullopt;
-    std::memcpy(&hdr.seq, line.data() + 4, sizeof(hdr.seq));
-    for (std::uint32_t i = 0; i < kMaxEntries; ++i) {
-        std::memcpy(&hdr.addrs[i], line.data() + 8 + i * sizeof(Addr),
-                    sizeof(Addr));
-    }
-    return hdr;
+    return parse(line).hdr;
 }
 
 } // namespace atomsim

@@ -26,7 +26,32 @@
 namespace atomsim
 {
 
-/** Deserialized log record header. */
+/**
+ * Deserialized log record header.
+ *
+ * On-NVM line layout (64 bytes):
+ *
+ *   [0]      magic (0xA7)
+ *   [1]      ausId
+ *   [2]      count
+ *   [3]      reserved (0)
+ *   [4..7]   seq
+ *   [8..15]  checksum: FNV-1a over the line with this field zeroed
+ *   [16..57] 7 x 48-bit line numbers (addr >> 6; entries are
+ *            line-aligned, and 48+6 = 54 address bits is far beyond
+ *            any simulated memory)
+ *   [58..63] zero
+ *
+ * The checksum is the torn-write detector: under the fault model a
+ * header write interrupted by power failure commits a word-aligned
+ * prefix, leaving stale bytes in its tail. The magic + count checks
+ * alone would accept such a header (word 0 carries them both) and
+ * recovery would replay garbage addresses; the checksum in word 1
+ * covers the whole line, so any tear short of full commitment fails
+ * validation and the recovery scan skips the record.
+ */
+struct ParsedHeader;
+
 struct LogRecordHeader
 {
     static constexpr std::uint8_t kMagic = 0xA7;
@@ -38,14 +63,28 @@ struct LogRecordHeader
     /** Line-aligned addresses of the logged cache lines. */
     Addr addrs[kMaxEntries] = {};
 
-    /** Serialize into one 64-byte header line. */
+    /** Serialize into one 64-byte header line (checksum filled in). */
     Line toLine() const;
 
+    /** Parse and validate a candidate header line. */
+    static ParsedHeader parse(const Line &line);
+
     /**
-     * Parse a header line. std::nullopt when the magic byte or entry
-     * count is invalid (not a persisted header).
+     * Parse a header line. std::nullopt when the magic byte, entry
+     * count or checksum is invalid (not a fully persisted header).
      */
     static std::optional<LogRecordHeader> fromLine(const Line &line);
+};
+
+/** Result of parsing a candidate header line. */
+struct ParsedHeader
+{
+    std::optional<LogRecordHeader> hdr;
+    /** The magic byte matched but the line failed validation
+     * (checksum mismatch or impossible field): the signature of a
+     * header torn mid-write, as opposed to a line that was never a
+     * header at all. */
+    bool torn = false;
 };
 
 } // namespace atomsim

@@ -65,7 +65,8 @@ LogI::meshDeliver(Packet &pkt)
 }
 
 void
-LogI::onStore(CoreId, Addr, CacheCallback)
+LogI::onStore(CoreId, Addr, const Line &, std::uint32_t,
+              const std::uint8_t *, std::uint32_t, CacheCallback)
 {
     panic("LogI::onStore: redo logging is handled by RedoEngine");
 }

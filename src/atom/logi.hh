@@ -61,7 +61,9 @@ class LogI : public StoreLogger, public MeshSink
     void onFirstWrite(CoreId core, Addr addr, const Line &old_value,
                       CacheCallback done) override;
 
-    void onStore(CoreId, Addr, CacheCallback) override;
+    void onStore(CoreId, Addr, const Line &, std::uint32_t,
+                 const std::uint8_t *, std::uint32_t,
+                 CacheCallback) override;
 
     void meshDeliver(Packet &pkt) override;
 

@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <map>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "atom/log_record.hh"
 #include "designs/redo_engine.hh"
+#include "sim/fault.hh"
 #include "sim/logging.hh"
+#include "sim/stats.hh"
 
 namespace atomsim
 {
@@ -19,22 +22,30 @@ RecoveryManager::RecoveryManager(const SystemConfig &cfg,
 }
 
 RecoveryReport
-RecoveryManager::recover(DataImage &nvm) const
+RecoveryManager::recover(DataImage &nvm, const RecoveryOptions &opts,
+                         StatSet *stats) const
 {
     RecoveryReport total;
+    std::uint32_t budget = opts.maxApplications;
     for (McId mc = 0; mc < _cfg.numMemCtrls; ++mc) {
-        const RecoveryReport r = recoverMc(nvm, mc);
+        const RecoveryReport r = recoverMc(nvm, mc, opts, budget, stats);
         total.incompleteUpdates += r.incompleteUpdates;
         total.recordsApplied += r.recordsApplied;
         total.linesRestored += r.linesRestored;
+        total.tornRecords += r.tornRecords;
+        total.interrupted = total.interrupted || r.interrupted;
         total.criticalStateFound =
             total.criticalStateFound && r.criticalStateFound;
+        if (total.interrupted)
+            break;  // the second crash: nothing after it runs
     }
     return total;
 }
 
 RecoveryReport
-RecoveryManager::recoverMc(DataImage &nvm, McId mc) const
+RecoveryManager::recoverMc(DataImage &nvm, McId mc,
+                           const RecoveryOptions &opts,
+                           std::uint32_t &budget, StatSet *stats) const
 {
     RecoveryReport report;
     Addr cursor = _amap.adrBase(mc);
@@ -81,7 +92,9 @@ RecoveryManager::recoverMc(DataImage &nvm, McId mc) const
         // Collect this update's valid records from its buckets. A
         // record is valid iff its persisted header parses, names this
         // AUS, and its sequence falls in the update's window; stale
-        // headers from truncated updates fail the window test.
+        // headers from truncated updates fail the window test, and
+        // headers torn mid-write fail the checksum (counted, so the
+        // skipped log tail is observable).
         std::vector<ValidRecord> records;
         for (std::uint32_t b = 0; b < buckets; ++b) {
             if (!((vec[b / 8] >> (b % 8)) & 1))
@@ -89,12 +102,23 @@ RecoveryManager::recoverMc(DataImage &nvm, McId mc) const
             for (std::uint32_t r = 0; r < _amap.recordsPerBucket();
                  ++r) {
                 const Addr base = _amap.recordBase(mc, b, r);
-                auto hdr = LogRecordHeader::fromLine(nvm.readLine(base));
-                if (!hdr || hdr->ausId != a)
+                const auto parsed =
+                    LogRecordHeader::parse(nvm.readLine(base));
+                if (parsed.torn) {
+                    ++report.tornRecords;
+                    if (stats != nullptr) {
+                        stats->counter("logm" + std::to_string(mc),
+                                       "torn_records").inc();
+                    }
                     continue;
-                if (hdr->seq < txn_start_seq || hdr->seq >= next_seq)
+                }
+                if (!parsed.hdr || parsed.hdr->ausId != a)
                     continue;
-                records.push_back(ValidRecord{hdr->seq, *hdr, base});
+                if (parsed.hdr->seq < txn_start_seq ||
+                    parsed.hdr->seq >= next_seq)
+                    continue;
+                records.push_back(
+                    ValidRecord{parsed.hdr->seq, *parsed.hdr, base});
             }
         }
 
@@ -106,6 +130,30 @@ RecoveryManager::recoverMc(DataImage &nvm, McId mc) const
                       return x.seq > y.seq;
                   });
         for (const auto &rec : records) {
+            if (budget == 0) {
+                // The crash-during-recovery budget expired: this
+                // record is the one recovery was applying when the
+                // second power failure hit. Under tornWrites its
+                // restoring writes commit only a seeded word prefix,
+                // modelling the device catching them in flight.
+                report.interrupted = true;
+                if (opts.tornWrites) {
+                    for (int e = int(rec.hdr.count) - 1; e >= 0; --e) {
+                        const Addr line_addr = rec.hdr.addrs[e];
+                        const Addr data_addr =
+                            rec.base + Addr(e + 1) * kLineBytes;
+                        const std::uint32_t words = tornWordCount(
+                            opts.faultSeed, mc, line_addr,
+                            (std::uint64_t(rec.seq) << 8) |
+                                std::uint64_t(e));
+                        nvm.writeLineWords(line_addr,
+                                           nvm.readLine(data_addr),
+                                           words);
+                    }
+                }
+                return report;
+            }
+            --budget;
             ++report.recordsApplied;
             for (int e = int(rec.hdr.count) - 1; e >= 0; --e) {
                 const Addr line_addr = rec.hdr.addrs[e];
@@ -125,10 +173,11 @@ RedoRecovery::RedoRecovery(const SystemConfig &cfg, const AddressMap &amap)
 }
 
 RecoveryReport
-RedoRecovery::recover(DataImage &nvm) const
+RedoRecovery::recover(DataImage &nvm, const RecoveryOptions &opts) const
 {
     RecoveryReport report;
     report.criticalStateFound = true;
+    std::uint32_t budget = opts.maxApplications;
 
     struct PendingEntry
     {
@@ -180,7 +229,6 @@ RedoRecovery::recover(DataImage &nvm) const
             want[key] = redo_format::commitMcMask(word);
         });
     }
-
     for (McId mc = 0; mc < _cfg.numMemCtrls; ++mc) {
         // Pass 2: per core, entries accumulate until that core's next
         // commit slot; globally-committed markers make them
@@ -206,11 +254,26 @@ RedoRecovery::recover(DataImage &nvm) const
             pending[core].clear();
         });
 
-        for (const auto &e : applicable) {
+        for (std::size_t i = 0; i < applicable.size(); ++i) {
+            const auto &e = applicable[i];
+            if (budget == 0) {
+                // Second crash mid-replay: under tornWrites the
+                // interrupting entry's write commits a word prefix.
+                report.interrupted = true;
+                if (opts.tornWrites) {
+                    const std::uint32_t words = tornWordCount(
+                        opts.faultSeed, mc, e.line,
+                        std::uint64_t(i));
+                    nvm.writeLineWords(e.line, nvm.readLine(e.dataAddr),
+                                       words);
+                }
+                return report;
+            }
+            --budget;
             nvm.writeLine(e.line, nvm.readLine(e.dataAddr));
             ++report.linesRestored;
+            ++report.recordsApplied;
         }
-        report.recordsApplied += std::uint32_t(applicable.size());
     }
     return report;
 }

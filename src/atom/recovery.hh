@@ -25,13 +25,45 @@
 namespace atomsim
 {
 
+class StatSet;
+
 /** What a recovery pass did (reported by the routine). */
 struct RecoveryReport
 {
     std::uint32_t incompleteUpdates = 0;  //!< AUS rolled back
     std::uint32_t recordsApplied = 0;
     std::uint32_t linesRestored = 0;
+    /** Torn record headers the scan recognized and skipped (magic
+     * matched, checksum failed: a header write interrupted by the
+     * power failure). Also counted into logmN.torn_records when a
+     * StatSet is supplied. */
+    std::uint32_t tornRecords = 0;
+    /** The pass stopped at RecoveryOptions::maxApplications (a
+     * crash-during-recovery experiment, not a completed recovery). */
+    bool interrupted = false;
     bool criticalStateFound = true;
+};
+
+/**
+ * Knobs of the resumable pass structure: recovery applies records in
+ * a deterministic enumeration order and can be stopped after any
+ * number of record applications -- and re-run. Both routines only
+ * ever *read* the log/ADR regions and *write* data lines named by
+ * valid records, so a second pass sees the identical valid-record
+ * set and rewrites every affected line in full: recovery is
+ * idempotent under double failure, even when the interrupting crash
+ * tears recovery's own in-flight writes (tornWrites).
+ */
+struct RecoveryOptions
+{
+    /** Stop after this many record applications (0xffffffff = run
+     * to completion). */
+    std::uint32_t maxApplications = 0xffffffffu;
+    /** When the budget interrupts the pass, apply the interrupting
+     * record with each image write torn at a seeded word boundary:
+     * the second power failure catches recovery's writes in flight. */
+    bool tornWrites = false;
+    std::uint64_t faultSeed = 1;
 };
 
 /** Undo recovery for the ATOM / BASE designs. */
@@ -45,11 +77,17 @@ class RecoveryManager
      * Records apply newest-first (descending sequence; entries within
      * a record in reverse), so a line logged more than once ends at
      * its pre-update value.
+     *
+     * @param stats when given, torn headers bump logmN.torn_records.
      */
-    RecoveryReport recover(DataImage &nvm) const;
+    RecoveryReport recover(DataImage &nvm,
+                           const RecoveryOptions &opts = RecoveryOptions{},
+                           StatSet *stats = nullptr) const;
 
   private:
-    RecoveryReport recoverMc(DataImage &nvm, McId mc) const;
+    RecoveryReport recoverMc(DataImage &nvm, McId mc,
+                             const RecoveryOptions &opts,
+                             std::uint32_t &budget, StatSet *stats) const;
 
     const SystemConfig &_cfg;
     const AddressMap &_amap;
@@ -63,9 +101,12 @@ class RedoRecovery
 
     /**
      * Reapply, in log order, every entry belonging to a committed
-     * update; entries of uncommitted updates are discarded.
+     * update; entries of uncommitted updates are discarded. The
+     * budget counts applied entries (REDO's unit of application).
      */
-    RecoveryReport recover(DataImage &nvm) const;
+    RecoveryReport
+    recover(DataImage &nvm,
+            const RecoveryOptions &opts = RecoveryOptions{}) const;
 
   private:
     const SystemConfig &_cfg;

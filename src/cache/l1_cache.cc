@@ -467,7 +467,13 @@ L1Cache::finishStore(PendingStore *ps)
         }
         if (mode == StoreLogger::Mode::Redo && _logger->inAtomic(_core)) {
             _statLogRequests.inc();
-            _logger->onStore(_core, lineAlign(ps->addr),
+            // The frame holds write permission right now, so its data
+            // is the line's coherent pre-store image -- the logger
+            // captures it here (merging the store's bytes) rather
+            // than chasing the line through the hierarchy later.
+            _logger->onStore(_core, lineAlign(ps->addr), frame->data,
+                             std::uint32_t(ps->addr - frame->tag),
+                             ps->bytes.data(), ps->size,
                              [this, ps, epoch = _epoch] {
                                  if (epoch == _epoch)
                                      applyStore(ps, false);

@@ -92,10 +92,20 @@ class StoreLogger
                               CacheCallback done) = 0;
 
     /**
-     * REDO: every store produces a redo entry. Call @p done once the
-     * entry is accepted (possibly stalling on a full combine buffer).
+     * REDO: every store produces a redo entry. @p pre is the line's
+     * current (pre-store) content and @p off / @p bytes / @p size the
+     * store's payload within it: the logger owns the entry's data from
+     * this moment (pre-image plus merged store bytes) instead of
+     * re-reading the cache hierarchy at drain time -- a drain-time
+     * read races in-transit copies (an L1 writeback or an L2 eviction
+     * recall holds the only fresh bytes in a mesh packet or a
+     * split-phase round, and every array then serves a stale copy).
+     * Call @p done once the entry is accepted (possibly stalling on a
+     * full combine buffer). @p bytes is only valid during the call.
      */
-    virtual void onStore(CoreId core, Addr addr, CacheCallback done) = 0;
+    virtual void onStore(CoreId core, Addr addr, const Line &pre,
+                         std::uint32_t off, const std::uint8_t *bytes,
+                         std::uint32_t size, CacheCallback done) = 0;
 };
 
 /** One private L1 data cache. */

@@ -1,5 +1,6 @@
 #include "designs/redo_engine.hh"
 
+#include <array>
 #include <cstring>
 
 #include "sim/logging.hh"
@@ -104,18 +105,21 @@ RedoEngine::beginTxn(CoreId core)
 }
 
 void
-RedoEngine::onStore(CoreId core, Addr addr, CacheCallback done)
+RedoEngine::onStore(CoreId core, Addr addr, const Line &pre,
+                    std::uint32_t off, const std::uint8_t *bytes,
+                    std::uint32_t size, CacheCallback done)
 {
     CoreState &cs = _cores[core];
     panic_if(!cs.active, "redo store outside a txn");
     const Addr line = lineAlign(addr);
 
-    // Write combining: a store to a line already buffered just renews
-    // that entry (its data is refreshed at drain time).
+    // Write combining: a store to a line already buffered merges its
+    // bytes into that entry's image and renews the entry.
     for (auto &e : cs.wcb) {
         if (e.line == line) {
             _statCombined.inc();
-            e.readyAt = _eq.now() + 2;  // snapshot after this store too
+            std::memcpy(e.data.data() + off, bytes, size);
+            e.readyAt = _eq.now() + 2;  // drain after this store too
             _eq.postIn(1, std::move(done));
             return;
         }
@@ -123,20 +127,30 @@ RedoEngine::onStore(CoreId core, Addr addr, CacheCallback done)
 
     if (cs.wcb.size() >= _cfg.redoCombineEntries) {
         // Buffer full: the store stalls until the drain frees a slot.
-        // This is REDO's bandwidth back-pressure path.
+        // This is REDO's bandwidth back-pressure path. The payload is
+        // copied: @p bytes only lives for the duration of this call.
+        // The captured pre-image stays fresh across the stall -- any
+        // same-line store issued meanwhile parks behind this one (the
+        // buffer is still full) and merges once this entry exists.
+        std::array<std::uint8_t, kLineBytes> payload{};
+        std::memcpy(payload.data(), bytes, size);
         cs.fullWaiters.push_back(
-            [this, core, addr, done = std::move(done)]() mutable {
-                onStore(core, addr, std::move(done));
+            [this, core, addr, pre, off, payload, size,
+             done = std::move(done)]() mutable {
+                onStore(core, addr, pre, off, payload.data(), size,
+                        std::move(done));
             });
         return;
     }
 
-    cs.wcb.push_back(WcbEntry{line, Line{}, _eq.now() + 2});
+    WcbEntry entry{line, pre, _eq.now() + 2};
+    std::memcpy(entry.data.data() + off, bytes, size);
+    cs.wcb.push_back(std::move(entry));
     _eq.postIn(1, std::move(done));
     if (!cs.draining) {
         cs.draining = true;
-        // Start draining after the store has applied to the cache so
-        // the snapshot sees the newest value.
+        // Drain pacing matches the old snapshot-at-drain timing: the
+        // first entry issues only after its store applied.
         _eq.scheduleIn(*_drainEvents[core], 2);
     }
 }
@@ -163,11 +177,11 @@ RedoEngine::drainWcb(CoreId core)
 
     WcbEntry entry = std::move(cs.wcb.front());
     cs.wcb.pop_front();
-    // Snapshot the newest coherent value of the line at drain time;
-    // the data travels with the log write while the cache keeps its
-    // dirty copy (which must never spill to NVM -- victim cache).
-    if (_snapshot)
-        entry.data = _snapshot(core, entry.line);
+    // The entry's image was assembled store by store at logging time
+    // (pre-image + merged bytes), so it is the line's newest value no
+    // matter where the cache copy currently is; the data travels with
+    // the log write while the hierarchy keeps its dirty copy (which
+    // must never spill to NVM -- victim cache).
     _statEntries.inc();
 
     if (!cs.fullWaiters.empty()) {

@@ -58,7 +58,9 @@ class RedoEngine : public StoreLogger
     bool inAtomic(CoreId core) const override;
     void onFirstWrite(CoreId, Addr, const Line &,
                       CacheCallback) override;
-    void onStore(CoreId core, Addr addr, CacheCallback done) override;
+    void onStore(CoreId core, Addr addr, const Line &pre,
+                 std::uint32_t off, const std::uint8_t *bytes,
+                 std::uint32_t size, CacheCallback done) override;
 
     // --- Transaction lifecycle ------------------------------------------
 
@@ -74,17 +76,6 @@ class RedoEngine : public StoreLogger
     /** The shared infinite victim cache (wired into the L2 tiles). */
     VictimCache &victimCache() { return _victims; }
 
-    /**
-     * Install the line-snapshot function: returns the current coherent
-     * value of a line (L1 -> L2 -> victim cache -> NVM). The engine
-     * snapshots entry data at drain time, after the store has applied.
-     */
-    void
-    setSnapshot(std::function<Line(CoreId, Addr)> snapshot)
-    {
-        _snapshot = std::move(snapshot);
-    }
-
     /** Entries still waiting for in-place application (tests). */
     std::size_t backlog() const;
 
@@ -92,13 +83,18 @@ class RedoEngine : public StoreLogger
     void powerFail();
 
   private:
-    /** One pending redo entry (newest value of a line). */
+    /** One pending redo entry (newest value of a line). The data is
+     * owned by the buffer from onStore time -- the line's pre-store
+     * image with every combined store's bytes merged in -- so the
+     * drain never re-reads the cache hierarchy (which races the
+     * line's in-transit copies; see StoreLogger::onStore). */
     struct WcbEntry
     {
         Addr line;
         Line data;
         /** Earliest tick the entry may drain: the triggering store
-         * must have applied to the cache before the snapshot. */
+         * must have applied to the cache first (drain pacing keeps
+         * the engine's log-issue timing store-accurate). */
         Tick readyAt = 0;
     };
 
@@ -109,9 +105,10 @@ class RedoEngine : public StoreLogger
         std::uint64_t txnSeq = 0;
         std::deque<WcbEntry> wcb;
         bool draining = false;
-        /** Stores stalled on a full combine buffer; the retry holds
-         * the store's 48-byte completion inline. */
-        std::deque<InplaceCallback<88>> fullWaiters;
+        /** Stores stalled on a full combine buffer; the retry
+         * captures the store's pre-image and payload by value (plus
+         * the completion), hence the width. */
+        std::deque<InplaceCallback<240>> fullWaiters;
         std::function<void()> commitWaiter;
         std::uint32_t entriesInFlight = 0;
         /** Controllers this update logged at (commit slots go to each
@@ -168,7 +165,6 @@ class RedoEngine : public StoreLogger
      * drain step pending per core; see CoreState::draining). */
     std::vector<std::unique_ptr<TickEvent>> _drainEvents;
     VictimCache _victims;
-    std::function<Line(CoreId, Addr)> _snapshot;
 
     Counter &_statEntries;
     Counter &_statCombined;

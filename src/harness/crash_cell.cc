@@ -63,12 +63,20 @@ CrashCell::id() const
 {
     char buf[160];
     std::snprintf(buf, sizeof(buf),
-                  "%s:%s:f%d:c%u:l%ux%u:e%u:i%u:t%u:h%d:s%llu",
+                  "%s:%s:f%d:c%u:l%ux%u:e%u:i%u:t%u:h%u:s%llu",
                   workload.c_str(), designToken(design),
                   int(fraction * 100.0 + 0.5), cores, l2TileKb, l2Assoc,
-                  entryBytes, initialItems, txnsPerCore, hybrid ? 1 : 0,
+                  entryBytes, initialItems, txnsPerCore, hybrid,
                   (unsigned long long)seed);
     std::string s = buf;
+    // Fault axes append only when enabled, in canonical w < m < r
+    // order, so every pre-fault-model ID stays its own canonical form.
+    if (tornWords != 0)
+        s += ":w" + std::to_string(tornWords);
+    if (mediaRate != 0)
+        s += ":m" + std::to_string(mediaRate);
+    if (recoverPct != 0)
+        s += ":r" + std::to_string(recoverPct);
     if (crashTick != 0) {
         std::snprintf(buf, sizeof(buf), ":k%llu",
                       (unsigned long long)crashTick);
@@ -91,7 +99,7 @@ CrashCell::parse(const std::string &id)
         tok.push_back(id.substr(start, colon - start));
         start = colon + 1;
     }
-    if (tok.size() < 10 || tok.size() > 11)
+    if (tok.size() < 10 || tok.size() > 14)
         return std::nullopt;
 
     CrashCell cell;
@@ -110,7 +118,7 @@ CrashCell::parse(const std::string &id)
         !parseField(tok[5], 'e', entry) || entry == 0 || entry % 8 ||
         !parseField(tok[6], 'i', items) ||
         !parseField(tok[7], 't', txns) || txns == 0 ||
-        !parseField(tok[8], 'h', hyb) || hyb > 1 ||
+        !parseField(tok[8], 'h', hyb) || hyb > 3 ||
         !parseField(tok[9], 's', seed)) {
         return std::nullopt;
     }
@@ -123,12 +131,42 @@ CrashCell::parse(const std::string &id)
         !parseField("x" + tok[4].substr(x + 1), 'x', assoc) || !assoc) {
         return std::nullopt;
     }
-    if (tok.size() == 11) {
+
+    // Optional tail tokens in canonical w < m < r < k order, each at
+    // most once. A zero value never round-trips (id() omits the
+    // token), so zeros are malformed, like k0.
+    std::size_t next = 10;
+    std::uint64_t torn = 0, media = 0, rpct = 0;
+    if (next < tok.size() && parseField(tok[next], 'w', torn)) {
+        if (torn != 1)
+            return std::nullopt;
+        ++next;
+    }
+    if (next < tok.size() && parseField(tok[next], 'm', media)) {
+        if (media == 0 || media > 65536)
+            return std::nullopt;
+        ++next;
+    }
+    if (next < tok.size() && parseField(tok[next], 'r', rpct)) {
+        if (rpct == 0 || rpct > 100)
+            return std::nullopt;
+        ++next;
+    }
+    if (next < tok.size()) {
         std::uint64_t tick = 0;
-        if (!parseField(tok[10], 'k', tick) || tick == 0)
+        if (!parseField(tok[next], 'k', tick) || tick == 0)
             return std::nullopt;
         cell.crashTick = tick;
+        ++next;
     }
+    if (next != tok.size())
+        return std::nullopt;
+
+    // The REDO comparator's frame stream has no torn-write detector
+    // (its meta line is magic + count + raw slot words); torn-write
+    // cells are only meaningful for the checksummed undo designs.
+    if (torn != 0 && cell.design == DesignKind::Redo)
+        return std::nullopt;
 
     cell.fraction = double(pct) / 100.0;
     cell.cores = std::uint32_t(cores);
@@ -137,8 +175,11 @@ CrashCell::parse(const std::string &id)
     cell.entryBytes = std::uint32_t(entry);
     cell.initialItems = std::uint32_t(items);
     cell.txnsPerCore = std::uint32_t(txns);
-    cell.hybrid = hyb != 0;
+    cell.hybrid = std::uint32_t(hyb);
     cell.seed = seed;
+    cell.tornWords = std::uint32_t(torn);
+    cell.mediaRate = std::uint32_t(media);
+    cell.recoverPct = std::uint32_t(rpct);
     return cell;
 }
 
@@ -154,17 +195,25 @@ CrashCell::config() const
     cfg.l2TileBytes = l2TileKb * 1024;
     cfg.l2Assoc = l2Assoc;
     // The machine seed stays at its default: the cell seed drives the
-    // workload and the crash jitter, so a cell ID replays a bug report
-    // (which quotes runUntilCrash(fraction, seed) on a stock machine)
-    // verbatim.
-    if (hybrid) {
-        cfg.hybridMode = HybridMode::MemoryMode;
+    // workload, the crash jitter AND the fault-injection hashes, so a
+    // cell ID replays a bug report on a stock machine verbatim.
+    if (hybrid != 0) {
         // Keep the volatile tier small: with the default 16 MB per MC
         // the whole working set lives in DRAM, every dangerous
         // writeback is absorbed, and the NVM crash path under test is
         // never exercised.
+        cfg.hybridMode =
+            hybrid == 1 ? HybridMode::MemoryMode : HybridMode::AppDirect;
+        cfg.appDirectRegion = hybrid == 3 ? AppDirectRegion::DataRegion
+                                          : AppDirectRegion::LogRegion;
         cfg.dramCacheMBPerMc = 1;
     }
+    cfg.tornWrites = tornWords != 0;
+    cfg.mediaErrorPer64k = mediaRate;
+    cfg.faultSeed = seed;
+    // Crash cells always run the sequential kernel (numShards stays 0:
+    // crash injection requires it, and REDO only supports sequential
+    // runs anyway), so every design in the grid is valid here.
     cfg.validate();
     return cfg;
 }
@@ -215,9 +264,28 @@ runCrashCell(const CrashCell &cell)
     out.crashTick = cell.crashTick != 0
                         ? runner.crashAt(cell.crashTick)
                         : runner.runUntilCrash(cell.fraction, cell.seed);
-    out.report = cfg.design == DesignKind::Redo
-                     ? runner.system().recoverRedo()
-                     : runner.system().recover();
+    if (cell.recoverPct > 0) {
+        // Double-failure cell: recovery itself crashes part-way (its
+        // in-flight writes torn when the w axis is also set), then
+        // restarts from scratch.
+        out.report =
+            runner.crashDuringRecovery(double(cell.recoverPct) / 100.0);
+    } else {
+        out.report = cfg.design == DesignKind::Redo
+                         ? runner.system().recoverRedo()
+                         : runner.system().recover();
+    }
+    out.mediaRetries = runner.system().stats().sum("mc", "media_retries");
+    out.hardMediaFaults =
+        std::uint32_t(runner.system().mediaFaults().size());
+    if (cfg.design == DesignKind::NonAtomic) {
+        // Liveness probe: NON-ATOMIC guarantees nothing across a
+        // crash, so there is no consistency to check and no ADR
+        // critical state to find. Reaching this point at all is the
+        // verdict.
+        out.consistent = true;
+        return out;
+    }
     DirectAccessor durable(runner.system().nvmImage());
     out.fault = workload->checkConsistency(durable, cfg.numCores);
     if (out.fault.empty() && !out.report.criticalStateFound)
@@ -313,6 +381,16 @@ shrinkCell(const CrashCell &failing, Tick failTick,
         }
         return changed;
     };
+    // A fault axis shrinks to "off" when the failure reproduces
+    // without it (the bug is then not the fault model's doing).
+    const auto tryZeroAxis = [&](std::uint32_t CrashCell::*axis,
+                                 const char *what) {
+        if (best.*axis == 0)
+            return false;
+        CrashCell cand = best;
+        cand.*axis = 0;
+        return tryShrink(cand, what);
+    };
     for (int round = 0; round < 8; ++round) {
         bool changed = false;
         changed |= shrinkAxis(&CrashCell::cores, 1, 1, "cores");
@@ -321,6 +399,14 @@ shrinkCell(const CrashCell &failing, Tick failTick,
         changed |= shrinkAxis(&CrashCell::initialItems, 1, 1, "items");
         // entryBytes must stay a multiple of 8 (and a word of payload).
         changed |= shrinkAxis(&CrashCell::entryBytes, 64, 8, "entry");
+        // Fault axes: first try dropping each fault entirely, then
+        // (for the rate-like axes) halve toward the weakest setting
+        // that still reproduces.
+        changed |= tryZeroAxis(&CrashCell::tornWords, "torn-off");
+        changed |= tryZeroAxis(&CrashCell::mediaRate, "media-off");
+        changed |= tryZeroAxis(&CrashCell::recoverPct, "rcrash-off");
+        changed |= shrinkAxis(&CrashCell::mediaRate, 1, 1, "media");
+        changed |= shrinkAxis(&CrashCell::recoverPct, 1, 1, "rcrash");
         if (!changed)
             break;
         bisectTick();
@@ -335,6 +421,12 @@ regressionBody(const CrashCell &cell, const std::string &fault)
     name += '_';
     name += designToken(cell.design);
     name += "_s" + std::to_string(cell.seed);
+    if (cell.tornWords != 0)
+        name += "_w" + std::to_string(cell.tornWords);
+    if (cell.mediaRate != 0)
+        name += "_m" + std::to_string(cell.mediaRate);
+    if (cell.recoverPct != 0)
+        name += "_r" + std::to_string(cell.recoverPct);
 
     std::string out;
     out += "// Shrunk by bench/crash_campaign.cc from a failing sweep "

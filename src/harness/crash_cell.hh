@@ -45,17 +45,31 @@ struct CrashCell
     std::uint32_t cores = 4;
     std::uint32_t l2TileKb = 8;    //!< L2 slice capacity in KB
     std::uint32_t l2Assoc = 2;
-    /** Put the volatile DRAM tier (memoryMode, deliberately small:
-     * 1 MB per MC) in front of the NVM channels. */
-    bool hybrid = false;
+    /** Memory organization behind the controllers: 0 = flat NVM,
+     * 1 = memoryMode (volatile DRAM tier, deliberately small: 1 MB
+     * per MC), 2 = appDirect with the log region direct-to-NVM,
+     * 3 = appDirect with the data region direct-to-NVM. */
+    std::uint32_t hybrid = 0;
     std::uint32_t entryBytes = 512;
     std::uint32_t initialItems = 32;
     std::uint32_t txnsPerCore = 10;
     std::uint64_t seed = 62;
+    // Fault-model axes (0 = fault disabled; the ID omits the token).
+    /** 1 = in-flight device writes tear at a seeded word boundary at
+     * power failure (SystemConfig::tornWrites). */
+    std::uint32_t tornWords = 0;
+    /** Per-read media error numerator out of 65536
+     * (SystemConfig::mediaErrorPer64k). */
+    std::uint32_t mediaRate = 0;
+    /** Crash recovery itself after this percent of its record
+     * applications, then restart it (Runner::crashDuringRecovery). */
+    std::uint32_t recoverPct = 0;
 
     /** Compact, order-stable ID, e.g.
-     * "hash:atom:f50:c4:l8x2:e512:i32:t10:h0:s62" (+":k<tick>" when
-     * the crash tick is pinned). parse(id()) round-trips. */
+     * "hash:atom:f50:c4:l8x2:e512:i32:t10:h0:s62" (+":w1" / ":m<rate>"
+     * / ":r<pct>" for each enabled fault axis, +":k<tick>" when the
+     * crash tick is pinned; default-valued fault tokens are omitted so
+     * pre-fault-model IDs stay canonical). parse(id()) round-trips. */
     std::string id() const;
 
     /** Parse an ID back into a cell (nullopt on malformed input). */
@@ -79,14 +93,26 @@ struct CellOutcome
     /** Tick the power failure was injected at. */
     Tick crashTick = 0;
     RecoveryReport report;
+    /** Media read retries during the run (sum of mcN.media_retries):
+     * evidence the m axis actually injected errors. */
+    std::uint64_t mediaRetries = 0;
+    /** Hard media read failures during the run (bounded retry
+     * exhausted); each was surfaced as a MediaFaultRecord, never as
+     * silent corruption, so an injected-error cell stays consistent. */
+    std::uint32_t hardMediaFaults = 0;
     /** Structured checkConsistency diagnostic ("" when consistent). */
     std::string fault;
 };
 
 /**
  * Run one cell end to end: build the system, run to the crash point,
- * cut power, recover from the durable image alone, and check the
- * workload's structural invariants on that image.
+ * cut power, recover from the durable image alone (crashing and
+ * restarting recovery itself when cell.recoverPct > 0), and check the
+ * workload's structural invariants on that image. NON-ATOMIC cells
+ * are liveness probes: the design provides no atomicity, so neither
+ * the consistency checker nor the ADR critical state is expected --
+ * the cell only proves the crash/recover/fault machinery doesn't
+ * wedge or crash the simulator.
  */
 CellOutcome runCrashCell(const CrashCell &cell);
 

@@ -750,4 +750,43 @@ Runner::crashAt(Tick tick)
     return eq.now();
 }
 
+RecoveryReport
+Runner::crashDuringRecovery(double fraction)
+{
+    fatal_if(fraction < 0.0 || fraction > 1.0,
+             "recovery-crash fraction must be in [0, 1]");
+    System &sys = *_system;
+    const SystemConfig &cfg = sys.config();
+    const bool redo = cfg.design == DesignKind::Redo;
+    RecoveryManager undo_mgr(cfg, sys.addressMap());
+    RedoRecovery redo_mgr(cfg, sys.addressMap());
+
+    // Reference pass on a clone: counts the total record applications
+    // a single uninterrupted recovery performs (so the fraction is of
+    // real work, not a guess), without touching the durable image.
+    DataImage probe = sys.nvmImage().clone();
+    const RecoveryReport full = redo ? redo_mgr.recover(probe)
+                                     : undo_mgr.recover(probe);
+
+    // Interrupted pass on the real image: recovery itself crashes
+    // after fraction * N applications, and -- when the fault model
+    // says so -- the second failure tears recovery's own in-flight
+    // writes at a seeded word boundary.
+    RecoveryOptions opts;
+    opts.maxApplications =
+        std::uint32_t(double(full.recordsApplied) * fraction);
+    opts.tornWrites = cfg.tornWrites;
+    opts.faultSeed = cfg.faultSeed;
+    if (redo)
+        sys.recoverRedo(opts);
+    else
+        sys.recover(opts);
+
+    // Restart: a fresh full pass. The log and ADR regions were only
+    // read by the interrupted pass, so this pass sees the identical
+    // valid-record set and rewrites every affected data line in full
+    // -- newest-first undo is idempotent under double failure.
+    return redo ? sys.recoverRedo() : sys.recover();
+}
+
 } // namespace atomsim

@@ -127,6 +127,17 @@ class Runner : public TransactionSource
      */
     Tick crashAt(Tick tick);
 
+    /**
+     * Double-failure experiment (call after a crash, instead of
+     * system().recover()): run recovery, interrupt it after
+     * @p fraction of the record applications a complete pass would
+     * perform -- tearing the in-flight record's writes when
+     * cfg.tornWrites -- then restart recovery from scratch. Returns
+     * the restarted (complete) pass's report. Dispatches to redo
+     * recovery for the REDO design.
+     */
+    RecoveryReport crashDuringRecovery(double fraction);
+
     System &system() { return *_system; }
     Workload &workload() { return _workload; }
     PersistentHeap &heap() { return *_heap; }

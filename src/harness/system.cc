@@ -119,19 +119,6 @@ System::System(const SystemConfig &cfg, Addr data_bytes)
             eq0, _cfg.numCores, _cfg.numCores, _stats);
         _redo = std::make_unique<RedoEngine>(eq0, _cfg, _amap, _mcs,
                                              _stats);
-        _redo->setSnapshot([this](CoreId core, Addr line) -> Line {
-            // Coherent snapshot: L1 -> home L2 -> victim cache -> NVM.
-            if (const CacheLineState *fr = _l1s[core]->array().find(line))
-                return fr->data;
-            const std::uint32_t home = _amap.homeTile(line);
-            if (const CacheLineState *fr = _tiles[home]->array().find(
-                    line)) {
-                return fr->data;
-            }
-            if (const Line *v = _redo->victimCache().find(line))
-                return *v;
-            return _nvm.readLine(line);
-        });
         for (auto &l1 : _l1s)
             l1->setStoreLogger(_redo.get());
         for (auto &tile : _tiles)
@@ -213,17 +200,28 @@ System::powerFail()
 }
 
 RecoveryReport
-System::recover()
+System::recover(const RecoveryOptions &opts)
 {
     RecoveryManager mgr(_cfg, _amap);
-    return mgr.recover(_nvm);
+    return mgr.recover(_nvm, opts, &_stats);
 }
 
 RecoveryReport
-System::recoverRedo()
+System::recoverRedo(const RecoveryOptions &opts)
 {
     RedoRecovery mgr(_cfg, _amap);
-    return mgr.recover(_nvm);
+    return mgr.recover(_nvm, opts);
+}
+
+std::vector<MediaFaultRecord>
+System::mediaFaults() const
+{
+    std::vector<MediaFaultRecord> all;
+    for (const auto &mc : _mcs) {
+        const auto &faults = mc->mediaFaults();
+        all.insert(all.end(), faults.begin(), faults.end());
+    }
+    return all;
 }
 
 } // namespace atomsim

@@ -99,10 +99,14 @@ class System
     void powerFail();
 
     /** Run the undo recovery routine against the NVM image. */
-    RecoveryReport recover();
+    RecoveryReport recover(const RecoveryOptions &opts = RecoveryOptions{});
 
     /** Run the redo recovery routine (REDO design). */
-    RecoveryReport recoverRedo();
+    RecoveryReport
+    recoverRedo(const RecoveryOptions &opts = RecoveryOptions{});
+
+    /** Structured reports of hard media read failures, across MCs. */
+    std::vector<MediaFaultRecord> mediaFaults() const;
 
   private:
     SystemConfig _cfg;

@@ -1,11 +1,26 @@
 #include "mem/memory_controller.hh"
 
 #include <algorithm>
+#include <cstdio>
 
+#include "sim/fault.hh"
 #include "sim/logging.hh"
 
 namespace atomsim
 {
+
+std::string
+MediaFaultRecord::describe() const
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "media hard-fail: mc%u %s read of 0x%llx at tick %llu "
+                  "(%u attempts)",
+                  unsigned(mc), kind == ReadKind::LogRead ? "log" : "demand",
+                  (unsigned long long)addr, (unsigned long long)tick,
+                  attempts);
+    return buf;
+}
 
 MemoryController::MemoryController(McId id, EventQueue &eq,
                                    const SystemConfig &cfg, DataImage &nvm,
@@ -21,10 +36,14 @@ MemoryController::MemoryController(McId id, EventQueue &eq,
       _statWrites(stats.counter(_statName, "data_writes")),
       _statLogWrites(stats.counter(_statName, "log_writes")),
       _statGateBlocks(stats.counter(_statName, "gate_blocks")),
-      _statDramCleanses(stats.counter(_statName, "dram_cleanses"))
+      _statDramCleanses(stats.counter(_statName, "dram_cleanses")),
+      _statMediaRetries(stats.counter(_statName, "media_retries")),
+      _statMediaFail(stats.counter(_statName, "media_fail"))
 {
-    for (std::uint32_t c = 0; c < cfg.channelsPerMc; ++c)
-        _channels.emplace_back(eq, cfg);
+    for (std::uint32_t c = 0; c < cfg.channelsPerMc; ++c) {
+        _channels.emplace_back(
+            eq, cfg, std::uint64_t(id) * cfg.channelsPerMc + c);
+    }
     _chState.resize(cfg.channelsPerMc);
     for (std::uint32_t c = 0; c < cfg.channelsPerMc; ++c) {
         _chState[c].kickEvent = std::make_unique<TickEvent>(
@@ -431,7 +450,23 @@ MemoryController::issueRead(std::uint32_t ch, Request *req)
     Line data = fwd != _inflightWrites.end() ? fwd->second.data
                                              : _nvm.readLine(req->addr);
 
-    const Tick done = _channels[ch].scheduleRead();
+    // Media-error model: a seeded fraction of device read attempts
+    // fail and are retried with bounded backoff; running out of
+    // retries is an uncorrectable error surfaced as a structured
+    // fault record (the stored bytes are still delivered -- detection
+    // is the model, not silent corruption). Rate 0 (default) makes
+    // this exactly the old scheduleRead() timing.
+    const NvmChannel::ReadGrant grant =
+        _channels[ch].scheduleReadFaulty(req->addr);
+    if (grant.retries != 0)
+        _statMediaRetries.inc(grant.retries);
+    if (grant.hardFail) {
+        _statMediaFail.inc();
+        _mediaFaults.push_back(MediaFaultRecord{
+            _id, req->addr, _eq.now(), _cfg.mediaRetryLimit + 1,
+            req->rkind});
+    }
+    const Tick done = grant.ready;
     const std::uint64_t epoch = _epoch;
     ReadCallback cb = std::move(req->rcb);
     releaseReq(req);
@@ -451,11 +486,23 @@ MemoryController::issueWrite(std::uint32_t ch, Request *req)
     // path (Section V); it is folded into the device write here.
     const Tick done = _channels[ch].scheduleWrite() +
                       (isGated(req->wkind) ? _cfg.mcAddrMatchLatency : 0);
+    // Under the torn-write model the controller remembers what is in
+    // flight at the device: powerFail consumes this list to commit a
+    // word-aligned prefix of each write (the posted completions alone
+    // cannot tell us -- the epoch bump cancels them first).
+    if (_cfg.tornWrites)
+        _deviceWrites.push_back(req);
     const std::uint64_t epoch = _epoch;
     _eq.post(done, [this, epoch, req] {
         if (epoch != _epoch) {
             releaseReq(req);
             return;
+        }
+        if (_cfg.tornWrites) {
+            const auto dw = std::find(_deviceWrites.begin(),
+                                      _deviceWrites.end(), req);
+            if (dw != _deviceWrites.end())
+                _deviceWrites.erase(dw);
         }
         // Same-line commits land in the durable image in *acceptance*
         // order, not device-completion order: a write-gate park can
@@ -512,6 +559,39 @@ MemoryController::powerFail()
     // lost; epoch bump cancels all scheduled completions (which then
     // just return their pooled nodes).
     ++_epoch;
+
+    // Torn writes: each write in flight at the device commits a
+    // seeded word-aligned prefix of its data (real NVM guarantees
+    // 8-byte atomicity, nothing more), instead of vanishing whole.
+    // Tears land in acceptance order and respect the same-line
+    // staleness rule as completed writes (a parked writeback replayed
+    // behind a newer commit of its line must not resurface, not even
+    // partially). Queued-but-unissued writes never reached the device
+    // and are dropped atomically as before. The tear boundary hashes
+    // only shard-invariant keys, so the post-crash image is identical
+    // across reruns and shard counts.
+    if (_cfg.tornWrites && !_deviceWrites.empty()) {
+        std::sort(_deviceWrites.begin(), _deviceWrites.end(),
+                  [](const Request *a, const Request *b) {
+                      return a->acceptSeq < b->acceptSeq;
+                  });
+        for (Request *req : _deviceWrites) {
+            auto it = _inflightWrites.find(req->addr);
+            const bool stale = it != _inflightWrites.end() &&
+                               req->acceptSeq < it->second.committedSeq;
+            if (stale)
+                continue;
+            const std::uint32_t words = tornWordCount(
+                _cfg.faultSeed, _id, req->addr, req->acceptSeq);
+            _nvm.writeLineWords(req->addr, req->data, words);
+            if (it != _inflightWrites.end())
+                it->second.committedSeq = req->acceptSeq;
+        }
+        // The nodes stay alive: their cancelled completions (epoch
+        // mismatch) release them back to the pool.
+        _deviceWrites.clear();
+    }
+
     for (auto &st : _chState) {
         while (!st.readQ.empty())
             releaseReq(st.readQ.pop_front());

@@ -72,6 +72,27 @@ enum class WriteKind : std::uint8_t
 };
 
 /**
+ * One unrecoverable media read failure: the bounded retries of the
+ * media-error model (SystemConfig::mediaErrorPer64k) ran out. The
+ * controller surfaces these as structured records -- the read still
+ * delivers the stored bytes (the model reports the uncorrectable
+ * error instead of silently corrupting data), so a consumer decides
+ * what a hard fault means for its run.
+ */
+struct MediaFaultRecord
+{
+    McId mc = 0;
+    Addr addr = 0;
+    Tick tick = 0;
+    /** Device attempts consumed (1 initial + mediaRetryLimit). */
+    std::uint32_t attempts = 0;
+    ReadKind kind = ReadKind::Demand;
+
+    /** One-line human-readable rendering for reports and logs. */
+    std::string describe() const;
+};
+
+/**
  * Interface the ATOM LogM implements to enforce log -> data ordering.
  */
 class WriteGate
@@ -157,8 +178,18 @@ class MemoryController
     DramDevice *dramDevice() { return _dramDev.get(); }
 
     /** Drop all queued work (power failure). In-flight writes that have
-     * not completed at the device are lost, matching Section IV-D. */
+     * not completed at the device are lost, matching Section IV-D --
+     * except under SystemConfig::tornWrites, where each write in
+     * flight at the device commits a seeded word-aligned prefix
+     * (NVM's 8-byte atomicity guarantee, nothing more). */
     void powerFail();
+
+    /** Uncorrectable media read failures recorded so far (survives
+     * power failure: the fault report is host-visible state). */
+    const std::vector<MediaFaultRecord> &mediaFaults() const
+    {
+        return _mediaFaults;
+    }
 
     /** Pending write count (tests + REDO backend pacing). */
     std::size_t pendingWrites() const { return _pendingWrites; }
@@ -365,6 +396,15 @@ class MemoryController
     };
     std::unordered_map<Addr, PendingWrite> _inflightWrites;
     std::uint64_t _acceptSeq = 0;  //!< write-acceptance order stamp
+    /** Writes issued to the device but not yet completed, tracked
+     * only under cfg.tornWrites: these are the writes a power
+     * failure tears at a word boundary instead of discarding whole
+     * (the posted completion lambdas alone hide them -- the epoch
+     * bump cancels the completions before they can tell us what was
+     * in flight). */
+    std::vector<Request *> _deviceWrites;
+    /** Uncorrectable media read failures (hard-fail fault report). */
+    std::vector<MediaFaultRecord> _mediaFaults;
     /** Callbacks waiting on line durability. */
     std::unordered_map<Addr, std::vector<WriteCallback>> _durWaiters;
 
@@ -378,6 +418,8 @@ class MemoryController
     Counter &_statLogWrites;
     Counter &_statGateBlocks;
     Counter &_statDramCleanses;
+    Counter &_statMediaRetries;
+    Counter &_statMediaFail;
 };
 
 } // namespace atomsim

@@ -25,13 +25,43 @@ namespace atomsim
 class NvmChannel
 {
   public:
-    NvmChannel(EventQueue &eq, const SystemConfig &cfg);
+    /**
+     * Outcome of one read reservation under the media-error model:
+     * the tick the data is available, how many seeded error retries
+     * the device absorbed first, and whether the bounded retries ran
+     * out (an uncorrectable error the controller must surface).
+     */
+    struct ReadGrant
+    {
+        Tick ready = 0;
+        std::uint32_t retries = 0;
+        bool hardFail = false;
+    };
+
+    /**
+     * @param stream distinguishes this channel's fault-injection
+     *               stream from every other channel's (the owning
+     *               controller passes mc * channelsPerMc + channel).
+     */
+    NvmChannel(EventQueue &eq, const SystemConfig &cfg,
+               std::uint64_t stream = 0);
 
     /**
      * Reserve the channel for one 64-byte read.
      * @return absolute tick at which the data is available.
      */
     Tick scheduleRead();
+
+    /**
+     * Reserve the channel for one 64-byte read of @p addr under the
+     * media-error model (SystemConfig::mediaErrorPer64k). Whether an
+     * attempt fails is a pure function of (faultSeed, stream, addr,
+     * per-channel read index, attempt) -- deterministic across
+     * reruns and shard counts. Each retry re-occupies the channel
+     * and pays mediaRetryBackoff on top of the device latency. With
+     * the rate at 0 (the default) this is exactly scheduleRead().
+     */
+    ReadGrant scheduleReadFaulty(Addr addr);
 
     /**
      * Reserve the channel for one 64-byte write.
@@ -55,6 +85,11 @@ class NvmChannel
     Cycles _transferCycles;
     Cycles _readLatency;
     Cycles _writeLatency;
+    std::uint32_t _errorPer64k;
+    std::uint32_t _retryLimit;
+    Cycles _retryBackoff;
+    std::uint64_t _faultSeed;
+    std::uint64_t _stream;
     Tick _busyUntil = 0;
     std::uint64_t _busyCycles = 0;
     std::uint64_t _reads = 0;

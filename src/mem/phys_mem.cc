@@ -1,5 +1,7 @@
 #include "mem/phys_mem.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace atomsim
@@ -69,6 +71,16 @@ void
 DataImage::writeLine(Addr addr, const Line &line)
 {
     write(lineAlign(addr), kLineBytes, line.data());
+}
+
+void
+DataImage::writeLineWords(Addr addr, const Line &line, std::uint32_t words)
+{
+    const std::uint32_t capped =
+        std::min<std::uint32_t>(words, kLineBytes / 8);
+    if (capped == 0)
+        return;
+    write(lineAlign(addr), std::size_t(capped) * 8, line.data());
 }
 
 DataImage

@@ -61,6 +61,16 @@ class DataImage
     /** Write one 64-byte line at the line containing @p addr. */
     void writeLine(Addr addr, const Line &line);
 
+    /**
+     * Word-granular commit: write only the first @p words 8-byte
+     * words of @p line, leaving the tail of the stored line as it
+     * was. This is the torn-write primitive -- NVM guarantees only
+     * 8-byte atomicity, so a line write interrupted by power failure
+     * lands as a word-aligned prefix. @p words is clamped to the 8
+     * words of a line; 0 is a no-op, 8 equals writeLine.
+     */
+    void writeLineWords(Addr addr, const Line &line, std::uint32_t words);
+
     /** Convenience scalar accessors. */
     std::uint64_t
     load64(Addr addr) const

@@ -131,6 +131,10 @@ SystemConfig::validate() const
     fatal_if(bucketsPerMc == 0, "bucketsPerMc must be > 0");
     fatal_if(ausPerMc == 0, "ausPerMc must be > 0");
     fatal_if(meshRows == 0, "meshRows must be > 0");
+    fatal_if(mediaErrorPer64k > 65536,
+             "mediaErrorPer64k is a rate out of 65536");
+    fatal_if(mediaRetryLimit > 64,
+             "mediaRetryLimit > 64 is a livelock, not a retry policy");
     fatal_if(wheelBuckets < 64 ||
                  (wheelBuckets & (wheelBuckets - 1)) != 0,
              "wheelBuckets must be a power of two >= 64");

@@ -293,6 +293,40 @@ struct SystemConfig
      */
     std::uint32_t wheelBuckets = 4096;
 
+    // --- Fault model (src/sim/fault.hh; defaults all off) ------------
+    /**
+     * Torn writes: at power failure, each write in flight at the NVM
+     * device commits a seeded word-aligned *prefix* (0..8 of its
+     * 8-byte words) instead of committing or vanishing atomically --
+     * real NVM guarantees only 8-byte write atomicity. Off (the
+     * default) keeps the gentle atomic model and every golden
+     * byte-identical. The tear boundary of each write is a pure
+     * function of (faultSeed, controller, address, acceptance
+     * sequence), so it is identical across reruns and shard counts.
+     */
+    bool tornWrites = false;
+    /**
+     * Media errors: expected failed NVM read attempts per 65536
+     * (0 = off, 65536 = every attempt fails). A failed attempt is
+     * retried after mediaRetryBackoff extra device cycles, up to
+     * mediaRetryLimit retries; exhausting the retries surfaces a
+     * structured MediaFaultRecord on the controller (the data is
+     * still delivered -- the model reports the uncorrectable error
+     * instead of silently corrupting the line).
+     */
+    std::uint32_t mediaErrorPer64k = 0;
+    /** Bounded retries after a failed read attempt. */
+    std::uint32_t mediaRetryLimit = 3;
+    /** Extra device backoff per media-error retry, in cycles. */
+    Cycles mediaRetryBackoff = 100;
+    /**
+     * Seed of the fault-injection streams (torn-write boundaries,
+     * media errors, recovery-crash tears). Deliberately separate from
+     * the workload seed so the same workload can be swept across
+     * fault patterns.
+     */
+    std::uint64_t faultSeed = 1;
+
     // --- Design under test -------------------------------------------
     DesignKind design = DesignKind::AtomOpt;
 

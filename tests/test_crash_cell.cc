@@ -81,7 +81,7 @@ TEST(CrashCellTest, ParseRejectsMalformedIds)
         CrashCell::parse("hash:atom:f50:c4:l8x2:e513:i32:t10:h0:s62")
             .has_value());
     EXPECT_FALSE(
-        CrashCell::parse("hash:atom:f50:c4:l8x2:e512:i32:t10:h2:s62")
+        CrashCell::parse("hash:atom:f50:c4:l8x2:e512:i32:t10:h4:s62")
             .has_value());
     // Trailing garbage.
     EXPECT_FALSE(
@@ -90,6 +90,86 @@ TEST(CrashCellTest, ParseRejectsMalformedIds)
     EXPECT_FALSE(
         CrashCell::parse(
             "hash:atom:f50:c4:l8x2:e512:i32:t10:h0:s62:k1:k2")
+            .has_value());
+}
+
+TEST(CrashCellTest, FaultAxesRoundTrip)
+{
+    CrashCell cell;
+    cell.workload = "hash";
+    cell.design = DesignKind::Atom;
+    cell.tornWords = 1;
+    cell.mediaRate = 200;
+    cell.recoverPct = 50;
+
+    // Fault tokens append in canonical w < m < r order, before :k.
+    EXPECT_EQ(cell.id(),
+              "hash:atom:f50:c4:l8x2:e512:i32:t10:h0:s62:w1:m200:r50");
+    auto parsed = CrashCell::parse(cell.id());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->tornWords, 1u);
+    EXPECT_EQ(parsed->mediaRate, 200u);
+    EXPECT_EQ(parsed->recoverPct, 50u);
+    EXPECT_EQ(parsed->id(), cell.id());
+
+    // Each axis round-trips alone, and alongside a pinned tick.
+    cell.tornWords = 0;
+    cell.mediaRate = 0;
+    cell.crashTick = 1234;
+    EXPECT_EQ(cell.id(),
+              "hash:atom:f50:c4:l8x2:e512:i32:t10:h0:s62:r50:k1234");
+    parsed = CrashCell::parse(cell.id());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->tornWords, 0u);
+    EXPECT_EQ(parsed->mediaRate, 0u);
+    EXPECT_EQ(parsed->recoverPct, 50u);
+    EXPECT_EQ(parsed->crashTick, Tick(1234));
+    EXPECT_EQ(parsed->id(), cell.id());
+
+    // All-defaults cells keep the pre-fault-model canonical form:
+    // no w/m/r tokens at all.
+    CrashCell plain;
+    EXPECT_EQ(plain.id(), "hash:atom:f50:c4:l8x2:e512:i32:t10:h0:s62");
+    parsed = CrashCell::parse(plain.id());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->id(), plain.id());
+
+    // The extended h axis (appDirect placements) round-trips.
+    for (std::uint32_t h : {2u, 3u}) {
+        CrashCell hy;
+        hy.hybrid = h;
+        const auto back = CrashCell::parse(hy.id());
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(back->hybrid, h);
+        EXPECT_EQ(back->id(), hy.id());
+    }
+}
+
+TEST(CrashCellTest, ParseRejectsMalformedFaultAxes)
+{
+    const std::string base = "hash:atom:f50:c4:l8x2:e512:i32:t10:h0:s62";
+    // Zero-valued fault tokens never round-trip (id() omits them).
+    EXPECT_FALSE(CrashCell::parse(base + ":w0").has_value());
+    EXPECT_FALSE(CrashCell::parse(base + ":m0").has_value());
+    EXPECT_FALSE(CrashCell::parse(base + ":r0").has_value());
+    // Out of range.
+    EXPECT_FALSE(CrashCell::parse(base + ":w2").has_value());
+    EXPECT_FALSE(CrashCell::parse(base + ":m65537").has_value());
+    EXPECT_FALSE(CrashCell::parse(base + ":r101").has_value());
+    // Non-canonical order and duplicates.
+    EXPECT_FALSE(CrashCell::parse(base + ":m200:w1").has_value());
+    EXPECT_FALSE(CrashCell::parse(base + ":r50:w1").has_value());
+    EXPECT_FALSE(CrashCell::parse(base + ":w1:w1").has_value());
+    EXPECT_FALSE(CrashCell::parse(base + ":k10:w1").has_value());
+    // REDO has no torn-write detector in its frame stream; torn
+    // cells are undo-design-only.
+    EXPECT_FALSE(
+        CrashCell::parse("hash:redo:f50:c4:l8x2:e512:i32:t10:h0:s62:w1")
+            .has_value());
+    // ... but the other fault axes are fine for REDO.
+    EXPECT_TRUE(
+        CrashCell::parse(
+            "hash:redo:f50:c4:l8x2:e512:i32:t10:h0:s62:m200:r50")
             .has_value());
 }
 

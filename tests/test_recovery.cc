@@ -261,6 +261,67 @@ TEST(CampaignRegressionTest, sdg_base_s61)
     EXPECT_EQ(out.fault, "");
 }
 
+// The third campaign find (15 sdg:redo cells after the grid widened
+// to the REDO design): the write-combining buffer recorded only the
+// stored line's *address* and re-read its data from the cache
+// hierarchy at drain time. During a split-phase L2-eviction recall
+// round the only fresh copy of a line rides the round's mesh packets
+// -- the L1 has surrendered it, the L2 frame is not merged until the
+// round completes -- so the drain logged a stale image; replayed
+// last, it finalized stale data (sdg's counter line lost an edge
+// increment). Fixed by capturing the coherent pre-store image at
+// onStore time and assembling the entry store by store: the buffer
+// owns its data and the drain never re-reads the caches
+// (designs/redo_engine.cc, cache/l1_cache.cc).
+//
+// Shrunk by bench/crash_campaign.cc from a failing sweep cell. Fault was:
+//   global edge count disagrees with the lists: core=2 count=4 lists=5
+TEST(CampaignRegressionTest, sdg_redo_s60)
+{
+    const auto cell = CrashCell::parse(
+        "sdg:redo:f50:c4:l1x2:e904:i3:t2:h0:s60:k32153");
+    ASSERT_TRUE(cell.has_value());
+    const CellOutcome out = runCrashCell(*cell);
+    EXPECT_TRUE(out.report.criticalStateFound);
+    EXPECT_EQ(out.fault, "");
+}
+
+// Shrunk by bench/crash_campaign.cc from a failing sweep cell. Fault was:
+//   global edge count disagrees with the lists: core=3 count=5 lists=6
+TEST(CampaignRegressionTest, sdg_redo_s63)
+{
+    const auto cell = CrashCell::parse(
+        "sdg:redo:f50:c4:l2x2:e992:i4:t3:h0:s63:k55090");
+    ASSERT_TRUE(cell.has_value());
+    const CellOutcome out = runCrashCell(*cell);
+    EXPECT_TRUE(out.report.criticalStateFound);
+    EXPECT_EQ(out.fault, "");
+}
+
+// The same stale-drain bug through the hybrid-memory shapes (the
+// recall-round race is upstream of the controllers, so every memory
+// organization reproduced it): memoryMode and appDirect/data-direct
+// shrunk cells.
+TEST(CampaignRegressionTest, sdg_redo_s64_h1)
+{
+    const auto cell = CrashCell::parse(
+        "sdg:redo:f50:c4:l4x2:e504:i32:t5:h1:s64:k51616");
+    ASSERT_TRUE(cell.has_value());
+    const CellOutcome out = runCrashCell(*cell);
+    EXPECT_TRUE(out.report.criticalStateFound);
+    EXPECT_EQ(out.fault, "");
+}
+
+TEST(CampaignRegressionTest, sdg_redo_s64_h3)
+{
+    const auto cell = CrashCell::parse(
+        "sdg:redo:f50:c4:l8x2:e512:i32:t5:h3:s64:k52441");
+    ASSERT_TRUE(cell.has_value());
+    const CellOutcome out = runCrashCell(*cell);
+    EXPECT_TRUE(out.report.criticalStateFound);
+    EXPECT_EQ(out.fault, "");
+}
+
 TEST(CrashRecoveryTest, RecoveryIsIdempotent)
 {
     MicroParams params;
@@ -685,6 +746,164 @@ TEST(HybridCrashTest, DirtyDramLinesAreLostAndNvmBytesSurvive)
     EXPECT_TRUE(report.criticalStateFound);
     DirectAccessor durable(sys.nvmImage());
     EXPECT_EQ(workload.checkConsistency(durable, cfg.numCores), "");
+}
+
+// --- Injected-fault recovery -------------------------------------------
+//
+// The fault model (sim/fault.hh): power failure tears in-flight
+// device writes at a seeded word boundary (cfg.tornWrites), and a
+// second failure can interrupt recovery itself, tearing *recovery's*
+// writes (Runner::crashDuringRecovery). Both are pure functions of
+// the fault seed and shard-invariant keys, so every outcome below is
+// replayable.
+
+namespace
+{
+
+struct TornOutcome
+{
+    Tick crash_tick = 0;
+    RecoveryReport report;
+    std::uint64_t image_hash = 0;
+    std::string fault;
+};
+
+/** Crash under torn device writes at @p tick (0 = fraction 0.5 with
+ * @p seed jitter), recover fully, hash + consistency-check the image. */
+TornOutcome
+tornCrashAndRecover(DesignKind design, std::uint64_t seed,
+                    Tick tick = 0)
+{
+    SystemConfig cfg = crashConfig(design);
+    cfg.tornWrites = true;
+    cfg.faultSeed = seed;
+    cfg.seed = seed;
+    cfg.l2TileBytes = 8 * 1024;  // split-phase evictions keep the
+    cfg.l2Assoc = 2;             // write queues busy at the crash
+    MicroParams params;
+    params.entryBytes = 512;
+    params.initialItems = 32;
+    params.txnsPerCore = 10;
+    params.seed = seed;
+    HashWorkload workload(params);
+
+    Runner runner(cfg, workload, params.txnsPerCore,
+                  Addr(64) * 1024 * 1024);
+    runner.setUp();
+    TornOutcome out;
+    out.crash_tick = tick ? runner.crashAt(tick)
+                          : runner.runUntilCrash(0.5, seed);
+    out.report = design == DesignKind::Redo
+                     ? runner.system().recoverRedo()
+                     : runner.system().recover();
+    out.image_hash = imageHash(runner.system().nvmImage(), kPageBytes,
+                               Addr(2) * 1024 * 1024);
+    DirectAccessor durable(runner.system().nvmImage());
+    out.fault = workload.checkConsistency(durable, 4);
+    return out;
+}
+
+} // namespace
+
+TEST(TornWriteCrashTest, TornRecoveryIsDeterministicAndConsistent)
+{
+    // Identical runs under torn writes must recover byte-identical
+    // images (the tear boundaries are seeded, not sampled), and the
+    // recovered image must satisfy the workload invariants: a tear
+    // can only land on lines whose undo records recovery rewrites in
+    // full, or on lines no committed transaction claims.
+    const TornOutcome a = tornCrashAndRecover(DesignKind::AtomOpt, 9);
+    const TornOutcome b = tornCrashAndRecover(DesignKind::AtomOpt, 9);
+    EXPECT_EQ(a.crash_tick, b.crash_tick);
+    EXPECT_EQ(a.image_hash, b.image_hash);
+    EXPECT_EQ(a.report.tornRecords, b.report.tornRecords);
+    EXPECT_EQ(a.fault, "");
+    EXPECT_EQ(b.fault, "");
+
+    // A different fault seed tears at different boundaries but must
+    // recover just as consistently.
+    const TornOutcome c = tornCrashAndRecover(DesignKind::AtomOpt, 10);
+    EXPECT_EQ(c.fault, "");
+}
+
+TEST(TornWriteCrashTest, TornLogTailIsDetectedAndSkipped)
+{
+    // Sweep pinned crash ticks through the mid-run log-write window:
+    // some crash must catch a log-record header in the device write
+    // queue, whose torn prefix then fails the header checksum during
+    // the recovery scan (report.tornRecords). Every such recovery must
+    // still produce a consistent image -- a torn header only ever
+    // costs the record's rollback, never correctness of the scan.
+    const TornOutcome probe =
+        tornCrashAndRecover(DesignKind::AtomOpt, 9);
+    std::uint32_t torn_total = 0;
+    for (int i = -8; i <= 8; ++i) {
+        const Tick tick = probe.crash_tick + Tick(i * 977);
+        const TornOutcome out =
+            tornCrashAndRecover(DesignKind::AtomOpt, 9, tick);
+        EXPECT_EQ(out.fault, "") << "crash tick " << tick;
+        torn_total += out.report.tornRecords;
+    }
+    EXPECT_GT(torn_total, 0u)
+        << "no crash in the sweep tore a log header: widen the sweep";
+}
+
+namespace
+{
+
+/** Reference image of @p design crashing at seed 9 and recovering in
+ * one uninterrupted pass vs. the same crash recovered with a second
+ * failure at @p fraction of the applications (torn recovery writes)
+ * and a restart. */
+void
+expectDoubleFailureMatchesSinglePass(DesignKind design, double fraction)
+{
+    const TornOutcome reference = tornCrashAndRecover(design, 9);
+    ASSERT_EQ(reference.fault, "");
+
+    SystemConfig cfg = crashConfig(design);
+    cfg.tornWrites = true;
+    cfg.faultSeed = 9;
+    cfg.seed = 9;
+    cfg.l2TileBytes = 8 * 1024;
+    cfg.l2Assoc = 2;
+    MicroParams params;
+    params.entryBytes = 512;
+    params.initialItems = 32;
+    params.txnsPerCore = 10;
+    params.seed = 9;
+    HashWorkload workload(params);
+
+    Runner runner(cfg, workload, params.txnsPerCore,
+                  Addr(64) * 1024 * 1024);
+    runner.setUp();
+    const Tick tick = runner.runUntilCrash(0.5, 9);
+    ASSERT_EQ(tick, reference.crash_tick);
+
+    // Crash recovery partway through (tearing its in-flight record's
+    // writes), restart it, and require the final image byte-identical
+    // to the single-pass reference: recovery is restartable because
+    // it only reads the log/ADR regions and rewrites every affected
+    // data line in full on the second pass.
+    const RecoveryReport report = runner.crashDuringRecovery(fraction);
+    EXPECT_FALSE(report.interrupted);
+    EXPECT_EQ(imageHash(runner.system().nvmImage(), kPageBytes,
+                        Addr(2) * 1024 * 1024),
+              reference.image_hash);
+    DirectAccessor durable(runner.system().nvmImage());
+    EXPECT_EQ(workload.checkConsistency(durable, 4), "");
+}
+
+} // namespace
+
+TEST(DoubleFailureTest, UndoRecoveryRestartsToTheSinglePassImage)
+{
+    expectDoubleFailureMatchesSinglePass(DesignKind::AtomOpt, 0.5);
+}
+
+TEST(DoubleFailureTest, RedoRecoveryRestartsToTheSinglePassImage)
+{
+    expectDoubleFailureMatchesSinglePass(DesignKind::Redo, 0.5);
 }
 
 } // namespace
