@@ -103,13 +103,38 @@ const FaultMode kFaultModes[] = {
  * bug shape, the multi-line-tear shape and the hybrid-tier shape. */
 const std::size_t kFaultShapes[] = {0, 4, 5};
 
+/** One memory-system shape of the sweep (the a/n cell axes): AUS
+ * pools per controller and controller counts off the campaign default
+ * of 4x4. A single AUS per MC maximizes undo-slot reuse across the
+ * crash; 8 MCs on a small mesh stack controllers on shared corner
+ * nodes and stripe the log across more devices. */
+struct MemShape
+{
+    std::uint32_t aus, mcs;
+};
+
+const MemShape kMemShapes[] = {
+    {1, 4},  // one AUS per MC: maximal slot churn
+    {2, 4},
+    {8, 4},  // deep pools: crash cuts through more live slots
+    {4, 1},  // one controller carries the whole log
+    {4, 2},
+    {4, 8},  // wide interleave, corner nodes shared
+};
+
+/** Workloads the memory-shape sub-grid runs (focused: the structures
+ * most sensitive to undo-slot pressure, plus the macro workload). */
+const char *kMemShapeWorkloads[] = {"hash", "queue", "tpcc"};
+
 std::vector<CrashCell>
 enumerateCells(const std::vector<std::uint64_t> &seeds)
 {
     std::vector<CrashCell> cells;
     const auto push = [&cells](const Shape &sh, DesignKind design,
                                const char *wl, double fraction,
-                               std::uint64_t seed, const FaultMode &fm) {
+                               std::uint64_t seed, const FaultMode &fm,
+                               std::uint32_t aus = 4,
+                               std::uint32_t mcs = 4) {
         CrashCell cell;
         cell.workload = wl;
         cell.design = design;
@@ -125,6 +150,8 @@ enumerateCells(const std::vector<std::uint64_t> &seeds)
         cell.tornWords = fm.torn;
         cell.mediaRate = fm.media;
         cell.recoverPct = fm.rpct;
+        cell.ausPerMc = aus;
+        cell.numMemCtrls = mcs;
         cells.push_back(cell);
     };
 
@@ -155,6 +182,32 @@ enumerateCells(const std::vector<std::uint64_t> &seeds)
                     for (std::uint64_t seed : seeds)
                         push(kShapes[si], design, wl, 0.5, seed, fm);
                 }
+            }
+        }
+    }
+
+    // TPC-C sub-grid: the macro workload (B+-tree database, multi-row
+    // new-order regions) on every design at the historical bug shape
+    // and the eviction-storm shape. Its database init is heavier than
+    // the micro workloads', so the grid stays focused.
+    for (std::size_t si : {std::size_t(0), std::size_t(7)}) {
+        for (DesignKind design : kDesigns) {
+            for (double fraction : kFractions) {
+                for (std::uint64_t seed : seeds)
+                    push(kShapes[si], design, "tpcc", fraction, seed,
+                         FaultMode{0, 0, 0});
+            }
+        }
+    }
+
+    // Memory-shape sub-grid: each a/n axis point on the historical
+    // bug shape, every design, focused workloads, middle fraction.
+    for (const MemShape &ms : kMemShapes) {
+        for (DesignKind design : kDesigns) {
+            for (const char *wl : kMemShapeWorkloads) {
+                for (std::uint64_t seed : seeds)
+                    push(kShapes[0], design, wl, 0.5, seed,
+                         FaultMode{0, 0, 0}, ms.aus, ms.mcs);
             }
         }
     }

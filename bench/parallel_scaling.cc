@@ -3,7 +3,7 @@
  * Sharded-kernel scaling microbenchmark (plain chrono; no
  * google-benchmark dependency, always builds).
  *
- * Three sections:
+ * Four sections:
  *
  *  1. events/s vs shard count (now up to 8 workers) on the
  *     quickstart-sized, tpcc-sized and full Table-I TPC-C golden
@@ -45,6 +45,11 @@
  *     sequential kernel's -- every mailbox, pool and merge buffer
  *     reaches its high-water mark and is then reused forever. The
  *     binary exits non-zero if sharding allocates per-event.
+ *
+ *  4. a sharded-construction budget at the 1024-tile preset: building
+ *     the full 4-shard System (ShardLayout + chamfer lookahead) must
+ *     finish inside a generous wall budget. The pre-fix dense
+ *     domains x domains window matrix blew it by orders of magnitude.
  */
 
 #include <atomic>
@@ -331,6 +336,50 @@ wheelSection()
     }
 }
 
+/**
+ * Section 4: sharded construction at the 1024-tile preset. The old
+ * ShardLayout/lookahead path materialized a dense domains x domains
+ * window matrix (O(domains^2) fill over ~2k domains plus a per-pair
+ * mesh-distance walk); since the chamfer rework construction is
+ * O(domains + nodes) and must finish far inside a generous wall
+ * budget. Reverting to the dense fill blows the budget by orders of
+ * magnitude, so this doubles as the construction-time regression
+ * gate from the scaling issue.
+ */
+bool
+shardedConstructionSection()
+{
+    std::printf("\n-- sharded construction at the 1024-tile preset --\n");
+    SystemConfig cfg = SystemConfig::makeMeshPreset(1024);
+    cfg.numShards = 4;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    System sys(cfg, Addr(512) * 1024 * 1024);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double build_s = std::chrono::duration<double>(t1 - t0).count();
+
+    std::printf("1024-tile 4-shard System: %u domains, built in "
+                "%.2f s\n", sys.numDomains(), build_s);
+
+    bool ok = true;
+    if (build_s > 30.0) {
+        std::printf("!! sharded 1024-tile construction took %.1f s "
+                    "(> 30 s budget; dense lookahead regression?)\n",
+                    build_s);
+        ok = false;
+    }
+    if (g_jsonOpen) {
+        g_json.beginObject();
+        g_json.kv("section", "sharded_construction");
+        g_json.kv("tiles", 1024u);
+        g_json.kv("shards", cfg.numShards);
+        g_json.kv("domains", sys.numDomains());
+        g_json.kv("build_s", build_s);
+        g_json.endObject();
+    }
+    return ok;
+}
+
 /** Section 3: sharding must not allocate per event. */
 bool
 allocSection()
@@ -401,6 +450,7 @@ main(int argc, char **argv)
     ok &= scalingSection(Load::TpccFull, 2);
     wheelSection();
     ok &= allocSection();
+    ok &= shardedConstructionSection();
 
     if (g_jsonOpen) {
         g_json.endArray();

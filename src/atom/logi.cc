@@ -28,6 +28,8 @@ LogI::onFirstWrite(CoreId core, Addr addr, const Line &old_value,
     panic_if(aus < 0, "onFirstWrite outside an atomic update (core %u)",
              core);
     _statLogWrites.inc();
+    if (!_tenantLogWrites.empty())
+        _tenantLogWrites[core]->inc();
 
     // Ship the log entry to the controller that owns the data line:
     // log/data co-location makes the posted-log optimization legal

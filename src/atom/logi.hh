@@ -67,6 +67,14 @@ class LogI : public StoreLogger, public MeshSink
 
     void meshDeliver(Packet &pkt) override;
 
+    /** Per-core tenant log-write counters ("tenantN.log_writes");
+     * empty (the default) disables per-tenant accounting. */
+    void
+    setTenantCounters(std::vector<Counter *> per_core)
+    {
+        _tenantLogWrites = std::move(per_core);
+    }
+
   private:
     EventQueue &_eq;
     const SystemConfig &_cfg;
@@ -77,6 +85,7 @@ class LogI : public StoreLogger, public MeshSink
     std::function<int(CoreId)> _resolveAus;
 
     Counter &_statLogWrites;
+    std::vector<Counter *> _tenantLogWrites;  //!< per core; may be empty
 };
 
 } // namespace atomsim

@@ -70,10 +70,12 @@ Directory::release(Addr line_addr)
     }
     // Cache the idle control block for the next transaction on this
     // line -- up to the cap, past which cold blocks are dropped.
-    if (_idleCtl < kMaxIdleCtl) {
+    if (_idleCtl < _idleCap) {
         ctl.busy = false;
         ++_idleCtl;
     } else {
+        if (_evictions)
+            _evictions->inc();
         _ctl.erase(it);
     }
 }

@@ -11,16 +11,18 @@
  * intrusive nodes (no allocation in steady state), and the per-line
  * control blocks are cached across acquire/release cycles so contending
  * on a hot line does not churn the map. The idle cache is capped
- * (kMaxIdleCtl): past it, released control blocks are erased instead,
- * trading per-transaction map churn on cold lines for bounded memory
- * on huge footprints.
+ * (setIdleCap, scaled with the core count via idleCapFor): past it,
+ * released control blocks are erased instead, trading per-transaction
+ * map churn on cold lines for bounded memory on huge footprints.
  */
 
 #ifndef ATOMSIM_CACHE_DIRECTORY_HH
 #define ATOMSIM_CACHE_DIRECTORY_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "sim/callback.hh"
 #include "sim/pool.hh"
@@ -33,19 +35,106 @@ namespace atomsim
 /** Sentinel: no owning core. */
 constexpr CoreId kNoCore = ~CoreId(0);
 
+/**
+ * A set of sharing cores, scaled past 64.
+ *
+ * The historical representation was a bare uint64_t indexed by core
+ * id, which shifts out of range (and would alias invalidations) on the
+ * 256-/1024-core presets. Word 0 stays inline, so machines up to 64
+ * cores keep the allocation-free fast path bit-for-bit; larger core
+ * ids spill into heap words on first set().
+ */
+class SharerSet
+{
+  public:
+    void
+    set(CoreId core)
+    {
+        if (core < 64) {
+            _w0 |= std::uint64_t(1) << core;
+            return;
+        }
+        const std::size_t w = core / 64;
+        if (_hi.size() < w)
+            _hi.resize(w, 0);
+        _hi[w - 1] |= std::uint64_t(1) << (core % 64);
+    }
+
+    /** Remove @p core (no-op when absent). */
+    void
+    clear(CoreId core)
+    {
+        if (core < 64) {
+            _w0 &= ~(std::uint64_t(1) << core);
+            return;
+        }
+        const std::size_t w = core / 64;
+        if (w <= _hi.size())
+            _hi[w - 1] &= ~(std::uint64_t(1) << (core % 64));
+    }
+
+    bool
+    test(CoreId core) const
+    {
+        if (core < 64)
+            return (_w0 >> core) & 1;
+        const std::size_t w = core / 64;
+        return w <= _hi.size() && ((_hi[w - 1] >> (core % 64)) & 1);
+    }
+
+    /** Empty the set (spilled capacity is kept for reuse). */
+    void
+    reset()
+    {
+        _w0 = 0;
+        std::fill(_hi.begin(), _hi.end(), 0);
+    }
+
+    bool
+    none() const
+    {
+        if (_w0)
+            return false;
+        for (std::uint64_t w : _hi)
+            if (w)
+                return false;
+        return true;
+    }
+
+    std::uint32_t
+    count() const
+    {
+        std::uint32_t n = std::uint32_t(__builtin_popcountll(_w0));
+        for (std::uint64_t w : _hi)
+            n += std::uint32_t(__builtin_popcountll(w));
+        return n;
+    }
+
+    /** True when the set minus @p core is nonempty. */
+    bool
+    anyBut(CoreId core) const
+    {
+        return count() > (test(core) ? 1u : 0u);
+    }
+
+  private:
+    std::uint64_t _w0 = 0;
+    std::vector<std::uint64_t> _hi;  //!< words for cores >= 64
+};
+
 /** Directory entry for one line homed at a tile. */
 struct DirEntry
 {
     /** L1 holding the line Exclusive/Modified, or kNoCore. */
     CoreId owner = kNoCore;
-    /** Bitmask of L1s that may hold the line Shared (may be stale:
+    /** Cores that may hold the line Shared (may be stale:
      * clean lines drop silently; spurious invalidations are no-ops). */
-    std::uint64_t sharers = 0;
+    SharerSet sharers;
 
     bool
     anySharerBut(CoreId core) const
     {
-        return (sharers & ~(std::uint64_t(1) << core)) != 0;
+        return sharers.anyBut(core);
     }
 };
 
@@ -58,17 +147,44 @@ class Directory
     static constexpr std::size_t kTxnBytes = 104;
     using Txn = InplaceCallback<kTxnBytes>;
 
-    /** Idle control blocks cached across transactions; covers any hot
-     * working set while bounding memory on huge footprints. */
+    /** Default idle-control-block cache cap: covers the hot working
+     * set of the paper's 32-core shapes. Larger machines must scale
+     * the cap with setIdleCap() -- at 256+ tiles a fixed 64K cap
+     * thrashes (every release erases, every acquire re-inserts). */
     static constexpr std::size_t kMaxIdleCtl = 64 * 1024;
 
+    /** Per-core idle-block budget used by idleCapFor(): at 32 cores it
+     * reproduces kMaxIdleCtl exactly, so the paper's shapes keep their
+     * historical behavior. */
+    static constexpr std::size_t kIdleCtlPerCore = 2048;
+
+    /** Idle-cache cap for a machine with @p num_cores cores. */
+    static constexpr std::size_t
+    idleCapFor(std::uint32_t num_cores)
+    {
+        const std::size_t scaled = std::size_t(num_cores) * kIdleCtlPerCore;
+        return scaled > kMaxIdleCtl ? scaled : kMaxIdleCtl;
+    }
+
     /**
-     * Publish the live control-block high-water mark into @p live_hw
-     * (stat "dirN.ctrl_blocks_live"). Live = busy + cached-idle blocks;
-     * the cap above bounds it near kMaxIdleCtl, which this stat makes
-     * observable (ROADMAP: watch it as L2 working sets grow).
+     * Publish occupancy stats: @p live_hw gets the live control-block
+     * high-water mark ("dirN.ctrl_blocks_live"; live = busy +
+     * cached-idle blocks, bounded near the idle cap), and @p evictions
+     * (optional) counts idle blocks dropped because the cache was at
+     * its cap ("dirN.ctrl_evictions") -- the thrash signal.
      */
-    void attachStats(Counter *live_hw) { _liveHw = live_hw; }
+    void
+    attachStats(Counter *live_hw, Counter *evictions = nullptr)
+    {
+        _liveHw = live_hw;
+        _evictions = evictions;
+    }
+
+    /** Override the idle-cache cap (defaults to kMaxIdleCtl). */
+    void setIdleCap(std::size_t cap) { _idleCap = cap; }
+
+    /** Current idle-cache cap. */
+    std::size_t idleCap() const { return _idleCap; }
 
     /** Current live control blocks (tests). */
     std::size_t liveCtl() const { return _ctl.size(); }
@@ -112,10 +228,12 @@ class Directory
 
     std::unordered_map<Addr, DirEntry> _entries;
     /** Cached across acquire/release (busy=false when idle) so hot
-     * lines don't churn map nodes; bounded by kMaxIdleCtl. */
+     * lines don't churn map nodes; bounded by _idleCap. */
     std::unordered_map<Addr, LineCtl> _ctl;
     std::size_t _idleCtl = 0;
+    std::size_t _idleCap = kMaxIdleCtl;
     Counter *_liveHw = nullptr;  //!< optional occupancy high-water
+    Counter *_evictions = nullptr;  //!< optional at-cap drop count
     std::size_t _liveHwSeen = 0;
 
     FreeListPool<Waiter> _pool;

@@ -27,10 +27,15 @@ L2Tile::L2Tile(std::uint32_t tile_id, EventQueue &eq,
                                     "victim_hits"))
 {
     // Directory control-block occupancy (ROADMAP follow-up): high-water
-    // mark of live per-line control blocks, capped at kMaxIdleCtl.
+    // mark of live per-line control blocks, plus the at-cap eviction
+    // count that signals idle-cache thrash. The cap scales with the
+    // core count (a fixed 64K cap thrashes at 256+ tiles).
+    _dir.setIdleCap(Directory::idleCapFor(cfg.numCores));
     _dir.attachStats(
         &stats.counter("dir" + std::to_string(tile_id),
-                       "ctrl_blocks_live"));
+                       "ctrl_blocks_live"),
+        &stats.counter("dir" + std::to_string(tile_id),
+                       "ctrl_evictions"));
 }
 
 L2Tile::~L2Tile() = default;
@@ -152,12 +157,11 @@ L2Tile::releaseFill(PendingFill *pf)
 }
 
 void
-L2Tile::startRound(Addr line, CoreId owner, std::uint64_t sharers,
+L2Tile::startRound(Addr line, CoreId owner, const SharerSet &sharers,
                    RoundCallback done)
 {
     const std::uint32_t remaining =
-        (owner != kNoCore ? 1 : 0) +
-        std::uint32_t(__builtin_popcountll(sharers));
+        (owner != kNoCore ? 1 : 0) + sharers.count();
     if (remaining == 0) {
         Round scratch;  // nothing to collect
         done(scratch);
@@ -181,7 +185,7 @@ L2Tile::startRound(Addr line, CoreId owner, std::uint64_t sharers,
         _mesh.send(_mesh.tileNode(_tileId), _mesh.coreNode(owner), p);
     }
     for (CoreId c = 0; c < _l1s.size(); ++c) {
-        if (!(sharers & (std::uint64_t(1) << c)))
+        if (!sharers.test(c))
             continue;
         Packet &p = _mesh.make(MsgType::Inv);
         p.receiver = _l1s[c];
@@ -236,9 +240,9 @@ L2Tile::evictThen(CacheLineState *frame, PendingFill *pf)
     _dir.acquire(vaddr, Directory::Txn([this, frame, vaddr, pf] {
         DirEntry &vdir = _dir.entry(vaddr);
         const CoreId owner = vdir.owner;
-        const std::uint64_t sharers = vdir.sharers;
+        const SharerSet sharers = std::move(vdir.sharers);
         vdir.owner = kNoCore;
-        vdir.sharers = 0;
+        vdir.sharers.reset();
         if (owner != kNoCore)
             _statRecalls.inc();
         startRound(vaddr, owner, sharers,
@@ -371,7 +375,7 @@ L2Tile::finishFill(CacheLineState *frame, CoreId core, Addr line,
     DirEntry &dir = _dir.entry(line);
     dir.owner = core;
     if (exclusive)
-        dir.sharers = 0;
+        dir.sharers.reset();
     const MsgType resp =
         exclusive ? (logged ? MsgType::DataLogged : MsgType::DataExcl)
                   : MsgType::Data;
@@ -393,7 +397,7 @@ L2Tile::grantExclusive(CoreId requester, Addr line)
 
 void
 L2Tile::invalidateSharers(CoreId requester, Addr line,
-                          std::uint64_t mask)
+                          const SharerSet &mask)
 {
     startRound(line, kNoCore, mask, [this, requester, line](Round &) {
         grantExclusive(requester, line);
@@ -425,14 +429,14 @@ L2Tile::handleGetS(CoreId core, Addr addr)
                 }
                 // Plain hit: grant E if nobody shares, else S (MESI).
                 const bool exclusive_grant =
-                    dir.sharers == 0 && dir.owner == kNoCore;
+                    dir.sharers.none() && dir.owner == kNoCore;
                 CoherenceState grant = exclusive_grant
                                            ? CoherenceState::Exclusive
                                            : CoherenceState::Shared;
                 if (exclusive_grant)
                     dir.owner = core;
                 else
-                    dir.sharers |= std::uint64_t(1) << core;
+                    dir.sharers.set(core);
                 respondFill(core, line, MsgType::Data,
                             FillResult{frame->data, grant, false});
                 _dir.release(line);
@@ -464,8 +468,8 @@ L2Tile::onFwdAckS(const Packet &pkt)
     }
     DirEntry &dir = _dir.entry(line);
     dir.owner = kNoCore;
-    dir.sharers |= std::uint64_t(1) << owner;
-    dir.sharers |= std::uint64_t(1) << requester;
+    dir.sharers.set(owner);
+    dir.sharers.set(requester);
     respondFill(requester, line, MsgType::Data,
                 FillResult{fr->data, CoherenceState::Shared, false});
     _dir.release(line);
@@ -508,10 +512,10 @@ L2Tile::handleGetX(CoreId core, Addr addr, bool in_atomic)
 
                 // Invalidate every sharer except the requester, then
                 // grant Modified.
-                const std::uint64_t mask =
-                    dir.sharers & ~(std::uint64_t(1) << core);
+                SharerSet mask = std::move(dir.sharers);
+                mask.clear(core);
                 dir.owner = core;
-                dir.sharers = 0;
+                dir.sharers.reset();
                 invalidateSharers(core, line, mask);
                 return;
             }
@@ -539,7 +543,7 @@ L2Tile::onFwdAckX(const Packet &pkt)
     }
     DirEntry &dir = _dir.entry(line);
     dir.owner = requester;
-    dir.sharers = 0;
+    dir.sharers.reset();
     respondFill(requester, line, MsgType::DataExcl,
                 FillResult{fr->data, CoherenceState::Modified, false});
     _dir.release(line);
@@ -554,7 +558,7 @@ L2Tile::handleUpgrade(CoreId core, Addr addr, bool in_atomic)
             CacheLineState *frame = _array.touch(line);
             DirEntry &dir = _dir.entry(line);
             const bool still_sharer =
-                frame && (dir.sharers & (std::uint64_t(1) << core));
+                frame && dir.sharers.test(core);
             if (!still_sharer) {
                 // The requester lost the line (invalidated or L2
                 // evicted it): morph into a full GetX. Release first;
@@ -564,10 +568,10 @@ L2Tile::handleUpgrade(CoreId core, Addr addr, bool in_atomic)
                 return;
             }
 
-            const std::uint64_t mask =
-                dir.sharers & ~(std::uint64_t(1) << core);
+            SharerSet mask = std::move(dir.sharers);
+            mask.clear(core);
             dir.owner = core;
-            dir.sharers = 0;
+            dir.sharers.reset();
             invalidateSharers(core, line, mask);
         }));
     });
@@ -625,7 +629,7 @@ L2Tile::handleFlush(CoreId core, Addr addr, bool has_data,
                 const CoreId owner = dir.owner;
                 dir.owner = kNoCore;
                 _statRecalls.inc();
-                startRound(line, owner, 0,
+                startRound(line, owner, SharerSet{},
                            [this, core, line, has_data,
                             data](Round &r) {
                     CacheLineState *frame = _array.find(line);

@@ -272,7 +272,7 @@ class L2Tile : public MeshSink
      * @p done runs when the last ack lands -- immediately, with an
      * empty scratch Round, if there is nothing to send.
      */
-    void startRound(Addr line, CoreId owner, std::uint64_t sharers,
+    void startRound(Addr line, CoreId owner, const SharerSet &sharers,
                     RoundCallback done);
 
     /** An InvAck / RecallAck landed: advance the line's round. */
@@ -291,7 +291,7 @@ class L2Tile : public MeshSink
     /** Invalidate every sharer in @p mask, granting to @p requester
      * once all acks return (immediately if the mask is empty). */
     void invalidateSharers(CoreId requester, Addr line,
-                           std::uint64_t mask);
+                           const SharerSet &mask);
 
     /** Grant Modified to @p requester from the L2 copy and release. */
     void grantExclusive(CoreId requester, Addr line);

@@ -35,14 +35,30 @@ Core::start()
 void
 Core::nextTransaction()
 {
+    // The ticket must cover the fetch: the transaction's store payloads
+    // are computed functionally inside fetchNext, so fetch order is the
+    // order shared-structure updates compose in (see RegionSerializer).
+    if (_regionSer) {
+        _regionSer->acquire([this] { fetchTransaction(); });
+        return;
+    }
+    fetchTransaction();
+}
+
+void
+Core::fetchTransaction()
+{
     _source->fetchNext(_id, [this](std::optional<Transaction> txn) {
         _txn = std::move(txn);
         if (!_txn) {
+            if (_regionSer)
+                _regionSer->release();
             _ctrlLB = kTickNever;
             // Drain outstanding stores, then go idle.
             _sq.whenEmpty([this] { _done = true; });
             return;
         }
+        _txnStart = _eq.now();
         execOp(0);
     });
 }
@@ -69,7 +85,11 @@ void
 Core::execOp(std::size_t idx)
 {
     if (idx >= _txn->ops.size()) {
+        if (_observer)
+            _observer(_id, *_txn, _txnStart, _eq.now());
         _ctrlLB = _eq.now();
+        if (_regionSer)
+            _regionSer->release();
         nextTransaction();
         return;
     }

@@ -14,6 +14,7 @@
 #define ATOMSIM_CPU_CORE_HH
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <optional>
 
@@ -79,6 +80,62 @@ class DesignHooks
                            std::function<void()> done) = 0;
 };
 
+/**
+ * Global transaction ticket: at most one core holds it, waiters are
+ * granted strictly in arrival order. This is the timing-level stand-in
+ * for the lock-based isolation ATOM requires from software: workloads
+ * whose atomic regions mutate SHARED structures (TPC-C's B+-trees and
+ * district rows) are only crash-consistent when concurrent regions
+ * never overlap on a line -- rolling back one core's incomplete region
+ * would otherwise restore pre-images over another core's committed
+ * writes.
+ *
+ * The ticket spans the WHOLE transaction (fetch through completion),
+ * not just the Atomic_Begin..Atomic_End window. A transaction's store
+ * payloads are computed functionally at fetch, so fetch order is the
+ * order shared-structure mutations compose in; serializing only the
+ * region would let a core whose pre-region loads finish early commit
+ * ahead of a functionally-earlier peer, and rolling that peer back
+ * after a crash leaves durable writes that structurally assume the
+ * rolled-back update. Opt-in via
+ * SystemConfig::serializeAtomicRegions (sequential kernel only); the
+ * per-core micro workloads never need it, so default timing -- and
+ * every pinned golden -- is unchanged.
+ */
+class RegionSerializer
+{
+  public:
+    /** Call @p granted once the ticket is exclusively held. Runs
+     * inline when the ticket is free. */
+    void
+    acquire(std::function<void()> granted)
+    {
+        if (!_held) {
+            _held = true;
+            granted();
+            return;
+        }
+        _waiters.push_back(std::move(granted));
+    }
+
+    /** Hand the ticket to the oldest waiter (inline), or free it. */
+    void
+    release()
+    {
+        if (_waiters.empty()) {
+            _held = false;
+            return;
+        }
+        auto granted = std::move(_waiters.front());
+        _waiters.pop_front();
+        granted();
+    }
+
+  private:
+    bool _held = false;
+    std::deque<std::function<void()>> _waiters;
+};
+
 /** One simulated core. */
 class Core
 {
@@ -86,8 +143,24 @@ class Core
     Core(CoreId id, EventQueue &eq, const SystemConfig &cfg, L1Cache &l1,
          StatSet &stats);
 
+    /**
+     * Completion hook for latency measurement: fires once per
+     * transaction when its last op retires, with the dispatch tick
+     * (transaction received from the source) and the completion tick.
+     * Runs on the core's own domain queue, so what it observes is
+     * shard-invariant. Purely observational -- installing one never
+     * changes simulated behavior.
+     */
+    using TxnObserver = std::function<void(
+        CoreId, const Transaction &, Tick start, Tick end)>;
+
     void setSource(TransactionSource *src) { _source = src; }
     void setHooks(DesignHooks *hooks) { _hooks = hooks; }
+    void setTxnObserver(TxnObserver obs) { _observer = std::move(obs); }
+    /** Gate each whole transaction (fetch through completion) on the
+     * shared ticket (see RegionSerializer; nullptr = default ungated
+     * timing). */
+    void setRegionSerializer(RegionSerializer *s) { _regionSer = s; }
 
     /** Begin pulling and executing transactions. */
     void start();
@@ -116,6 +189,7 @@ class Core
 
   private:
     void nextTransaction();
+    void fetchTransaction();
     void execOp(std::size_t idx);
     void opDone(std::size_t idx);
     void updateCtrlBound(std::size_t idx);
@@ -128,9 +202,12 @@ class Core
 
     TransactionSource *_source = nullptr;
     DesignHooks *_hooks = nullptr;
+    RegionSerializer *_regionSer = nullptr;
 
     std::optional<Transaction> _txn;
     bool _done = false;
+    TxnObserver _observer;
+    Tick _txnStart = 0;  //!< dispatch tick of the running transaction
 
     Tick _ctrlLB = 0;             //!< see ctrlLowerBound()
     std::size_t _ctrlNextIdx = 0; //!< cached next boundary-op index

@@ -84,6 +84,11 @@ struct MemOp
 struct Transaction
 {
     std::uint64_t id = 0;
+    /** Owning tenant (0 in single-tenant configs). */
+    std::uint16_t tenant = 0;
+    /** Workload-defined transaction class (e.g. the KV workload's
+     * read/update/insert); latency histograms key on it. */
+    std::uint16_t txnClass = 0;
     std::vector<MemOp> ops;
     /** Unique line addresses modified inside the atomic region, in
      * first-write order; the commit protocol flushes these. */

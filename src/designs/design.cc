@@ -43,6 +43,8 @@ AusPool::acquire(CoreId core, std::function<void(std::uint32_t)> granted)
             _slotBusy[s] = true;
             _slotOf[core] = int(s);
             _statAcquires.inc();
+            if (!_tenantAcquires.empty())
+                _tenantAcquires[core]->inc();
             granted(s);
             return;
         }
@@ -66,6 +68,8 @@ AusPool::release(CoreId core)
         auto [wcore, granted] = std::move(waiter);
         _slotOf[wcore] = slot;
         _statAcquires.inc();
+        if (!_tenantAcquires.empty())
+            _tenantAcquires[wcore]->inc();
         granted(std::uint32_t(slot));
         return;
     }
@@ -153,7 +157,7 @@ DesignContext::shardedTruncate(CoreId core, std::function<void()> done)
                     if (--_truncPending[core] != 0)
                         return;
                     _pool.release(core);
-                    _statCommits.inc();
+                    countCommit(core);
                     coreQueue(core).postIn(
                         1, std::move(_truncDone[core]));
                 }));
@@ -246,7 +250,7 @@ DesignContext::truncateAll(CoreId core, std::function<void()> done)
     auto finish = std::make_shared<std::function<void()>>(
         [this, core, done = std::move(done)]() mutable {
             _pool.release(core);
-            _statCommits.inc();
+            countCommit(core);
             done();
         });
     for (auto &logm : _logms) {

@@ -76,6 +76,14 @@ class AusPool
         return _statStallCycles.value();
     }
 
+    /** Per-core tenant acquire counters ("tenantN.aus_acquires");
+     * empty (the default) disables per-tenant accounting. */
+    void
+    setTenantCounters(std::vector<Counter *> per_core)
+    {
+        _tenantAcquires = std::move(per_core);
+    }
+
   private:
     EventQueue &_eq;
     std::vector<int> _slotOf;        //!< per core; -1 = none
@@ -85,6 +93,7 @@ class AusPool
 
     Counter &_statStallCycles;
     Counter &_statAcquires;
+    std::vector<Counter *> _tenantAcquires;  //!< per core; may be empty
 };
 
 /**
@@ -129,7 +138,24 @@ class DesignContext : public DesignHooks
         return false;
     }
 
+    /** Per-core tenant commit counters ("tenantN.commits"); empty (the
+     * default) disables per-tenant accounting. */
+    void
+    setTenantCounters(std::vector<Counter *> per_core)
+    {
+        _tenantCommits = std::move(per_core);
+    }
+
   private:
+    /** Count a commit for @p core (global + per-tenant). */
+    void
+    countCommit(CoreId core)
+    {
+        _statCommits.inc();
+        if (!_tenantCommits.empty())
+            _tenantCommits[core]->inc();
+    }
+
     /** Leader-executed: acquire an AUS + arm every LogM. */
     void shardedBegin(CoreId core, std::function<void()> done);
 
@@ -177,6 +203,8 @@ class DesignContext : public DesignHooks
     ShardLayout _layout;
     std::vector<std::uint32_t> _truncPending; //!< per core, MCs left
     std::vector<std::function<void()>> _truncDone;  //!< per core
+
+    std::vector<Counter *> _tenantCommits;   //!< per core; may be empty
 
     Counter &_statFlushes;
     Counter &_statCommits;

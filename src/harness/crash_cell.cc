@@ -1,5 +1,6 @@
 #include "harness/crash_cell.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -11,6 +12,7 @@
 #include "workloads/rbtree_workload.hh"
 #include "workloads/sdg_workload.hh"
 #include "workloads/sps_workload.hh"
+#include "workloads/tpcc/tpcc_workload.hh"
 
 namespace atomsim
 {
@@ -69,8 +71,13 @@ CrashCell::id() const
                   entryBytes, initialItems, txnsPerCore, hybrid,
                   (unsigned long long)seed);
     std::string s = buf;
-    // Fault axes append only when enabled, in canonical w < m < r
-    // order, so every pre-fault-model ID stays its own canonical form.
+    // Tail tokens append only when off-default, in canonical
+    // a < n < w < m < r < k order, so every pre-existing ID stays its
+    // own canonical form.
+    if (ausPerMc != 4)
+        s += ":a" + std::to_string(ausPerMc);
+    if (numMemCtrls != 4)
+        s += ":n" + std::to_string(numMemCtrls);
     if (tornWords != 0)
         s += ":w" + std::to_string(tornWords);
     if (mediaRate != 0)
@@ -99,7 +106,7 @@ CrashCell::parse(const std::string &id)
         tok.push_back(id.substr(start, colon - start));
         start = colon + 1;
     }
-    if (tok.size() < 10 || tok.size() > 14)
+    if (tok.size() < 10 || tok.size() > 16)
         return std::nullopt;
 
     CrashCell cell;
@@ -132,10 +139,26 @@ CrashCell::parse(const std::string &id)
         return std::nullopt;
     }
 
-    // Optional tail tokens in canonical w < m < r < k order, each at
-    // most once. A zero value never round-trips (id() omits the
-    // token), so zeros are malformed, like k0.
+    // Optional tail tokens in canonical a < n < w < m < r < k order,
+    // each at most once. A value that never round-trips (id() omits
+    // the token at zero for the fault axes and at the default 4 for
+    // the shape axes) is malformed, like k0 or a4.
     std::size_t next = 10;
+    std::uint64_t aus = 4, mcs = 4;
+    if (next < tok.size() && parseField(tok[next], 'a', aus)) {
+        if (aus == 0 || aus == 4)
+            return std::nullopt;
+        ++next;
+    } else {
+        aus = 4;
+    }
+    if (next < tok.size() && parseField(tok[next], 'n', mcs)) {
+        if (mcs == 0 || mcs == 4 || (mcs & (mcs - 1)) != 0)
+            return std::nullopt;
+        ++next;
+    } else {
+        mcs = 4;
+    }
     std::uint64_t torn = 0, media = 0, rpct = 0;
     if (next < tok.size() && parseField(tok[next], 'w', torn)) {
         if (torn != 1)
@@ -177,6 +200,8 @@ CrashCell::parse(const std::string &id)
     cell.txnsPerCore = std::uint32_t(txns);
     cell.hybrid = std::uint32_t(hyb);
     cell.seed = seed;
+    cell.ausPerMc = std::uint32_t(aus);
+    cell.numMemCtrls = std::uint32_t(mcs);
     cell.tornWords = std::uint32_t(torn);
     cell.mediaRate = std::uint32_t(media);
     cell.recoverPct = std::uint32_t(rpct);
@@ -190,7 +215,8 @@ CrashCell::config() const
     cfg.numCores = cores;
     cfg.l2Tiles = cores;
     cfg.meshRows = cores >= 4 ? 2 : 1;
-    cfg.ausPerMc = 4;
+    cfg.ausPerMc = ausPerMc;
+    cfg.numMemCtrls = numMemCtrls;
     cfg.design = design;
     cfg.l2TileBytes = l2TileKb * 1024;
     cfg.l2Assoc = l2Assoc;
@@ -208,6 +234,11 @@ CrashCell::config() const
                                           : AppDirectRegion::LogRegion;
         cfg.dramCacheMBPerMc = 1;
     }
+    // TPC-C's atomic regions mutate SHARED structures (B+-trees,
+    // district rows); crash consistency then requires the lock-based
+    // isolation ATOM assumes from software, emulated by serializing
+    // regions. The per-core micro workloads never share written lines.
+    cfg.serializeAtomicRegions = workload == "tpcc";
     cfg.tornWrites = tornWords != 0;
     cfg.mediaErrorPer64k = mediaRate;
     cfg.faultSeed = seed;
@@ -245,6 +276,15 @@ CrashCell::makeWorkload() const
         return std::make_unique<SdgWorkload>(p);
     if (workload == "sps")
         return std::make_unique<SpsWorkload>(p);
+    if (workload == "tpcc") {
+        // The shrinker drives initialItems, so the whole database
+        // scales (monotonically) from that one axis; entryBytes has
+        // no meaning for the fixed TPC-C row layouts.
+        tpcc::ScaleParams scale;
+        scale.customersPerDistrict = std::max(4u, initialItems / 4);
+        scale.items = std::max(32u, initialItems * 4);
+        return std::make_unique<TpccWorkload>(scale);
+    }
     return nullptr;
 }
 
@@ -391,6 +431,16 @@ shrinkCell(const CrashCell &failing, Tick failTick,
         cand.*axis = 0;
         return tryShrink(cand, what);
     };
+    // A memory-shape axis shrinks back to the campaign default of 4
+    // when the failure reproduces there (the ID then drops the token).
+    const auto tryDefaultAxis = [&](std::uint32_t CrashCell::*axis,
+                                    const char *what) {
+        if (best.*axis == 4)
+            return false;
+        CrashCell cand = best;
+        cand.*axis = 4;
+        return tryShrink(cand, what);
+    };
     for (int round = 0; round < 8; ++round) {
         bool changed = false;
         changed |= shrinkAxis(&CrashCell::cores, 1, 1, "cores");
@@ -399,6 +449,9 @@ shrinkCell(const CrashCell &failing, Tick failTick,
         changed |= shrinkAxis(&CrashCell::initialItems, 1, 1, "items");
         // entryBytes must stay a multiple of 8 (and a word of payload).
         changed |= shrinkAxis(&CrashCell::entryBytes, 64, 8, "entry");
+        changed |= tryDefaultAxis(&CrashCell::ausPerMc, "aus-default");
+        changed |= tryDefaultAxis(&CrashCell::numMemCtrls,
+                                  "mcs-default");
         // Fault axes: first try dropping each fault entirely, then
         // (for the rate-like axes) halve toward the weakest setting
         // that still reproduces.
@@ -421,6 +474,10 @@ regressionBody(const CrashCell &cell, const std::string &fault)
     name += '_';
     name += designToken(cell.design);
     name += "_s" + std::to_string(cell.seed);
+    if (cell.ausPerMc != 4)
+        name += "_a" + std::to_string(cell.ausPerMc);
+    if (cell.numMemCtrls != 4)
+        name += "_n" + std::to_string(cell.numMemCtrls);
     if (cell.tornWords != 0)
         name += "_w" + std::to_string(cell.tornWords);
     if (cell.mediaRate != 0)

@@ -33,7 +33,9 @@ namespace atomsim
 /** One coordinate of the crash-fuzzing sweep. */
 struct CrashCell
 {
-    /** Workload name: hash, queue, btree, rbtree, sdg or sps. */
+    /** Workload name: hash, queue, btree, rbtree, sdg, sps or tpcc.
+     * TPC-C sizes its database from initialItems (see makeWorkload);
+     * entryBytes is ignored there. */
     std::string workload = "hash";
     DesignKind design = DesignKind::Atom;
     /** Fraction of the work completed before the (jittered) crash.
@@ -54,6 +56,14 @@ struct CrashCell
     std::uint32_t initialItems = 32;
     std::uint32_t txnsPerCore = 10;
     std::uint64_t seed = 62;
+    // Memory-system shape axes (campaign default 4 each; the ID omits
+    // the token at the default, so historical IDs stay canonical).
+    /** Atomicity Units per memory controller
+     * (SystemConfig::ausPerMc); sizes the AUS undo-slot pool the
+     * crash cuts through. */
+    std::uint32_t ausPerMc = 4;
+    /** Memory controllers (power of two; address interleaving). */
+    std::uint32_t numMemCtrls = 4;
     // Fault-model axes (0 = fault disabled; the ID omits the token).
     /** 1 = in-flight device writes tear at a seeded word boundary at
      * power failure (SystemConfig::tornWrites). */
@@ -66,10 +76,12 @@ struct CrashCell
     std::uint32_t recoverPct = 0;
 
     /** Compact, order-stable ID, e.g.
-     * "hash:atom:f50:c4:l8x2:e512:i32:t10:h0:s62" (+":w1" / ":m<rate>"
-     * / ":r<pct>" for each enabled fault axis, +":k<tick>" when the
-     * crash tick is pinned; default-valued fault tokens are omitted so
-     * pre-fault-model IDs stay canonical). parse(id()) round-trips. */
+     * "hash:atom:f50:c4:l8x2:e512:i32:t10:h0:s62" (+":a<aus>" /
+     * ":n<mcs>" when the memory-system shape leaves the default 4,
+     * +":w1" / ":m<rate>" / ":r<pct>" for each enabled fault axis,
+     * +":k<tick>" when the crash tick is pinned; default-valued tail
+     * tokens are omitted so pre-existing IDs stay canonical).
+     * parse(id()) round-trips. */
     std::string id() const;
 
     /** Parse an ID back into a cell (nullopt on malformed input). */

@@ -238,6 +238,49 @@ JsonWriter::writeFile(const std::string &path) const
     return true;
 }
 
+std::uint64_t
+LatencyHistogram::count() const
+{
+    std::uint64_t total = 0;
+    for (const auto &b : _buckets)
+        total += b.load(std::memory_order_relaxed);
+    return total;
+}
+
+Tick
+LatencyHistogram::percentile(double q) const
+{
+    const std::uint64_t total = count();
+    if (total == 0)
+        return 0;
+    if (q < 0)
+        q = 0;
+    if (q > 1)
+        q = 1;
+    // Rank of the sample at quantile q (nearest-rank definition).
+    const auto rank = std::uint64_t(q * double(total - 1));
+    std::uint64_t seen = 0;
+    for (std::uint32_t b = 0; b < kBuckets; ++b) {
+        seen += _buckets[b].load(std::memory_order_relaxed);
+        if (seen > rank)
+            return bucketFloor(b);
+    }
+    return bucketFloor(kBuckets - 1);
+}
+
+void
+writeLatencyObject(JsonWriter &w, const std::string &k,
+                   const LatencyHistogram &h)
+{
+    w.key(k);
+    w.beginObject();
+    w.kv("count", h.count());
+    w.kv("p50", h.percentile(0.50));
+    w.kv("p95", h.percentile(0.95));
+    w.kv("p99", h.percentile(0.99));
+    w.endObject();
+}
+
 std::string
 statsJsonPathFromArgs(int argc, char **argv)
 {

@@ -8,15 +8,79 @@
 #ifndef ATOMSIM_HARNESS_REPORT_HH
 #define ATOMSIM_HARNESS_REPORT_HH
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "sim/types.hh"
+
 namespace atomsim
 {
 
 class StatSet;
+
+/**
+ * Log-bucketed latency histogram with percentile extraction.
+ *
+ * Buckets are exact below 16 ticks and log2-spaced with 8 sub-buckets
+ * per octave above (<= 12.5% relative error on a reported percentile).
+ * record() is a single relaxed atomic increment -- counts are
+ * commutative, so concurrent recording from sharded workers yields the
+ * same totals as a sequential run. Deliberately NOT a StatSet counter:
+ * the golden-pinned stat dumps stay byte-identical whether or not a
+ * harness records latencies.
+ */
+class LatencyHistogram
+{
+  public:
+    static constexpr std::uint32_t kLogSub = 3;
+    static constexpr std::uint32_t kSub = 1u << kLogSub;
+    static constexpr std::uint32_t kBuckets = (64 - kLogSub + 1) * kSub;
+
+    LatencyHistogram() : _buckets(kBuckets) {}
+
+    void
+    record(Tick latency)
+    {
+        _buckets[bucketOf(latency)].fetch_add(
+            1, std::memory_order_relaxed);
+    }
+
+    /** Total samples recorded. */
+    std::uint64_t count() const;
+
+    /**
+     * Latency at quantile @p q in [0, 1] (0.5 = p50), as the floor of
+     * the bucket holding that sample; 0 when empty.
+     */
+    Tick percentile(double q) const;
+
+    /** Bucket of @p latency (exact small values, then log2 + sub). */
+    static std::uint32_t
+    bucketOf(Tick latency)
+    {
+        if (latency < 2 * kSub)
+            return std::uint32_t(latency);
+        const int msb = 63 - __builtin_clzll(latency);
+        const std::uint32_t sub =
+            std::uint32_t(latency >> (msb - int(kLogSub))) & (kSub - 1);
+        return std::uint32_t(msb - int(kLogSub) + 1) * kSub + sub;
+    }
+
+    /** Smallest latency mapping to bucket @p b. */
+    static Tick
+    bucketFloor(std::uint32_t b)
+    {
+        if (b < 2 * kSub)
+            return b;
+        return Tick(kSub + b % kSub) << (b / kSub - 1);
+    }
+
+  private:
+    std::vector<std::atomic<std::uint64_t>> _buckets;
+};
 
 /** A simple fixed-width text table writer. */
 class ReportTable
@@ -109,6 +173,14 @@ class JsonWriter
     std::vector<bool> _hasElem;
     bool _afterKey = false;
 };
+
+/**
+ * Emit @p h as a percentile object under key @p k:
+ * {"count": N, "p50": ..., "p95": ..., "p99": ...} (latencies in
+ * core cycles). The serving-sweep `--stats-json` schema.
+ */
+void writeLatencyObject(JsonWriter &w, const std::string &k,
+                        const LatencyHistogram &h);
 
 /**
  * Scan argv for `--stats-json <path>`; returns the path or "" when

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/report.hh"
 #include "harness/system.hh"
 #include "sim/random.hh"
 #include "workloads/heap.hh"
@@ -165,6 +166,20 @@ class Runner : public TransactionSource
      * is sequential or hasn't started). */
     ShardRunStats shardStats() const;
 
+    /** Latency-histogram keys: transaction classes tracked per tenant
+     * (workloads tag more classes than this get clamped to the last). */
+    static constexpr std::uint32_t kTxnClasses = 3;
+
+    /**
+     * Dispatch-to-completion latency histogram of (tenant, class).
+     * Tenants index [0, cfg.tenantSlots()); classes follow the
+     * workload's tagTxn() labels (untagged transactions land in
+     * (tenant 0, class 0)). Histograms live outside the StatSet, so
+     * recording never perturbs the golden-pinned stat dumps.
+     */
+    const LatencyHistogram &latency(std::uint32_t tenant,
+                                    std::uint32_t cls) const;
+
   private:
     friend struct ShardEngine;
 
@@ -181,6 +196,8 @@ class Runner : public TransactionSource
     std::vector<std::uint32_t> _issued;
     std::vector<Random> _rngs;
     std::uint64_t _nextTxnId = 1;
+    /** (tenant, class) latency histograms; tenant-major. */
+    std::vector<LatencyHistogram> _latency;
 };
 
 } // namespace atomsim

@@ -132,10 +132,30 @@ System::System(const SystemConfig &cfg, Addr data_bytes)
     _design = std::make_unique<DesignContext>(
         eq0, _cfg, _logms, l1_ptrs, *_ausPool, _redo.get(), _stats);
 
+    if (_cfg.numTenants > 0) {
+        // Multi-tenant accounting: per-core pointers into shared
+        // per-tenant counters (cores of one tenant share a Counter;
+        // atomic inc keeps them shard-safe).
+        auto per_core = [this](const char *stat) {
+            std::vector<Counter *> v(_cfg.numCores);
+            for (CoreId c = 0; c < _cfg.numCores; ++c)
+                v[c] = &_stats.counter(
+                    "tenant" + std::to_string(_cfg.tenantOf(c)), stat);
+            return v;
+        };
+        _design->setTenantCounters(per_core("commits"));
+        _ausPool->setTenantCounters(per_core("aus_acquires"));
+        if (_logi)
+            _logi->setTenantCounters(per_core("log_writes"));
+    }
+
+    if (_cfg.serializeAtomicRegions)
+        _regionSer = std::make_unique<RegionSerializer>();
     for (CoreId c = 0; c < _cfg.numCores; ++c) {
         _cores.push_back(std::make_unique<Core>(
             c, core_queue(c), _cfg, *_l1s[c], _stats));
         _cores.back()->setHooks(_design.get());
+        _cores.back()->setRegionSerializer(_regionSer.get());
     }
 
     if (_layout.sharded()) {

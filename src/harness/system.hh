@@ -127,6 +127,8 @@ class System
     std::vector<std::unique_ptr<L2Tile>> _tiles;
     std::vector<std::unique_ptr<L1Cache>> _l1s;
     std::vector<std::unique_ptr<Core>> _cores;
+    /** Set iff cfg.serializeAtomicRegions (sequential kernel only). */
+    std::unique_ptr<RegionSerializer> _regionSer;
 
     std::unique_ptr<AusPool> _ausPool;
     std::vector<std::unique_ptr<LogM>> _logms;

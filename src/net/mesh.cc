@@ -270,10 +270,13 @@ Mesh::shardAttach(std::vector<SimDomain *> domains,
     _shardOf = std::move(shard_of);
     _net = std::vector<NetDomain>(_domains.size());
 
-    // Domain -> mesh node, mirrored from the component placement, and
-    // the all-pairs lookahead matrix over it. The layout's own
-    // nodeOfDomain() must agree (test_lookahead pins this); computing
-    // from the mesh's node functions keeps the matrix authoritative.
+    // Domain -> mesh node, mirrored from the component placement. The
+    // layout's own nodeOfDomain() must agree (test_lookahead pins
+    // this); computing from the mesh's node functions keeps the map
+    // authoritative. Lookahead entries are derived from node
+    // coordinates on demand (domainLookahead()) -- the all-pairs
+    // matrix this used to build was O(domains^2) time and memory,
+    // which stops being affordable past a few hundred tiles.
     const std::size_t doms = _domains.size();
     _domNode.resize(doms);
     for (std::size_t d = 0; d < doms; ++d) {
@@ -285,27 +288,22 @@ Mesh::shardAttach(std::vector<SimDomain *> domains,
             _domNode[d] = mcNode(
                 McId(std::uint32_t(d) - layout.numCores - layout.numTiles));
     }
-    _domLa.resize(doms * doms);
-    for (std::size_t s = 0; s < doms; ++s)
-        for (std::size_t d = 0; d < doms; ++d)
-            _domLa[s * doms + d] = minLatency(_domNode[s], _domNode[d]);
+    _mcDomBase = std::uint32_t(layout.numCores + layout.numTiles);
+    _numCoreDoms = layout.numCores;
 
     // Proxy sends: a FlushReq/MemWrite carries its ack callback to the
     // controller, and the callback -- executing in the *MC's* domain --
     // emits the FlushAck stamped with the home tile's node as source
     // (cache/l2_cache.cc sendFlushAck). So an MC domain can launch a
-    // core-bound packet from any tile node, and its lookahead row
-    // toward core domains must lower-bound those too. Tile- and
-    // MC-bound traffic from MCs always departs from the MC's own node.
-    for (std::size_t s = layout.numCores + layout.numTiles; s < doms;
-         ++s) {
-        for (std::size_t d = 0; d < layout.numCores; ++d) {
-            Tick la = _domLa[s * doms + d];
-            for (std::uint32_t t = 0; t < layout.numTiles; ++t)
-                la = std::min(la,
-                              minLatency(tileNode(t), _domNode[d]));
-            _domLa[s * doms + d] = la;
-        }
+    // core-bound packet from any tile node, and its lookahead toward
+    // core domains must lower-bound those too: keep the per-node
+    // minimum over all tile sources. Tile- and MC-bound traffic from
+    // MCs always departs from the MC's own node.
+    _minTileLa.assign(numNodes(), kTickNever);
+    for (std::uint32_t t = 0; t < layout.numTiles; ++t) {
+        const std::uint32_t tn = tileNode(t);
+        for (std::uint32_t n = 0; n < numNodes(); ++n)
+            _minTileLa[n] = std::min(_minTileLa[n], minLatency(tn, n));
     }
 
     _regionOfNode.resize(numNodes());
@@ -411,17 +409,14 @@ Mesh::routeOne(const PendingSend &s, const std::vector<Tick> &ends,
     // The advertised lookahead is exactly what the scheduler granted
     // windows against, so every routed packet must respect it -- this
     // is the invariant that makes the wide windows sound.
-    panic_if(pkt->arrival <
-                 s.tick + _domLa[std::size_t(s.domain) *
-                                     _domNode.size() + dom],
+    panic_if(pkt->arrival < s.tick + domainLookahead(s.domain, dom),
              "mesh lookahead violated: %s %u -> %u (domain %u -> %u) "
              "send at %llu delivers at %llu, below the advertised "
              "minimum %llu",
              msgName(pkt->type), pkt->src, pkt->dst, s.domain, dom,
              (unsigned long long)s.tick,
              (unsigned long long)pkt->arrival,
-             (unsigned long long)_domLa[std::size_t(s.domain) *
-                                            _domNode.size() + dom]);
+             (unsigned long long)domainLookahead(s.domain, dom));
     panic_if(_domNode[dom] != pkt->dst,
              "packet for domain %u delivered to node %u, but the domain "
              "lives on node %u (region ownership would break)",
@@ -534,17 +529,14 @@ Mesh::runStage(RouteTask &t, std::uint32_t stage, RouteSlice &sl)
 
     const std::uint32_t dom = t.s.dstDom;
     const std::vector<Tick> &ends = *_sliceEnds;
-    panic_if(pkt->arrival <
-                 t.s.tick + _domLa[std::size_t(t.s.domain) *
-                                       _domNode.size() + dom],
+    panic_if(pkt->arrival < t.s.tick + domainLookahead(t.s.domain, dom),
              "mesh lookahead violated: %s %u -> %u (domain %u -> %u) "
              "send at %llu delivers at %llu, below the advertised "
              "minimum %llu",
              msgName(pkt->type), pkt->src, pkt->dst, t.s.domain, dom,
              (unsigned long long)t.s.tick,
              (unsigned long long)pkt->arrival,
-             (unsigned long long)_domLa[std::size_t(t.s.domain) *
-                                            _domNode.size() + dom]);
+             (unsigned long long)domainLookahead(t.s.domain, dom));
     panic_if(_domNode[dom] != pkt->dst,
              "packet for domain %u delivered to node %u, but the domain "
              "lives on node %u (region ownership would break)",
@@ -670,12 +662,10 @@ Mesh::routeRange(std::size_t begin, std::size_t end,
         // deferred delivery. Canonical order is preserved across
         // batches because every future batch's ticks are at least the
         // route bound that admitted this one.
-        const std::size_t doms = _domNode.size();
         for (std::size_t i = begin; i < end; ++i) {
             const PendingSend &s = _pending[i];
             _deferredAll.push_back(s);
-            const Tick at =
-                s.tick + _domLa[std::size_t(s.domain) * doms + s.dstDom];
+            const Tick at = s.tick + domainLookahead(s.domain, s.dstDom);
             if (at < _deferredBound)
                 _deferredBound = at;
         }
@@ -693,13 +683,11 @@ Mesh::routeRange(std::size_t begin, std::size_t end,
 void
 Mesh::shardFlushDeferredUpTo(Tick bound, const std::vector<Tick> &ends)
 {
-    const std::size_t doms = _domNode.size();
     const std::size_t n = _deferredAll.size();
     std::size_t k = 0;
     for (std::size_t i = 0; i < n; ++i) {
         const PendingSend &s = _deferredAll[i];
-        if (s.tick + _domLa[std::size_t(s.domain) * doms + s.dstDom] <=
-            bound)
+        if (s.tick + domainLookahead(s.domain, s.dstDom) <= bound)
             k = i + 1;
     }
     if (k == 0)
@@ -713,8 +701,7 @@ Mesh::shardFlushDeferredUpTo(Tick bound, const std::vector<Tick> &ends)
                        _deferredAll.begin() + std::ptrdiff_t(k));
     _deferredBound = kTickNever;
     for (const PendingSend &s : _deferredAll) {
-        const Tick at =
-            s.tick + _domLa[std::size_t(s.domain) * doms + s.dstDom];
+        const Tick at = s.tick + domainLookahead(s.domain, s.dstDom);
         if (at < _deferredBound)
             _deferredBound = at;
     }
@@ -854,10 +841,8 @@ Mesh::shardInboundBounds(std::vector<Tick> &min_inbound,
 {
     std::fill(min_inbound.begin(), min_inbound.end(), kTickNever);
     earliest = kTickNever;
-    const std::size_t doms = _domNode.size();
     auto fold = [&](const PendingSend &s) {
-        const Tick at = s.tick + _domLa[std::size_t(s.domain) * doms +
-                                        s.dstDom];
+        const Tick at = s.tick + domainLookahead(s.domain, s.dstDom);
         if (at < min_inbound[s.dstDom])
             min_inbound[s.dstDom] = at;
         if (at < earliest)

@@ -187,7 +187,7 @@ class Mesh
      * *executing* domain's outbox (SimDomain::current()) instead of
      * touching link state, and the leader processes them at window
      * barriers through shardCollect() / shardRouteUpTo(). Also builds
-     * the domain lookahead matrix (domainLookahead()) and the quadrant
+     * the domain->node map backing domainLookahead() and the quadrant
      * partition used for region-parallel routing.
      *
      * @param domains  all simulation domains, indexed by domain id
@@ -301,19 +301,39 @@ class Mesh
         return Tick(_hopLatency) * (1 + hops(src, dst));
     }
 
-    /** Lookahead matrix entry: minimum send-to-delivery latency from
-     * domain @p s to domain @p d (minLatency of their mesh nodes). */
+    /**
+     * Lookahead entry: minimum send-to-delivery latency from domain
+     * @p s to domain @p d (minLatency of their mesh nodes). Computed
+     * from node coordinates on demand -- the all-pairs matrix this
+     * replaces was O(domains^2) memory (34 MB at 1024 tiles). MC
+     * source rows toward core domains additionally lower-bound over
+     * every tile node (proxy sends, see shardAttach()).
+     */
     Tick
     domainLookahead(std::uint32_t s, std::uint32_t d) const
     {
-        return _domLa[std::size_t(s) * _domNode.size() + d];
+        Tick la = minLatency(_domNode[s], _domNode[d]);
+        if (s >= _mcDomBase && d < _numCoreDoms)
+            la = std::min(la, _minTileLa[_domNode[d]]);
+        return la;
     }
-
-    /** Raw lookahead matrix (row-major, domain count squared). */
-    const std::vector<Tick> &domainLookaheadMatrix() const { return _domLa; }
 
     /** Mesh node hosting domain @p d (sharded mode). */
     std::uint32_t domainNode(std::uint32_t d) const { return _domNode[d]; }
+
+    /** Mesh geometry (for the scheduler's distance-transform pass). */
+    std::uint32_t meshRows() const { return _rows; }
+    std::uint32_t meshCols() const { return _cols; }
+
+    /** One hop's latency as a Tick. */
+    Tick hopTick() const { return Tick(_hopLatency); }
+
+    /** Minimum latency from any tile node to @p node (the MC proxy
+     * floor; kTickNever before shardAttach()). */
+    Tick minTileLatency(std::uint32_t node) const
+    {
+        return _minTileLa[node];
+    }
 
     /** Execute route slice @p slice of the current dispatch (worker
      * side of the assist protocol). */
@@ -495,7 +515,9 @@ class Mesh
     ShardLayout _layout;
     std::uint64_t _canonSeq = 0;             //!< leader-owned
     std::vector<std::uint32_t> _domNode;     //!< domain -> mesh node
-    std::vector<Tick> _domLa;                //!< lookahead matrix
+    std::vector<Tick> _minTileLa;            //!< node -> min tile latency
+    std::uint32_t _mcDomBase = 0;            //!< first MC domain id
+    std::uint32_t _numCoreDoms = 0;          //!< core domain count
     std::vector<std::uint8_t> _regionOfNode; //!< node -> quadrant
     std::vector<PendingSend> _pending;       //!< canonical, sorted
     std::size_t _pendingHead = 0;            //!< routed prefix

@@ -155,6 +155,9 @@ SystemConfig::validate() const
                  "size");
     }
     if (numShards > 0) {
+        fatal_if(serializeAtomicRegions,
+                 "serializeAtomicRegions is cross-domain state; it "
+                 "requires the sequential kernel (numShards = 0)");
         fatal_if(numMemCtrls > 32,
                  "sharded simulation supports at most 32 memory "
                  "controllers (DataImage stripe count)");
@@ -180,6 +183,36 @@ SystemConfig::validate() const
                  (unsigned long long)windowTicks,
                  (unsigned long long)hopLatency);
     }
+}
+
+SystemConfig
+SystemConfig::makeMeshPreset(std::uint32_t tiles)
+{
+    SystemConfig cfg;
+    switch (tiles) {
+      case 256:
+        cfg.numCores = 256;
+        cfg.l2Tiles = 256;
+        cfg.meshRows = 16;
+        cfg.numMemCtrls = 8;
+        cfg.l2TileBytes = 256 * 1024;
+        break;
+      case 1024:
+        cfg.numCores = 1024;
+        cfg.l2Tiles = 1024;
+        cfg.meshRows = 32;
+        cfg.numMemCtrls = 16;
+        // Keep the host footprint bounded at 1024 tiles: smaller L2
+        // slices (the line-state map dominates resident memory) and a
+        // narrow calendar wheel per domain (2064 domains x buckets).
+        cfg.l2TileBytes = 64 * 1024;
+        cfg.wheelBuckets = 256;
+        break;
+      default:
+        fatal("makeMeshPreset: unsupported tile count %u "
+              "(supported: 256, 1024)", tiles);
+    }
+    return cfg;
 }
 
 } // namespace atomsim

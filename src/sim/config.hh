@@ -292,6 +292,24 @@ struct SystemConfig
      * core count.
      */
     std::uint32_t wheelBuckets = 4096;
+    /**
+     * Serialize transactions across cores through a global ticket
+     * (cpu/core.hh, RegionSerializer): a core holds the ticket from
+     * transaction fetch through completion, so no two cores ever run
+     * concurrently. This emulates the lock-based isolation ATOM
+     * requires from software, and is needed for crash consistency
+     * whenever a workload's regions mutate structures SHARED between
+     * cores (TPC-C): rolling back one core's incomplete region must
+     * never restore pre-images over another core's committed writes,
+     * and -- because store payloads are computed functionally at
+     * fetch -- commit order must match fetch order, or a crash can
+     * roll back an update that a later-fetched committed transaction
+     * structurally built upon. Off (the default) keeps concurrent
+     * timing and every pinned golden unchanged; the per-core micro
+     * workloads never share written lines, so they do not need it.
+     * Sequential kernel only (the ticket is cross-domain state).
+     */
+    bool serializeAtomicRegions = false;
 
     // --- Fault model (src/sim/fault.hh; defaults all off) ------------
     /**
@@ -338,6 +356,35 @@ struct SystemConfig
     /** Workload RNG seed. */
     std::uint64_t seed = 42;
 
+    // --- Multi-tenant serving (src/workloads/kv_workload) ------------
+    /**
+     * Number of tenants sharing the machine (0 = single-tenant, the
+     * default; every historical config). Tenants partition the cores
+     * into contiguous balanced blocks (tenantOf) and, for workloads
+     * that support it, run independent instances over disjoint address
+     * ranges. When nonzero, per-tenant counters ("tenantN.commits",
+     * "tenantN.aus_acquires", "tenantN.log_writes") join the StatSet
+     * and the Runner records per-tenant/per-class latency histograms.
+     */
+    std::uint32_t numTenants = 0;
+
+    /** Tenant owning @p core (0 when single-tenant). Contiguous
+     * balanced blocks: core c -> c * T / numCores. */
+    std::uint32_t
+    tenantOf(std::uint32_t core) const
+    {
+        if (numTenants == 0)
+            return 0;
+        return std::uint32_t(std::uint64_t(core) * numTenants / numCores);
+    }
+
+    /** Tenant count as an array bound (1 when single-tenant). */
+    std::uint32_t
+    tenantSlots() const
+    {
+        return numTenants ? numTenants : 1;
+    }
+
     // --- Derived -----------------------------------------------------
     /** Channel occupancy of one 64-byte transfer, in core cycles. */
     Cycles lineTransferCycles() const;
@@ -350,6 +397,16 @@ struct SystemConfig
 
     /** Abort with a message if the configuration is inconsistent. */
     void validate() const;
+
+    /**
+     * Large-mesh preset: a scaled machine with @p tiles cores and L2
+     * tiles on a square mesh. Supported sizes: 256 (16x16 mesh, 8 MCs)
+     * and 1024 (32x32 mesh, 16 MCs). Per-tile L2 capacity shrinks with
+     * scale and the calendar wheel narrows at 1024 tiles so the host
+     * footprint stays bounded; everything else keeps the Table I
+     * defaults.
+     */
+    static SystemConfig makeMeshPreset(std::uint32_t tiles);
 };
 
 } // namespace atomsim

@@ -1,5 +1,7 @@
 #include "sim/stats.hh"
 
+#include <algorithm>
+
 namespace atomsim
 {
 
@@ -49,6 +51,7 @@ StatSet::dump() const
     out.reserve(_counters.size());
     for (const auto &[full, ctr] : _counters)
         out.emplace_back(full, ctr.value());
+    std::sort(out.begin(), out.end());
     return out;
 }
 

@@ -60,6 +60,14 @@ class Accessor
 
     /** Non-memory work (hashing, comparisons) of @p cycles cycles. */
     virtual void compute(Cycles cycles) = 0;
+
+    /**
+     * Label the running transaction with its tenant and workload
+     * transaction class (latency-histogram keys). A no-op outside
+     * recorded simulation (DirectAccessor), so workloads may call it
+     * unconditionally.
+     */
+    virtual void tagTxn(std::uint16_t /*tenant*/, std::uint16_t /*cls*/) {}
 };
 
 /** Functional-only accessor (initialization, validation walks). */
@@ -114,6 +122,13 @@ class RecordingAccessor : public Accessor
     void atomicBegin() override;
     void atomicEnd() override;
     void compute(Cycles cycles) override;
+
+    void
+    tagTxn(std::uint16_t tenant, std::uint16_t cls) override
+    {
+        _txn.tenant = tenant;
+        _txn.txnClass = cls;
+    }
 
     bool inAtomic() const { return _inAtomic; }
 

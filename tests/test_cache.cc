@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "cache/cache_array.hh"
 #include "cache/directory.hh"
 #include "cache/mshr.hh"
@@ -776,6 +778,69 @@ TEST(DirectoryStatTest, CtrlBlockOccupancyGrowsAndIsCappedAt64K)
         touch(i * kLineBytes);
     EXPECT_EQ(live.value(), std::uint64_t(Directory::kMaxIdleCtl) + 1);
     EXPECT_EQ(dir.liveCtl(), Directory::kMaxIdleCtl);
+}
+
+// Regression for the 256-/1024-tile presets: the idle control-block
+// cap must scale with the core count. A 256-tile serving footprint
+// holds more distinct hot lines than the historical fixed 64K cap;
+// under that cap the cache thrashes -- every cold release erases a
+// block and every re-acquire re-inserts it -- which is exactly what
+// the ctrl_evictions counter observes. Reverting idleCapFor() to the
+// fixed cap makes the zero-evictions half of this test fail.
+TEST(DirectoryStatTest, IdleCapScalesWithCoreCountAt256TileShape)
+{
+    // The Table-I shapes keep their historical cap exactly...
+    EXPECT_EQ(Directory::idleCapFor(32), Directory::kMaxIdleCtl);
+    EXPECT_EQ(Directory::idleCapFor(8), Directory::kMaxIdleCtl);
+    // ...and the large presets scale linearly past it.
+    EXPECT_EQ(Directory::idleCapFor(256),
+              256u * Directory::kIdleCtlPerCore);
+    EXPECT_GT(Directory::idleCapFor(256), Directory::kMaxIdleCtl);
+    EXPECT_EQ(Directory::idleCapFor(1024),
+              1024u * Directory::kIdleCtlPerCore);
+
+    // A 256-tile-shape footprint: 2x the old cap in distinct lines.
+    const Addr lines = 2 * Directory::kMaxIdleCtl;
+
+    StatSet stats;
+    Directory scaled;
+    scaled.attachStats(&stats.counter("scaled", "ctrl_blocks_live"),
+                       &stats.counter("scaled", "ctrl_evictions"));
+    scaled.setIdleCap(Directory::idleCapFor(256));
+    for (Addr i = 0; i < lines; ++i)
+        scaled.acquire(i * kLineBytes,
+                       [&scaled, i] { scaled.release(i * kLineBytes); });
+    EXPECT_EQ(stats.value("scaled", "ctrl_evictions"), 0u);
+    EXPECT_EQ(scaled.liveCtl(), lines);
+
+    // The same footprint under the old fixed cap thrashes: every
+    // release past the cap is an eviction.
+    Directory fixed;
+    fixed.attachStats(&stats.counter("fixed", "ctrl_blocks_live"),
+                      &stats.counter("fixed", "ctrl_evictions"));
+    for (Addr i = 0; i < lines; ++i)
+        fixed.acquire(i * kLineBytes,
+                      [&fixed, i] { fixed.release(i * kLineBytes); });
+    EXPECT_EQ(stats.value("fixed", "ctrl_evictions"),
+              std::uint64_t(lines) - Directory::kMaxIdleCtl);
+    EXPECT_EQ(fixed.liveCtl(), Directory::kMaxIdleCtl);
+}
+
+// The System actually wires the scaled cap into every tile's
+// directory (and registers the eviction counter).
+TEST(DirectoryStatTest, MeshPresetWiresScaledIdleCap)
+{
+    System sys(SystemConfig::makeMeshPreset(256),
+               Addr(64) * 1024 * 1024);
+    EXPECT_EQ(sys.l2Tile(0).directory().idleCap(),
+              Directory::idleCapFor(256));
+    EXPECT_EQ(sys.l2Tile(255).directory().idleCap(),
+              Directory::idleCapFor(256));
+    bool has_eviction_stat = false;
+    for (const auto &s : std::as_const(sys).stats().dump())
+        if (s.first == "dir0.ctrl_evictions")
+            has_eviction_stat = true;
+    EXPECT_TRUE(has_eviction_stat);
 }
 
 } // namespace

@@ -145,6 +145,117 @@ TEST(CrashCellTest, FaultAxesRoundTrip)
     }
 }
 
+TEST(CrashCellTest, MemoryShapeAxesRoundTrip)
+{
+    // a/n tokens sit between :s and the fault axes, omitted at the
+    // campaign default of 4.
+    CrashCell cell;
+    cell.ausPerMc = 8;
+    cell.numMemCtrls = 2;
+    EXPECT_EQ(cell.id(), "hash:atom:f50:c4:l8x2:e512:i32:t10:h0:s62:a8:n2");
+    auto parsed = CrashCell::parse(cell.id());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->ausPerMc, 8u);
+    EXPECT_EQ(parsed->numMemCtrls, 2u);
+    EXPECT_EQ(parsed->id(), cell.id());
+    EXPECT_EQ(parsed->config().ausPerMc, 8u);
+    EXPECT_EQ(parsed->config().numMemCtrls, 2u);
+
+    // Each axis alone, and stacked with fault axes + a pinned tick.
+    cell.numMemCtrls = 4;
+    EXPECT_EQ(cell.id(), "hash:atom:f50:c4:l8x2:e512:i32:t10:h0:s62:a8");
+    parsed = CrashCell::parse(cell.id());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->ausPerMc, 8u);
+    EXPECT_EQ(parsed->numMemCtrls, 4u);
+    EXPECT_EQ(parsed->id(), cell.id());
+
+    cell.ausPerMc = 4;
+    cell.numMemCtrls = 8;
+    cell.tornWords = 1;
+    cell.crashTick = 777;
+    EXPECT_EQ(cell.id(),
+              "hash:atom:f50:c4:l8x2:e512:i32:t10:h0:s62:n8:w1:k777");
+    parsed = CrashCell::parse(cell.id());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->numMemCtrls, 8u);
+    EXPECT_EQ(parsed->tornWords, 1u);
+    EXPECT_EQ(parsed->crashTick, Tick(777));
+    EXPECT_EQ(parsed->id(), cell.id());
+
+    // Default-shape cells keep the historical canonical form.
+    CrashCell plain;
+    EXPECT_EQ(plain.id(), "hash:atom:f50:c4:l8x2:e512:i32:t10:h0:s62");
+    EXPECT_EQ(plain.config().ausPerMc, 4u);
+    EXPECT_EQ(plain.config().numMemCtrls, 4u);
+}
+
+TEST(CrashCellTest, ParseRejectsMalformedMemoryShapeAxes)
+{
+    const std::string base = "hash:atom:f50:c4:l8x2:e512:i32:t10:h0:s62";
+    // Default-valued tokens never round-trip (id() omits them), and
+    // zero is invalid outright.
+    EXPECT_FALSE(CrashCell::parse(base + ":a0").has_value());
+    EXPECT_FALSE(CrashCell::parse(base + ":a4").has_value());
+    EXPECT_FALSE(CrashCell::parse(base + ":n0").has_value());
+    EXPECT_FALSE(CrashCell::parse(base + ":n4").has_value());
+    // Controller counts must be a power of two (address interleave).
+    EXPECT_FALSE(CrashCell::parse(base + ":n3").has_value());
+    EXPECT_FALSE(CrashCell::parse(base + ":n6").has_value());
+    // Non-canonical order and duplicates.
+    EXPECT_FALSE(CrashCell::parse(base + ":n2:a8").has_value());
+    EXPECT_FALSE(CrashCell::parse(base + ":w1:a8").has_value());
+    EXPECT_FALSE(CrashCell::parse(base + ":a8:a8").has_value());
+    // Valid combinations still pass.
+    EXPECT_TRUE(CrashCell::parse(base + ":a1").has_value());
+    EXPECT_TRUE(CrashCell::parse(base + ":n2").has_value());
+    EXPECT_TRUE(CrashCell::parse(base + ":a2:n8:m200:r50").has_value());
+}
+
+// The TPC-C macro workload is a campaign citizen: its cells run end
+// to end and recover consistently, off-default memory shapes
+// included.
+TEST(CrashCellTest, TpccCellRunsEndToEnd)
+{
+    CrashCell cell;
+    cell.workload = "tpcc";
+    cell.design = DesignKind::Atom;
+    cell.cores = 2;
+    cell.initialItems = 16;  // -> 4 customers/district, 64 items
+    cell.txnsPerCore = 3;
+    cell.ausPerMc = 2;
+    cell.numMemCtrls = 2;
+    EXPECT_EQ(cell.id(),
+              "tpcc:atom:f50:c2:l8x2:e512:i16:t3:h0:s62:a2:n2");
+    ASSERT_TRUE(CrashCell::parse(cell.id()).has_value());
+    ASSERT_NE(cell.makeWorkload(), nullptr);
+
+    const CellOutcome out = runCrashCell(cell);
+    EXPECT_TRUE(out.consistent) << out.fault;
+    EXPECT_TRUE(out.report.criticalStateFound);
+    EXPECT_GT(out.crashTick, Tick(0));
+}
+
+// Pinned from the campaign: a 4 KB L2 eviction storm reorders the
+// cores' pre-region loads enough that commit order diverges from
+// fetch order. TPC-C's store payloads are computed functionally at
+// fetch, so a crash that rolls back a fetched-earlier, committed-later
+// transaction used to leave durable B+-tree nodes built on the
+// rolled-back update ("separators not strictly increasing"). The
+// whole-transaction RegionSerializer ticket (acquired before fetch,
+// released at completion) keeps the two orders identical; this cell
+// tears again if the ticket shrinks back to the Atomic_Begin..End
+// window.
+TEST(CrashCellTest, TpccEvictionStormCommitOrderMatchesFetchOrder)
+{
+    const auto cell =
+        CrashCell::parse("tpcc:atom:f25:c4:l4x2:e512:i48:t12:h0:s63");
+    ASSERT_TRUE(cell.has_value());
+    const CellOutcome out = runCrashCell(*cell);
+    EXPECT_TRUE(out.consistent) << out.fault;
+    EXPECT_TRUE(out.report.criticalStateFound);
+}
+
 TEST(CrashCellTest, ParseRejectsMalformedFaultAxes)
 {
     const std::string base = "hash:atom:f50:c4:l8x2:e512:i32:t10:h0:s62";

@@ -13,6 +13,7 @@
 #include "workloads/btree_workload.hh"
 #include "workloads/hash_workload.hh"
 #include "workloads/heap.hh"
+#include "workloads/kv_workload.hh"
 #include "workloads/queue_workload.hh"
 #include "workloads/rbtree_workload.hh"
 #include "workloads/sdg_workload.hh"
@@ -320,6 +321,135 @@ TEST(TpccTest, KeysAreInjective)
             }
         }
     }
+}
+
+TEST(ZipfianTest, ThetaZeroIsUniform)
+{
+    const std::uint64_t n = 64;
+    const int draws = 64000;
+    ZipfianGenerator gen(n, 0.0);
+    Random rng(17);
+    std::vector<int> hist(n, 0);
+    for (int i = 0; i < draws; ++i) {
+        const std::uint64_t r = gen.next(rng);
+        ASSERT_LT(r, n);
+        ++hist[r];
+    }
+    // Every rank lands near draws/n = 1000 (loose 3x band; a zipfian
+    // at theta 0.99 would put >5000 on rank 0).
+    for (std::uint64_t r = 0; r < n; ++r) {
+        EXPECT_GT(hist[r], 500) << "rank " << r;
+        EXPECT_LT(hist[r], 2000) << "rank " << r;
+    }
+}
+
+TEST(ZipfianTest, SkewConcentratesOnHotRanks)
+{
+    const std::uint64_t n = 1024;
+    const int draws = 100000;
+    ZipfianGenerator gen(n, 0.99);
+    Random rng(23);
+    std::vector<int> hist(n, 0);
+    for (int i = 0; i < draws; ++i) {
+        const std::uint64_t r = gen.next(rng);
+        ASSERT_LT(r, n);
+        ++hist[r];
+    }
+    // Rank 0 alone draws ~1/zeta(1024) ~ 13% of the mass; uniform
+    // would give under 0.1%.
+    EXPECT_GT(hist[0], draws / 20);
+    // The hottest 10% of ranks take the clear majority of draws.
+    int hot = 0;
+    for (std::uint64_t r = 0; r < n / 10; ++r)
+        hot += hist[r];
+    EXPECT_GT(hot, draws * 6 / 10);
+    // Monotone in aggregate: the first quarter outdraws the last.
+    int head = 0, tail = 0;
+    for (std::uint64_t r = 0; r < n / 4; ++r)
+        head += hist[r];
+    for (std::uint64_t r = 3 * n / 4; r < n; ++r)
+        tail += hist[r];
+    EXPECT_GT(head, 4 * tail);
+}
+
+TEST(KvWorkloadTest, FunctionalRunStaysConsistentAndTagsClasses)
+{
+    KvParams params;
+    params.keysPerTenant = 64;
+    params.valueBytes = 64;
+    params.numTenants = 2;
+    KvWorkload workload(params);
+
+    const std::uint32_t cores = 4;
+    DataImage img;
+    DirectAccessor mem(img);
+    PersistentHeap heap(kPageBytes, Addr(256) * 1024 * 1024, cores);
+    workload.init(mem, heap, cores);
+    EXPECT_EQ(workload.checkConsistency(mem, cores), "");
+
+    Random rng(7);
+    bool saw_class[KvWorkload::kNumClasses] = {false, false, false};
+    for (int i = 0; i < 400; ++i) {
+        Transaction txn;
+        RecordingAccessor rec(img, txn);
+        const CoreId core = CoreId(i % cores);
+        workload.runTransaction(core, rec, rng);
+        ASSERT_LT(txn.txnClass, KvWorkload::kNumClasses);
+        saw_class[txn.txnClass] = true;
+        // Tenant tag matches the block-of-cores ownership (cores 0-1
+        // are tenant 0, cores 2-3 tenant 1).
+        EXPECT_EQ(txn.tenant, core / 2);
+        // Reads are log-free; updates and inserts are atomic regions.
+        bool has_region = false;
+        for (const auto &op : txn.ops)
+            has_region |= op.kind == OpKind::AtomicBegin;
+        EXPECT_EQ(has_region,
+                  txn.txnClass != KvWorkload::kClassRead);
+    }
+    // 400 draws at the default 50/40/10 mix: seeing all three classes
+    // is a certainty unless the mix wiring broke.
+    EXPECT_TRUE(saw_class[KvWorkload::kClassRead]);
+    EXPECT_TRUE(saw_class[KvWorkload::kClassUpdate]);
+    EXPECT_TRUE(saw_class[KvWorkload::kClassInsert]);
+    EXPECT_EQ(workload.checkConsistency(mem, cores), "");
+}
+
+TEST(KvWorkloadTest, CheckerDetectsTornUpdate)
+{
+    KvParams params;
+    params.keysPerTenant = 32;
+    params.valueBytes = 64;
+    KvWorkload workload(params);
+
+    const std::uint32_t cores = 2;
+    DataImage img;
+    DirectAccessor mem(img);
+    PersistentHeap heap(kPageBytes, Addr(128) * 1024 * 1024, cores);
+    workload.init(mem, heap, cores);
+
+    Random rng(5);
+    for (int i = 0; i < 50; ++i) {
+        Transaction txn;
+        RecordingAccessor rec(img, txn);
+        workload.runTransaction(CoreId(i % cores), rec, rng);
+    }
+    ASSERT_EQ(workload.checkConsistency(mem, cores), "");
+
+    // Tear a slot: bump the version without rewriting the value
+    // pattern, exactly what a non-atomic crash mid-update leaves.
+    // Locate the slot table by its keyTag signature (key s stores
+    // s + 1 at slot offset 0; slots are 64B header + 64B value here).
+    const Addr slot_bytes = kLineBytes + params.valueBytes;
+    bool torn = false;
+    for (Addr a = 0; a < Addr(16) * 1024 * 1024 && !torn; a += 8) {
+        if (mem.load64(a) == 1 && mem.load64(a + slot_bytes) == 2 &&
+            mem.load64(a + 2 * slot_bytes) == 3) {
+            mem.store64(a + 8, mem.load64(a + 8) + 1);
+            torn = true;
+        }
+    }
+    ASSERT_TRUE(torn);
+    EXPECT_NE(workload.checkConsistency(mem, cores), "");
 }
 
 } // namespace
