@@ -211,6 +211,28 @@ enumerateCells(const std::vector<std::uint64_t> &seeds)
             }
         }
     }
+
+    // Flash-tier sub-grid: every durability policy (d axis), with the
+    // ordinary jittered crash and with the crash hunted onto an
+    // in-flight destage (x axis). Undo designs only -- the destage
+    // triggers are LogM truncation hooks -- on the historical bug
+    // shape with the fault-sensitive micro workloads.
+    for (std::uint32_t d : {1u, 2u, 3u}) {
+        for (std::uint32_t x : {0u, 1u}) {
+            for (DesignKind design :
+                 {DesignKind::Base, DesignKind::Atom,
+                  DesignKind::AtomOpt}) {
+                for (const char *wl : {"hash", "queue"}) {
+                    for (std::uint64_t seed : seeds) {
+                        push(kShapes[0], design, wl, 0.5, seed,
+                             FaultMode{0, 0, 0});
+                        cells.back().durability = d;
+                        cells.back().destageCrash = x;
+                    }
+                }
+            }
+        }
+    }
     return cells;
 }
 

@@ -1,7 +1,9 @@
 #include "atom/logm.hh"
 
+#include <algorithm>
 #include <cstring>
 
+#include "mem/ssd_device.hh"
 #include "sim/logging.hh"
 
 namespace atomsim
@@ -140,8 +142,17 @@ LogM::withOpenRecord(std::uint32_t aus, ReadyCallback ready)
                 });
             return;
         }
+        const std::uint32_t prev = st.currentBucket;
         st.currentBucket = *bucket;
         st.currentRecord = 0;
+        if (prev != kNoBucket) {
+            // The bucket just left behind is full: no record will be
+            // appended to it until truncation frees it. That makes it
+            // a cold log segment -- the destage engine's preferred
+            // candidate for migration to flash.
+            if (DestageEngine *eng = _ctrl.destageEngine())
+                eng->onLogSegmentCold(_amap.bucketBase(_mc, prev));
+        }
     }
 
     auto rec = std::make_unique<OpenRecord>();
@@ -374,6 +385,28 @@ LogM::truncate(std::uint32_t aus, std::function<void()> done)
         }
         panic_if(!s.sealing.empty(),
                  "truncate with unpersisted sealed records");
+
+        // Flash tier: snapshot this update's freed log buckets and
+        // touched data pages *before* the bucket registers clear. The
+        // freed buckets must abandon any in-flight destage (their
+        // records are dead; recovery's sequence window already rejects
+        // them) and the data pages feed the cold-page LRU.
+        DestageEngine *eng = _ctrl.destageEngine();
+        std::vector<Addr> data_pages;
+        std::vector<Addr> log_pages;
+        if (eng) {
+            data_pages.reserve(s.loggedLines.size());
+            for (Addr line : s.loggedLines)
+                data_pages.push_back(line & ~Addr(kPageBytes - 1));
+            std::sort(data_pages.begin(), data_pages.end());
+            data_pages.erase(
+                std::unique(data_pages.begin(), data_pages.end()),
+                data_pages.end());
+            _buckets.vectorOf(aus).forEachSet([&](std::uint32_t b) {
+                log_pages.push_back(_amap.bucketBase(_mc, b));
+            });
+        }
+
         _buckets.truncate(aus);
         _statTruncations.inc();
         s.loggedLines.clear();
@@ -381,7 +414,15 @@ LogM::truncate(std::uint32_t aus, std::function<void()> done)
         s.currentBucket = kNoBucket;
         s.currentRecord = 0;
         s.txnStartSeq = s.nextSeq;
-        done();
+        if (eng) {
+            // Under the balanced policy truncation completion -- and
+            // with it the commit ack -- waits until the un-destaged
+            // backlog is back under its bound.
+            eng->onTruncate(std::move(data_pages),
+                            std::move(log_pages), std::move(done));
+        } else {
+            done();
+        }
     };
 
     if (st.outstandingWrites == 0) {

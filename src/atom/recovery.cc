@@ -8,6 +8,7 @@
 
 #include "atom/log_record.hh"
 #include "designs/redo_engine.hh"
+#include "mem/ssd_device.hh"
 #include "sim/fault.hh"
 #include "sim/logging.hh"
 #include "sim/stats.hh"
@@ -27,6 +28,19 @@ RecoveryManager::recover(DataImage &nvm, const RecoveryOptions &opts,
 {
     RecoveryReport total;
     std::uint32_t budget = opts.maxApplications;
+
+    // Flash tier: rehydrate destaged pages first. The record scans
+    // below must read through a whole image -- a destaged log bucket
+    // holds records of an incomplete update, and a destaged data page
+    // may be the very page an undo entry restores.
+    if (opts.flashImage) {
+        for (McId mc = 0; mc < _cfg.numMemCtrls; ++mc) {
+            if (const DataImage *flash = opts.flashImage(mc))
+                total.pagesRehydrated +=
+                    fwdmap::rehydrate(nvm, _amap, mc, *flash);
+        }
+    }
+
     for (McId mc = 0; mc < _cfg.numMemCtrls; ++mc) {
         const RecoveryReport r = recoverMc(nvm, mc, opts, budget, stats);
         total.incompleteUpdates += r.incompleteUpdates;
@@ -178,6 +192,17 @@ RedoRecovery::recover(DataImage &nvm, const RecoveryOptions &opts) const
     RecoveryReport report;
     report.criticalStateFound = true;
     std::uint32_t budget = opts.maxApplications;
+
+    // Flash tier: rehydrate destaged pages before scanning the redo
+    // frames (same contract as undo recovery -- the scan must see a
+    // whole image).
+    if (opts.flashImage) {
+        for (McId mc = 0; mc < _cfg.numMemCtrls; ++mc) {
+            if (const DataImage *flash = opts.flashImage(mc))
+                report.pagesRehydrated +=
+                    fwdmap::rehydrate(nvm, _amap, mc, *flash);
+        }
+    }
 
     struct PendingEntry
     {

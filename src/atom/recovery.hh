@@ -17,6 +17,7 @@
 #define ATOMSIM_ATOM_RECOVERY_HH
 
 #include <cstdint>
+#include <functional>
 
 #include "mem/address_map.hh"
 #include "mem/phys_mem.hh"
@@ -42,6 +43,9 @@ struct RecoveryReport
      * crash-during-recovery experiment, not a completed recovery). */
     bool interrupted = false;
     bool criticalStateFound = true;
+    /** Flash tier: pages copied back from flash by the forwarding-map
+     * rehydration pass that runs before any log scan. */
+    std::uint32_t pagesRehydrated = 0;
 };
 
 /**
@@ -64,6 +68,17 @@ struct RecoveryOptions
      * the second power failure catches recovery's writes in flight. */
     bool tornWrites = false;
     std::uint64_t faultSeed = 1;
+    /**
+     * Flash tier: maps a controller to its (surviving, non-volatile)
+     * flash image, or nullptr. When set, recovery first *rehydrates*:
+     * every valid NVM-resident forwarding-map entry copies its flash
+     * page back into NVM and clears the entry (mem/ssd_device.hh's
+     * fwdmap::rehydrate), so the subsequent log scans -- which may
+     * need destaged log buckets or roll back destaged data pages --
+     * read through a whole image. Rehydration is idempotent: a crash
+     * mid-recovery re-runs it over the already-cleared entries.
+     */
+    std::function<const DataImage *(McId)> flashImage;
 };
 
 /** Undo recovery for the ATOM / BASE designs. */

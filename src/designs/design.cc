@@ -92,8 +92,11 @@ DesignContext::DesignContext(EventQueue &eq, const SystemConfig &cfg,
       _l1s(std::move(l1s)),
       _pool(pool),
       _redo(redo),
+      _commitInFlight(cfg.numCores, false),
+      _pendingBegin(cfg.numCores),
       _statFlushes(stats.counter("design", "commit_flushes")),
-      _statCommits(stats.counter("design", "commits"))
+      _statCommits(stats.counter("design", "commits")),
+      _statStagedAcks(stats.counter("design", "staged_acks"))
 {
 }
 
@@ -188,6 +191,16 @@ DesignContext::atomicBegin(CoreId core, std::function<void()> done)
                     [this, core, done = std::move(done)]() mutable {
                         shardedBegin(core, std::move(done));
                     }));
+            return;
+        }
+        if (_commitInFlight[core]) {
+            // Eventual durability: this core's previous commit was
+            // acked from the staging window and its truncation is
+            // still running, so the AUS slot is not yet released.
+            // Park the begin; it resumes when the truncation lands.
+            panic_if(_pendingBegin[core] != nullptr,
+                     "core %u double-parked an atomicBegin", core);
+            _pendingBegin[core] = std::move(done);
             return;
         }
         _pool.acquire(core, [this, done = std::move(done)](
@@ -295,6 +308,35 @@ DesignContext::atomicEnd(CoreId core,
                                                         done)]() mutable {
                                    shardedTruncate(core, std::move(done));
                                }));
+                           return;
+                       }
+                       if (_cfg.durabilityPolicy ==
+                               DurabilityPolicy::Eventual &&
+                           _stagedCommits < _cfg.ssdStagingWindow) {
+                           // Eventual durability: ack from the
+                           // volatile staging window. Truncation (and
+                           // with it genuine durability and the AUS
+                           // release) continues in the background; a
+                           // crash before it lands rolls this commit
+                           // back, so the recovery-point loss is
+                           // bounded by the window size. A full window
+                           // falls through to the synchronous path.
+                           ++_stagedCommits;
+                           if (_stagedCommits > _stagedPeak)
+                               _stagedPeak = _stagedCommits;
+                           _statStagedAcks.inc();
+                           _commitInFlight[core] = true;
+                           _eq.postIn(1, std::move(done));
+                           truncateAll(core, [this, core] {
+                               --_stagedCommits;
+                               _commitInFlight[core] = false;
+                               if (_pendingBegin[core]) {
+                                   auto parked =
+                                       std::move(_pendingBegin[core]);
+                                   _pendingBegin[core] = nullptr;
+                                   atomicBegin(core, std::move(parked));
+                               }
+                           });
                            return;
                        }
                        truncateAll(core, std::move(done));

@@ -146,6 +146,15 @@ class DesignContext : public DesignHooks
         _tenantCommits = std::move(per_core);
     }
 
+    /** Eventual durability: commits acked from the volatile staging
+     * window whose truncation is still in flight. A crash now rolls
+     * exactly these commits back -- the policy's recovery-point loss. */
+    std::uint32_t stagedCommits() const { return _stagedCommits; }
+
+    /** High-water mark of staging-window occupancy (bench gate: must
+     * stay <= SystemConfig::ssdStagingWindow). */
+    std::uint32_t stagedPeak() const { return _stagedPeak; }
+
   private:
     /** Count a commit for @p core (global + per-tenant). */
     void
@@ -206,8 +215,19 @@ class DesignContext : public DesignHooks
 
     std::vector<Counter *> _tenantCommits;   //!< per core; may be empty
 
+    // --- eventual durability (sequential kernel only; the staging
+    // window is cross-domain state, so config validation rejects the
+    // policy under sharding) ------------------------------------------
+    std::uint32_t _stagedCommits = 0;
+    std::uint32_t _stagedPeak = 0;
+    /** Per core: an early-acked commit's truncation still runs, so the
+     * AUS slot is not yet released and a new begin must park. */
+    std::vector<bool> _commitInFlight;
+    std::vector<std::function<void()>> _pendingBegin;  //!< per core
+
     Counter &_statFlushes;
     Counter &_statCommits;
+    Counter &_statStagedAcks;
 };
 
 } // namespace atomsim

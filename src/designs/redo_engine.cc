@@ -68,6 +68,7 @@ RedoEngine::RedoEngine(EventQueue &eq, const SystemConfig &cfg,
       _mcs(mcs),
       _cores(cfg.numCores),
       _mcState(cfg.numMemCtrls),
+      _victims(cfg.l2Tiles),
       _statEntries(stats.counter("redo", "log_entries")),
       _statCombined(stats.counter("redo", "combined_stores")),
       _statCommits(stats.counter("redo", "commits")),
@@ -414,7 +415,17 @@ RedoEngine::powerFail()
         ms.applyLogAddr.clear();
         ms.backendBusy = false;
     }
-    _victims.clear();
+    for (VictimCache &shard : _victims)
+        shard.clear();
+}
+
+std::size_t
+RedoEngine::victimLines() const
+{
+    std::size_t lines = 0;
+    for (const VictimCache &shard : _victims)
+        lines += shard.size();
+    return lines;
 }
 
 } // namespace atomsim

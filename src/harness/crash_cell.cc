@@ -72,8 +72,8 @@ CrashCell::id() const
                   (unsigned long long)seed);
     std::string s = buf;
     // Tail tokens append only when off-default, in canonical
-    // a < n < w < m < r < k order, so every pre-existing ID stays its
-    // own canonical form.
+    // a < n < w < m < r < d < x < k order, so every pre-existing ID
+    // stays its own canonical form.
     if (ausPerMc != 4)
         s += ":a" + std::to_string(ausPerMc);
     if (numMemCtrls != 4)
@@ -84,6 +84,10 @@ CrashCell::id() const
         s += ":m" + std::to_string(mediaRate);
     if (recoverPct != 0)
         s += ":r" + std::to_string(recoverPct);
+    if (durability != 0)
+        s += ":d" + std::to_string(durability);
+    if (destageCrash != 0)
+        s += ":x" + std::to_string(destageCrash);
     if (crashTick != 0) {
         std::snprintf(buf, sizeof(buf), ":k%llu",
                       (unsigned long long)crashTick);
@@ -106,7 +110,7 @@ CrashCell::parse(const std::string &id)
         tok.push_back(id.substr(start, colon - start));
         start = colon + 1;
     }
-    if (tok.size() < 10 || tok.size() > 16)
+    if (tok.size() < 10 || tok.size() > 18)
         return std::nullopt;
 
     CrashCell cell;
@@ -139,7 +143,8 @@ CrashCell::parse(const std::string &id)
         return std::nullopt;
     }
 
-    // Optional tail tokens in canonical a < n < w < m < r < k order,
+    // Optional tail tokens in canonical a < n < w < m < r < d < x < k
+    // order,
     // each at most once. A value that never round-trips (id() omits
     // the token at zero for the fault axes and at the default 4 for
     // the shape axes) is malformed, like k0 or a4.
@@ -175,6 +180,24 @@ CrashCell::parse(const std::string &id)
             return std::nullopt;
         ++next;
     }
+    std::uint64_t dur = 0, dcrash = 0;
+    if (next < tok.size() && parseField(tok[next], 'd', dur)) {
+        if (dur == 0 || dur > 3)
+            return std::nullopt;
+        ++next;
+    }
+    if (next < tok.size() && parseField(tok[next], 'x', dcrash)) {
+        // Crashing mid-destage needs the tier on, and the destage
+        // triggers are LogM truncation hooks -- undo designs only.
+        if (dcrash != 1 || dur == 0)
+            return std::nullopt;
+        if (cell.design != DesignKind::Base &&
+            cell.design != DesignKind::Atom &&
+            cell.design != DesignKind::AtomOpt) {
+            return std::nullopt;
+        }
+        ++next;
+    }
     if (next < tok.size()) {
         std::uint64_t tick = 0;
         if (!parseField(tok[next], 'k', tick) || tick == 0)
@@ -205,6 +228,8 @@ CrashCell::parse(const std::string &id)
     cell.tornWords = std::uint32_t(torn);
     cell.mediaRate = std::uint32_t(media);
     cell.recoverPct = std::uint32_t(rpct);
+    cell.durability = std::uint32_t(dur);
+    cell.destageCrash = std::uint32_t(dcrash);
     return cell;
 }
 
@@ -242,6 +267,21 @@ CrashCell::config() const
     cfg.tornWrites = tornWords != 0;
     cfg.mediaErrorPer64k = mediaRate;
     cfg.faultSeed = seed;
+    if (durability != 0) {
+        // Flash tier: aggressive destaging (watermark 0) and short
+        // flash latencies so the small campaign runs actually push
+        // pages through the whole pipeline before their crash point.
+        cfg.ssdTier = true;
+        cfg.durabilityPolicy = durability == 1 ? DurabilityPolicy::Strict
+                               : durability == 2
+                                   ? DurabilityPolicy::Balanced
+                                   : DurabilityPolicy::Eventual;
+        cfg.ssdColdPageWatermark = 0;
+        cfg.ssdFlashPagesPerMc = 256;
+        cfg.ssdMaxDestageBacklog = 4;
+        cfg.ssdReadLatency = 2000;
+        cfg.ssdProgramLatency = 5000;
+    }
     // Crash cells always run the sequential kernel (numShards stays 0:
     // crash injection requires it, and REDO only supports sequential
     // runs anyway), so every design in the grid is valid here.
@@ -301,8 +341,12 @@ runCrashCell(const CrashCell &cell)
     Runner runner(cfg, *workload, cell.txnsPerCore,
                   Addr(64) * 1024 * 1024);
     runner.setUp();
-    out.crashTick = cell.crashTick != 0
-                        ? runner.crashAt(cell.crashTick)
+    // A pinned tick always replays exactly (the shrinker's bisection
+    // axis, also for destage-crash cells); otherwise the x axis hunts
+    // for an in-flight destage and the default jitters by fraction.
+    out.crashTick = cell.crashTick != 0 ? runner.crashAt(cell.crashTick)
+                    : cell.destageCrash != 0
+                        ? runner.runUntilDestageCrash(cell.seed)
                         : runner.runUntilCrash(cell.fraction, cell.seed);
     if (cell.recoverPct > 0) {
         // Double-failure cell: recovery itself crashes part-way (its
@@ -458,6 +502,13 @@ shrinkCell(const CrashCell &failing, Tick failTick,
         changed |= tryZeroAxis(&CrashCell::tornWords, "torn-off");
         changed |= tryZeroAxis(&CrashCell::mediaRate, "media-off");
         changed |= tryZeroAxis(&CrashCell::recoverPct, "rcrash-off");
+        // Flash-tier axes: the destage-crash hunt must drop before the
+        // tier itself can (an x token without d is malformed).
+        changed |= tryZeroAxis(&CrashCell::destageCrash,
+                               "destage-crash-off");
+        if (best.destageCrash == 0)
+            changed |= tryZeroAxis(&CrashCell::durability,
+                                   "durability-off");
         changed |= shrinkAxis(&CrashCell::mediaRate, 1, 1, "media");
         changed |= shrinkAxis(&CrashCell::recoverPct, 1, 1, "rcrash");
         if (!changed)
@@ -484,6 +535,10 @@ regressionBody(const CrashCell &cell, const std::string &fault)
         name += "_m" + std::to_string(cell.mediaRate);
     if (cell.recoverPct != 0)
         name += "_r" + std::to_string(cell.recoverPct);
+    if (cell.durability != 0)
+        name += "_d" + std::to_string(cell.durability);
+    if (cell.destageCrash != 0)
+        name += "_x" + std::to_string(cell.destageCrash);
 
     std::string out;
     out += "// Shrunk by bench/crash_campaign.cc from a failing sweep "

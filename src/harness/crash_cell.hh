@@ -74,14 +74,23 @@ struct CrashCell
     /** Crash recovery itself after this percent of its record
      * applications, then restart it (Runner::crashDuringRecovery). */
     std::uint32_t recoverPct = 0;
+    // Flash-tier axes (0 = tier off; the ID omits the token).
+    /** Durability policy with the SSD tier enabled: 0 = tier off,
+     * 1 = strict, 2 = balanced, 3 = eventual
+     * (SystemConfig::durabilityPolicy). */
+    std::uint32_t durability = 0;
+    /** 1 = land the power failure while a destage is in flight
+     * (Runner::runUntilDestageCrash); requires durability != 0 and an
+     * undo design (the destage triggers are LogM truncation hooks). */
+    std::uint32_t destageCrash = 0;
 
     /** Compact, order-stable ID, e.g.
      * "hash:atom:f50:c4:l8x2:e512:i32:t10:h0:s62" (+":a<aus>" /
      * ":n<mcs>" when the memory-system shape leaves the default 4,
      * +":w1" / ":m<rate>" / ":r<pct>" for each enabled fault axis,
-     * +":k<tick>" when the crash tick is pinned; default-valued tail
-     * tokens are omitted so pre-existing IDs stay canonical).
-     * parse(id()) round-trips. */
+     * +":d<policy>" / ":x1" for the flash-tier axes, +":k<tick>" when
+     * the crash tick is pinned; default-valued tail tokens are omitted
+     * so pre-existing IDs stay canonical). parse(id()) round-trips. */
     std::string id() const;
 
     /** Parse an ID back into a cell (nullopt on malformed input). */

@@ -817,6 +817,37 @@ Runner::crashAt(Tick tick)
     return eq.now();
 }
 
+Tick
+Runner::runUntilDestageCrash(std::uint64_t crash_seed)
+{
+    fatal_if(_system->sharded(),
+             "crash injection requires the sequential kernel "
+             "(numShards = 0)");
+    fatal_if(!_system->destage(0),
+             "runUntilDestageCrash needs the flash tier (ssdTier)");
+    EventQueue &eq = _system->eventQueue();
+
+    eq.runUntil([this] {
+        if (allDone())
+            return true;
+        const std::uint32_t mcs = _system->config().numMemCtrls;
+        for (McId m = 0; m < mcs; ++m) {
+            if (_system->destage(m)->destagesInFlight() > 0)
+                return true;
+        }
+        return false;
+    });
+
+    // Jitter so sweeps land the crash in different destage phases
+    // (snapshot programming, map write, promotion, clear).
+    Random rng(crash_seed);
+    const Tick deadline = eq.now() + rng.below(500);
+    eq.run(deadline);
+
+    _system->powerFail();
+    return eq.now();
+}
+
 RecoveryReport
 Runner::crashDuringRecovery(double fraction)
 {
@@ -832,8 +863,18 @@ Runner::crashDuringRecovery(double fraction)
     // a single uninterrupted recovery performs (so the fraction is of
     // real work, not a guess), without touching the durable image.
     DataImage probe = sys.nvmImage().clone();
-    const RecoveryReport full = redo ? redo_mgr.recover(probe)
-                                     : undo_mgr.recover(probe);
+    RecoveryOptions ref_opts;
+    if (sys.ssd(0)) {
+        // Flash tier: the reference pass must rehydrate too (from the
+        // real, read-only flash images) or it undercounts the work of
+        // a pass over destaged log buckets.
+        ref_opts.flashImage = [&sys](McId m) -> const DataImage * {
+            SsdDevice *ssd = sys.ssd(m);
+            return ssd ? &ssd->flash() : nullptr;
+        };
+    }
+    const RecoveryReport full = redo ? redo_mgr.recover(probe, ref_opts)
+                                     : undo_mgr.recover(probe, ref_opts);
 
     // Interrupted pass on the real image: recovery itself crashes
     // after fraction * N applications, and -- when the fault model

@@ -129,6 +129,17 @@ class Runner : public TransactionSource
     Tick crashAt(Tick tick);
 
     /**
+     * Flash-tier crash experiment: run until a destage is in flight
+     * at some controller (a page is between its NVM snapshot and its
+     * durable forwarding-map entry), jitter forward a few hundred
+     * cycles, then cut power. Exercises every phase of the destage
+     * state machine against recovery's rehydration pass. Falls back
+     * to a run-to-completion crash (at the final tick) if no destage
+     * ever starts. Returns the tick of the crash.
+     */
+    Tick runUntilDestageCrash(std::uint64_t crash_seed = 1);
+
+    /**
      * Double-failure experiment (call after a crash, instead of
      * system().recover()): run recovery, interrupt it after
      * @p fraction of the record applications a complete pass would

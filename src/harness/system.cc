@@ -53,6 +53,20 @@ System::System(const SystemConfig &cfg, Addr data_bytes)
         _mcPorts.push_back(
             std::make_unique<McPort>(m, *_mesh, *_mcs.back()));
     }
+    if (_cfg.ssdTier) {
+        // Flash tier: one SSD + destage engine per controller, polled
+        // from the owning MC's simulation domain -- all flash-tier
+        // state is touched only from that domain, so sharded
+        // byte-identity holds without any new cross-domain protocol.
+        for (McId m = 0; m < _cfg.numMemCtrls; ++m) {
+            _ssds.push_back(std::make_unique<SsdDevice>(
+                m, mc_queue(m), _cfg, _stats));
+            _destages.push_back(std::make_unique<DestageEngine>(
+                m, mc_queue(m), _cfg, _amap, *_mcs[m], *_ssds[m], _nvm,
+                _stats));
+            _mcs[m]->setDestageEngine(_destages.back().get());
+        }
+    }
     {
         std::vector<EventQueue *> os_queues;
         for (McId m = 0; m < _cfg.numMemCtrls; ++m)
@@ -122,7 +136,7 @@ System::System(const SystemConfig &cfg, Addr data_bytes)
         for (auto &l1 : _l1s)
             l1->setStoreLogger(_redo.get());
         for (auto &tile : _tiles)
-            tile->setVictimCache(&_redo->victimCache());
+            tile->setVictimCache(&_redo->victimCache(tile->tileId()));
     } else {
         // NON-ATOMIC: no logger, no AUS.
         _ausPool = std::make_unique<AusPool>(
@@ -197,9 +211,12 @@ System::System(const SystemConfig &cfg, Addr data_bytes)
 
 System::~System()
 {
-    // The controllers hold a raw pointer to the (soon gone) LogM gate.
-    for (auto &mc : _mcs)
+    // The controllers hold raw pointers to the (soon gone) LogM gate
+    // and destage engine.
+    for (auto &mc : _mcs) {
         mc->setWriteGate(nullptr);
+        mc->setDestageEngine(nullptr);
+    }
 }
 
 void
@@ -211,6 +228,13 @@ System::powerFail()
 
     for (auto &mc : _mcs)
         mc->powerFail();
+    // Destage engines before devices: the engines drop their volatile
+    // tracking (durable truth is the NVM forwarding map + flash
+    // image), then the devices reclaim in-flight commands.
+    for (auto &eng : _destages)
+        eng->powerFail();
+    for (auto &ssd : _ssds)
+        ssd->powerFail();
     for (auto &tile : _tiles)
         tile->powerFail();
     for (auto &l1 : _l1s)
@@ -222,15 +246,27 @@ System::powerFail()
 RecoveryReport
 System::recover(const RecoveryOptions &opts)
 {
+    RecoveryOptions o = opts;
+    if (!o.flashImage && !_ssds.empty()) {
+        o.flashImage = [this](McId m) -> const DataImage * {
+            return m < _ssds.size() ? &_ssds[m]->flash() : nullptr;
+        };
+    }
     RecoveryManager mgr(_cfg, _amap);
-    return mgr.recover(_nvm, opts, &_stats);
+    return mgr.recover(_nvm, o, &_stats);
 }
 
 RecoveryReport
 System::recoverRedo(const RecoveryOptions &opts)
 {
+    RecoveryOptions o = opts;
+    if (!o.flashImage && !_ssds.empty()) {
+        o.flashImage = [this](McId m) -> const DataImage * {
+            return m < _ssds.size() ? &_ssds[m]->flash() : nullptr;
+        };
+    }
     RedoRecovery mgr(_cfg, _amap);
-    return mgr.recover(_nvm, opts);
+    return mgr.recover(_nvm, o);
 }
 
 std::vector<MediaFaultRecord>

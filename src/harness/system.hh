@@ -23,6 +23,7 @@
 #include "mem/mc_port.hh"
 #include "mem/memory_controller.hh"
 #include "mem/phys_mem.hh"
+#include "mem/ssd_device.hh"
 #include "net/mesh.hh"
 #include "os/log_space.hh"
 #include "sim/config.hh"
@@ -79,6 +80,16 @@ class System
     MemoryController &memCtrl(McId m) { return *_mcs[m]; }
     LogM *logm(McId m) { return m < _logms.size() ? _logms[m].get()
                                                   : nullptr; }
+
+    /** Flash tier components (nullptr with cfg.ssdTier off). */
+    SsdDevice *ssd(McId m)
+    {
+        return m < _ssds.size() ? _ssds[m].get() : nullptr;
+    }
+    DestageEngine *destage(McId m)
+    {
+        return m < _destages.size() ? _destages[m].get() : nullptr;
+    }
     Mesh &mesh() { return *_mesh; }
     AusPool *ausPool() { return _ausPool.get(); }
     RedoEngine *redoEngine() { return _redo.get(); }
@@ -122,6 +133,8 @@ class System
 
     std::unique_ptr<Mesh> _mesh;
     std::vector<std::unique_ptr<MemoryController>> _mcs;
+    std::vector<std::unique_ptr<SsdDevice>> _ssds;
+    std::vector<std::unique_ptr<DestageEngine>> _destages;
     std::vector<std::unique_ptr<McPort>> _mcPorts;
     std::unique_ptr<LogSpace> _logSpace;
     std::vector<std::unique_ptr<L2Tile>> _tiles;

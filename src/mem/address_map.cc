@@ -22,6 +22,12 @@ AddressMap::AddressMap(const SystemConfig &cfg, Addr data_bytes)
              "bucket must be exactly one page (%u records of 512 B)",
              unsigned(kPageBytes / kRecordBytes));
 
+    if (cfg.ssdTier) {
+        _ssdMapPagesPerMc =
+            (cfg.ssdFlashPagesPerMc + kSsdEntriesPerMapPage - 1) /
+            kSsdEntriesPerMapPage;
+    }
+
     if (cfg.hybridMode == HybridMode::AppDirect) {
         if (cfg.appDirectRegion == AppDirectRegion::LogRegion) {
             // Log placement "direct": the log and ADR pages bypass
@@ -61,6 +67,14 @@ AddressMap::recordBase(McId mc, std::uint32_t bucket,
 {
     panic_if(record >= _recordsPerBucket, "bad record index %u", record);
     return bucketBase(mc, bucket) + Addr(record) * kRecordBytes;
+}
+
+Addr
+AddressMap::ssdMapPage(McId mc, std::uint32_t j) const
+{
+    panic_if(mc >= _numMc, "bad mc %u", mc);
+    panic_if(j >= _ssdMapPagesPerMc, "bad ssd map page %u", j);
+    return ssdMapBase() + (Addr(j) * _numMc + mc) * kPageBytes;
 }
 
 } // namespace atomsim

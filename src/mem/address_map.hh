@@ -78,12 +78,48 @@ class AddressMap
      */
     Addr adrBase(McId mc) const { return _logEnd + Addr(mc) * kPageBytes; }
 
-    /** One past the last reserved byte (data + log + ADR regions). */
+    /** One past the last reserved byte (data + log + ADR regions,
+     * plus the SSD forwarding-map region when the flash tier is on). */
     Addr
     reservedEnd() const
     {
+        return ssdMapBase() +
+               Addr(_ssdMapPagesPerMc) * _numMc * kPageBytes;
+    }
+
+    // --- Flash tier: NVM-resident forwarding map ---------------------
+
+    /** 16-byte forwarding entries per map page. */
+    static constexpr std::uint32_t kSsdEntriesPerMapPage =
+        kPageBytes / 16;
+
+    /**
+     * First byte of the forwarding-map region, right after the ADR
+     * pages. Like log buckets, map page @p j of controller @p mc is
+     * the (j*numMc+mc)-th page of the region, so page interleaving
+     * maps every controller's slice to itself and sharded MC domains
+     * never touch each other's DataImage stripes. The region is empty
+     * (zero pages) unless SystemConfig::ssdTier is set, so the default
+     * layout — and every pinned golden — is unchanged.
+     */
+    Addr
+    ssdMapBase() const
+    {
         return _logEnd + Addr(_numMc) * kPageBytes;
     }
+
+    /** Forwarding-map pages per controller (0 with the tier off). */
+    std::uint32_t ssdMapPagesPerMc() const { return _ssdMapPagesPerMc; }
+
+    /** Forwarding-map entries (= mappable flash pages) per controller. */
+    std::uint32_t
+    ssdMapEntriesPerMc() const
+    {
+        return _ssdMapPagesPerMc * kSsdEntriesPerMapPage;
+    }
+
+    /** Base address of forwarding-map page @p j of controller @p mc. */
+    Addr ssdMapPage(McId mc, std::uint32_t j) const;
 
     // --- Hybrid memory: app-direct partitioning ----------------------
 
@@ -117,6 +153,7 @@ class AddressMap
     std::uint32_t _l2Tiles;
     std::uint32_t _bucketsPerMc;
     std::uint32_t _recordsPerBucket;
+    std::uint32_t _ssdMapPagesPerMc = 0;
     Addr _logBase;
     Addr _logEnd;
     Addr _appDirectBase = 0;

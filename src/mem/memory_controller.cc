@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "mem/ssd_device.hh"
 #include "sim/fault.hh"
 #include "sim/logging.hh"
 
@@ -242,9 +243,28 @@ MemoryController::readLine(Addr addr, ReadKind kind, ReadCallback cb)
     readNvm(addr, kind, std::move(cb));
 }
 
+bool
+MemoryController::hasPendingWriteInPage(Addr page_base) const
+{
+    if (_inflightWrites.empty())
+        return false;
+    for (Addr a = page_base; a < page_base + kPageBytes; a += kLineBytes) {
+        if (_inflightWrites.count(a))
+            return true;
+    }
+    return false;
+}
+
 void
 MemoryController::readNvm(Addr addr, ReadKind kind, ReadCallback cb)
 {
+    // Flash tier: a read of a page whose authoritative bytes moved to
+    // flash parks in the destage engine and stalls through the SSD
+    // read path (promotion); it re-enters here once NVM is truth
+    // again.
+    if (_destage && _destage->interceptRead(addr, kind, cb))
+        return;
+
     const std::uint32_t ch = channelFor(kind == ReadKind::LogRead);
     Request *req = acquireReq();
     req->isWrite = false;
@@ -305,6 +325,13 @@ void
 MemoryController::writeNvm(Addr addr, const Line &data, WriteKind kind,
                            WriteCallback cb)
 {
+    // Flash tier: a write to a page mid-destage cancels the destage
+    // (snapshot-phase) or parks until NVM is authoritative again.
+    // Consulted before the stat increments so a parked op is counted
+    // exactly once, when the engine replays it through this path.
+    if (_destage && _destage->interceptWrite(addr, data, kind, cb))
+        return;
+
     // Counted here -- on the NVM path -- so data_writes / log_writes
     // mean "writes reaching NVM" in every mode: absorbed DataWbs are
     // counted by dram_wr_absorbed instead, while DRAM victim

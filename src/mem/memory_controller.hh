@@ -69,6 +69,9 @@ enum class WriteKind : std::uint8_t
     CriticalRegs, //!< ADR flush of LogM critical structures
     RedoLog,      //!< REDO log-area write
     RedoApply,    //!< REDO backend in-place update
+    FwdMap,       //!< SSD-tier forwarding-map entry (data channel,
+                  //!< never gated, never intercepted by the destage
+                  //!< engine -- it IS the destage engine's traffic)
 };
 
 /**
@@ -114,6 +117,8 @@ class WriteGate
      */
     virtual bool tryAcquire(Addr line_addr, UnlockCallback on_unlock) = 0;
 };
+
+class DestageEngine;
 
 /** One NVM memory controller. */
 class MemoryController
@@ -161,6 +166,27 @@ class MemoryController
     void setWriteGate(WriteGate *gate) { _gate = gate; }
 
     /**
+     * Install the flash-tier destage engine (nullptr to remove). When
+     * set, the engine sees every NVM-path access first: reads of pages
+     * whose authoritative bytes moved to flash stall through the SSD
+     * read path, and writes to pages mid-destage cancel or park per
+     * the engine's state machine (mem/ssd_device.hh).
+     */
+    void setDestageEngine(DestageEngine *eng) { _destage = eng; }
+
+    /** The installed destage engine (nullptr without a flash tier). */
+    DestageEngine *destageEngine() const { return _destage; }
+
+    /**
+     * True if any line of the page at @p page_base has an accepted
+     * but not-yet-durable write. The destage engine defers snapshots
+     * of such pages: the DataImage still holds pre-write bytes until
+     * device completion, so a snapshot taken now would destage stale
+     * data and the racing write would then be silently lost.
+     */
+    bool hasPendingWriteInPage(Addr page_base) const;
+
+    /**
      * App-direct partitioning: addresses in [base, end) bypass the
      * DRAM cache and talk straight to NVM (no-op without a DRAM
      * tier). The System derives the window from the AddressMap
@@ -201,6 +227,12 @@ class MemoryController
     const SystemConfig &config() const { return _cfg; }
 
   private:
+    /** The destage engine replays parked operations through the
+     * private readNvm/writeNvm entry points: the parked op was already
+     * counted and DRAM-routed when it first arrived, so re-entering
+     * through the public API would double-count it. */
+    friend class DestageEngine;
+
     /** Combine-overflow node: extra durability acks beyond the first
      * accumulated on a queued write (pooled, rare). */
     struct WcbNode
@@ -362,6 +394,7 @@ class MemoryController
     FreeListPool<Request> _reqPool;
     FreeListPool<WcbNode> _wcbPool;
     WriteGate *_gate = nullptr;
+    DestageEngine *_destage = nullptr;
 
     // --- Hybrid DRAM tier (null when hybridMode == NvmOnly) ----------
     std::unique_ptr<DramCache> _dram;

@@ -68,6 +68,32 @@ hybridModeFromName(const std::string &name)
 }
 
 const char *
+durabilityPolicyName(DurabilityPolicy policy)
+{
+    switch (policy) {
+      case DurabilityPolicy::Strict:
+        return "strict";
+      case DurabilityPolicy::Balanced:
+        return "balanced";
+      case DurabilityPolicy::Eventual:
+        return "eventual";
+    }
+    return "?";
+}
+
+DurabilityPolicy
+durabilityPolicyFromName(const std::string &name)
+{
+    if (name == "strict")
+        return DurabilityPolicy::Strict;
+    if (name == "balanced")
+        return DurabilityPolicy::Balanced;
+    if (name == "eventual")
+        return DurabilityPolicy::Eventual;
+    fatal("unknown durability policy '%s'", name.c_str());
+}
+
+const char *
 shardPlacementName(ShardPlacement placement)
 {
     switch (placement) {
@@ -103,6 +129,16 @@ SystemConfig::dramTransferCycles() const
     const double bytes_per_cycle = dramBandwidthBytesPerSec / clockHz;
     return static_cast<Cycles>(
         std::ceil(double(kLineBytes) / bytes_per_cycle));
+}
+
+Cycles
+SystemConfig::ssdPageTransferCycles() const
+{
+    // 4096 = kPageBytes (mem/phys_mem.hh); sim/ sits below mem/ in
+    // the include layering, so the constant is repeated here.
+    const double bytes_per_cycle =
+        ssdChannelBandwidthBytesPerSec / clockHz;
+    return static_cast<Cycles>(std::ceil(4096.0 / bytes_per_cycle));
 }
 
 std::uint32_t
@@ -154,7 +190,29 @@ SystemConfig::validate() const
                  "dramRowBytes must be a power of two >= the line "
                  "size");
     }
+    fatal_if(!ssdTier && durabilityPolicy != DurabilityPolicy::Strict,
+             "relaxed durability policies need the flash tier "
+             "(ssdTier = true); without a destage pipeline there is "
+             "nothing to relax");
+    if (ssdTier) {
+        fatal_if(ssdChannels == 0 || ssdDiesPerChannel == 0,
+                 "ssdTier needs ssdChannels > 0 and ssdDiesPerChannel "
+                 "> 0");
+        fatal_if(ssdQueueDepth < 2,
+                 "ssdQueueDepth must be >= 2 (SQ/CQ ring capacity)");
+        fatal_if(ssdPollInterval == 0,
+                 "ssdPollInterval must be > 0 (poll-mode reaping)");
+        fatal_if(ssdFlashPagesPerMc == 0,
+                 "ssdFlashPagesPerMc must be > 0");
+        fatal_if(durabilityPolicy == DurabilityPolicy::Eventual &&
+                     ssdStagingWindow == 0,
+                 "eventual durability needs ssdStagingWindow > 0");
+    }
     if (numShards > 0) {
+        fatal_if(durabilityPolicy == DurabilityPolicy::Eventual,
+                 "the eventual-durability staging window is "
+                 "cross-domain state; it requires the sequential "
+                 "kernel (numShards = 0)");
         fatal_if(serializeAtomicRegions,
                  "serializeAtomicRegions is cross-domain state; it "
                  "requires the sequential kernel (numShards = 0)");
@@ -163,8 +221,9 @@ SystemConfig::validate() const
                  "controllers (DataImage stripe count)");
         fatal_if(design == DesignKind::Redo,
                  "sharded simulation does not support the REDO design "
-                 "(its victim cache and snapshot path are global); run "
-                 "REDO with numShards = 0");
+                 "(the combine buffers and backend apply queues are "
+                 "cross-domain state; the victim cache is already "
+                 "sharded per home tile); run REDO with numShards = 0");
         fatal_if(linkQueueDepth != 0,
                  "sharded simulation requires unbounded link queues "
                  "(linkQueueDepth = 0): bounded-depth backpressure "

@@ -79,6 +79,38 @@ const char *hybridModeName(HybridMode mode);
 HybridMode hybridModeFromName(const std::string &name);
 
 /**
+ * What a transaction's commit acknowledgment promises once the flash
+ * tier (SystemConfig::ssdTier) turns log truncation into a real
+ * destage pipeline. Strict is the paper's machine; the other two trade
+ * recovery-point guarantees for commit latency.
+ */
+enum class DurabilityPolicy : std::uint8_t
+{
+    /** Durable at NVM write: the commit ack waits for the full
+     * flush + truncate pipeline, exactly as without the flash tier.
+     * A crash after the ack loses nothing. */
+    Strict,
+    /** Ack at NVM durability, but truncation completion additionally
+     * waits until the un-destaged cold-page backlog has drained below
+     * ssdMaxDestageBacklog, bounding the NVM-resident log footprint.
+     * Crash-loss guarantee identical to Strict. */
+    Balanced,
+    /** Ack from a volatile staging window of ssdStagingWindow commits:
+     * the core continues as soon as its log is sealed, while the
+     * flush + truncate pipeline completes in the background. A power
+     * failure loses at most the staged (acked-but-untruncated)
+     * commits, each of which rolls back wholly at recovery. Sequential
+     * kernel only (the window is cross-domain state). */
+    Eventual,
+};
+
+/** Human-readable policy name ("strict", "balanced", "eventual"). */
+const char *durabilityPolicyName(DurabilityPolicy policy);
+
+/** Parse a durability-policy name. */
+DurabilityPolicy durabilityPolicyFromName(const std::string &name);
+
+/**
  * Domain-to-worker placement policy for sharded runs.
  *
  * Placement never changes simulated behavior (the byte-identity
@@ -215,6 +247,51 @@ struct SystemConfig
      * one DDR channel); converted to a per-64B-transfer occupancy.
      */
     double dramBandwidthBytesPerSec = 12.8e9;
+
+    // --- Flash/SSD third tier (src/mem/ssd_device) -------------------
+    /**
+     * Model a flash tier behind the NVM (off by default; every golden
+     * stays byte-identical). Each controller owns an NVMe-style SSD
+     * slice — per-channel submission/completion queue pairs polled
+     * from the MC's simulation domain — plus a destage engine that
+     * migrates cold log segments and cold data pages to flash at log
+     * truncation, leaving a durable NVM-resident forwarding map so
+     * reads of destaged pages stall through the SSD read path.
+     */
+    bool ssdTier = false;
+    /** Commit-ack durability contract when the tier is on (strict
+     * required when off). See DurabilityPolicy. */
+    DurabilityPolicy durabilityPolicy = DurabilityPolicy::Strict;
+    /** Flash channels per controller (one SQ/CQ pair each). */
+    std::uint32_t ssdChannels = 4;
+    /** Independent dies per channel (tR/tPROG occupancy units). */
+    std::uint32_t ssdDiesPerChannel = 2;
+    /** Submission/completion ring capacity per queue pair; also the
+     * per-pair outstanding-command bound, so the CQ can never
+     * overflow. */
+    std::uint32_t ssdQueueDepth = 32;
+    /** Poll cadence of the MC-domain doorbell/reap loop, in cycles. */
+    Cycles ssdPollInterval = 200;
+    /** Die read (tR) latency in core cycles (~8 us at 2 GHz). */
+    Cycles ssdReadLatency = 16000;
+    /** Die program (tPROG) latency in core cycles (~20 us at 2 GHz). */
+    Cycles ssdProgramLatency = 40000;
+    /** Channel bus bandwidth in bytes/second (1.2 GB/s ONFI-ish);
+     * converted to a per-4KB-page transfer occupancy. */
+    double ssdChannelBandwidthBytesPerSec = 1.2e9;
+    /** Flash pages addressable per controller slice (also sizes the
+     * NVM-resident forwarding map: 16 bytes per flash page). */
+    std::uint32_t ssdFlashPagesPerMc = 4096;
+    /** Cold data pages the engine keeps NVM-resident before destaging
+     * the excess (truncation order, oldest first). */
+    std::uint32_t ssdColdPageWatermark = 256;
+    /** Balanced/eventual: truncation completion parks until the
+     * un-destaged backlog (pending + in-flight destages) is at most
+     * this many pages. */
+    std::uint32_t ssdMaxDestageBacklog = 16;
+    /** Eventual: commits acknowledged early from the volatile staging
+     * window; at most this many acked commits are lost on powerFail. */
+    std::uint32_t ssdStagingWindow = 8;
 
     // --- Network (Table I) -----------------------------------------------
     std::uint32_t meshRows = 4;
@@ -390,6 +467,8 @@ struct SystemConfig
     Cycles lineTransferCycles() const;
     /** DRAM occupancy of one 64-byte transfer, in core cycles. */
     Cycles dramTransferCycles() const;
+    /** Flash channel occupancy of one 4 KB page transfer, in cycles. */
+    Cycles ssdPageTransferCycles() const;
     /** True when a DRAM tier is configured (hybridMode != NvmOnly). */
     bool hybrid() const { return hybridMode != HybridMode::NvmOnly; }
     /** Mesh columns = total tiles / rows (cores co-located with tiles). */

@@ -284,6 +284,91 @@ TEST(CrashCellTest, ParseRejectsMalformedFaultAxes)
             .has_value());
 }
 
+TEST(CrashCellTest, FlashTierAxesRoundTrip)
+{
+    // d/x tokens sit after the fault axes, before :k, omitted at the
+    // tier-off default so historical IDs stay canonical.
+    CrashCell cell;
+    cell.durability = 2;
+    EXPECT_EQ(cell.id(), "hash:atom:f50:c4:l8x2:e512:i32:t10:h0:s62:d2");
+    auto parsed = CrashCell::parse(cell.id());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->durability, 2u);
+    EXPECT_EQ(parsed->destageCrash, 0u);
+    EXPECT_EQ(parsed->id(), cell.id());
+
+    // The mid-destage crash axis rides with a policy, and both sort
+    // before a pinned tick.
+    cell.durability = 3;
+    cell.destageCrash = 1;
+    cell.crashTick = 777;
+    EXPECT_EQ(cell.id(),
+              "hash:atom:f50:c4:l8x2:e512:i32:t10:h0:s62:d3:x1:k777");
+    parsed = CrashCell::parse(cell.id());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->durability, 3u);
+    EXPECT_EQ(parsed->destageCrash, 1u);
+    EXPECT_EQ(parsed->crashTick, Tick(777));
+    EXPECT_EQ(parsed->id(), cell.id());
+
+    // A d cell's config enables the tier with the campaign's short
+    // flash latencies and maps each policy value.
+    for (std::uint32_t d : {1u, 2u, 3u}) {
+        CrashCell dc;
+        dc.durability = d;
+        const SystemConfig cfg = dc.config();
+        EXPECT_TRUE(cfg.ssdTier);
+        EXPECT_EQ(cfg.durabilityPolicy,
+                  d == 1   ? DurabilityPolicy::Strict
+                  : d == 2 ? DurabilityPolicy::Balanced
+                           : DurabilityPolicy::Eventual);
+    }
+    EXPECT_FALSE(CrashCell{}.config().ssdTier);
+}
+
+TEST(CrashCellTest, ParseRejectsMalformedFlashTierAxes)
+{
+    const std::string base = "hash:atom:f50:c4:l8x2:e512:i32:t10:h0:s62";
+    // Zero-valued tokens never round-trip; policies stop at eventual.
+    EXPECT_FALSE(CrashCell::parse(base + ":d0").has_value());
+    EXPECT_FALSE(CrashCell::parse(base + ":d4").has_value());
+    // The destage-crash axis needs the tier on, and is boolean.
+    EXPECT_FALSE(CrashCell::parse(base + ":x1").has_value());
+    EXPECT_FALSE(CrashCell::parse(base + ":d2:x2").has_value());
+    EXPECT_FALSE(CrashCell::parse(base + ":d2:x0").has_value());
+    // Non-canonical order and duplicates.
+    EXPECT_FALSE(CrashCell::parse(base + ":x1:d2").has_value());
+    EXPECT_FALSE(CrashCell::parse(base + ":d2:d2").has_value());
+    EXPECT_FALSE(CrashCell::parse(base + ":k10:d2").has_value());
+    // The destage triggers are LogM truncation hooks, so the x axis is
+    // undo-design-only; a plain d cell is fine for REDO.
+    EXPECT_FALSE(
+        CrashCell::parse(
+            "hash:redo:f50:c4:l8x2:e512:i32:t10:h0:s62:d2:x1")
+            .has_value());
+    EXPECT_TRUE(
+        CrashCell::parse("hash:redo:f50:c4:l8x2:e512:i32:t10:h0:s62:d2")
+            .has_value());
+}
+
+TEST(CrashCellTest, DestageCrashCellRunsEndToEnd)
+{
+    CrashCell cell;
+    cell.workload = "hash";
+    cell.design = DesignKind::Atom;
+    cell.cores = 2;
+    cell.initialItems = 8;
+    cell.txnsPerCore = 4;
+    cell.seed = 7;
+    cell.durability = 2;
+    cell.destageCrash = 1;
+
+    const CellOutcome out = runCrashCell(cell);
+    EXPECT_TRUE(out.consistent) << out.fault;
+    EXPECT_TRUE(out.report.criticalStateFound);
+    EXPECT_GT(out.crashTick, Tick(0));
+}
+
 TEST(CrashCellTest, RunsOneCellEndToEnd)
 {
     CrashCell cell;

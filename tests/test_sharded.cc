@@ -198,6 +198,72 @@ TEST(ShardedHybridTest, AppDirectByteIdenticalAcrossShards)
                     "appDirect/data 1 vs 4 shards");
 }
 
+// Flash tier on: the destage pipeline, SQ/CQ polling and page
+// forwarding all run inside the owning MC's simulation domain, so a
+// tier-on run must stay byte-identical at every shard count.
+// Balanced policy: eventual's staging window is cross-domain state
+// and is pinned to the sequential kernel by config validation.
+
+golden::GoldenRun
+runFlashTierQuickstart(std::uint32_t shards)
+{
+    SystemConfig cfg;
+    cfg.numCores = 8;
+    cfg.l2Tiles = 8;
+    cfg.meshRows = 2;
+    cfg.ausPerMc = 8;
+    cfg.design = DesignKind::AtomOpt;
+    cfg.numShards = shards;
+    cfg.ssdTier = true;
+    cfg.durabilityPolicy = DurabilityPolicy::Balanced;
+    // Aggressive destage thresholds + short flash latencies so the
+    // small golden run forwards and promotes real pages.
+    cfg.ssdColdPageWatermark = 0;
+    cfg.ssdFlashPagesPerMc = 256;
+    cfg.ssdMaxDestageBacklog = 4;
+    cfg.ssdReadLatency = 2000;
+    cfg.ssdProgramLatency = 5000;
+
+    MicroParams params;
+    params.entryBytes = 512;
+    params.initialItems = 48;
+    params.txnsPerCore = 6;
+
+    HashWorkload workload(params);
+    Runner runner(cfg, workload, params.txnsPerCore);
+    golden::TraceHasher tracer(true);
+    runner.system().mesh().setTracer(&tracer);
+    runner.setUp();
+    const RunResult result = runner.run();
+    golden::GoldenRun r;
+    r.hash = tracer.hash();
+    r.deliveries = tracer.deliveries();
+    r.txns = result.txns;
+    r.cycles = result.cycles;
+    r.stream = std::move(tracer.stream());
+    r.stats = std::as_const(runner.system()).stats().dump();
+    return r;
+}
+
+TEST(ShardedFlashTierTest, TierOnByteIdenticalAcrossShards)
+{
+    const golden::GoldenRun one = runFlashTierQuickstart(1);
+    const golden::GoldenRun two = runFlashTierQuickstart(2);
+    const golden::GoldenRun four = runFlashTierQuickstart(4);
+    const golden::GoldenRun eight = runFlashTierQuickstart(8);
+    expectIdentical(one, two, "flash tier 1 vs 2 shards");
+    expectIdentical(one, four, "flash tier 1 vs 4 shards");
+    expectIdentical(one, eight, "flash tier 1 vs 8 shards");
+
+    // The tier must have destaged real pages or the pin is vacuous.
+    std::uint64_t destaged = 0;
+    for (const auto &s : one.stats) {
+        if (s.first.find("destage_pages") != std::string::npos)
+            destaged += s.second;
+    }
+    EXPECT_GT(destaged, 0u);
+}
+
 // --- 1024-tile serving preset under sharding -------------------------
 //
 // The scaled presets must uphold the same determinism contract as the
